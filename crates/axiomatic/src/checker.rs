@@ -1,0 +1,98 @@
+//! The admissibility interface shared by all checkers.
+
+use std::fmt;
+
+use mcm_core::{EventId, Execution, LitmusTest, MemoryModel};
+
+use crate::co::CoOrder;
+use crate::hb::EdgeKind;
+use crate::rf::RfMap;
+
+/// Evidence that an execution is allowed: the read-from map, coherence
+/// order and forced happens-before edges of a consistent choice.
+#[derive(Clone, Debug)]
+pub struct Witness {
+    /// The read-from map.
+    pub rf: RfMap,
+    /// The coherence order.
+    pub co: CoOrder,
+    /// The forced happens-before edges (acyclic).
+    pub hb_edges: Vec<(EventId, EventId, EdgeKind)>,
+}
+
+/// The answer to "is this test admissible under this model?".
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// Whether the demanded outcome is allowed.
+    pub allowed: bool,
+    /// A witness when allowed (checkers always produce one).
+    pub witness: Option<Witness>,
+}
+
+impl Verdict {
+    /// An "allowed" verdict carrying its witness.
+    #[must_use]
+    pub fn allowed(witness: Witness) -> Self {
+        Verdict {
+            allowed: true,
+            witness: Some(witness),
+        }
+    }
+
+    /// A "forbidden" verdict.
+    #[must_use]
+    pub fn forbidden() -> Self {
+        Verdict {
+            allowed: false,
+            witness: None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.allowed {
+            write!(f, "allowed")
+        } else {
+            write!(f, "forbidden")
+        }
+    }
+}
+
+/// An admissibility checker: decides whether a litmus test's demanded
+/// outcome is allowed under a memory model.
+///
+/// Three independent implementations exist — [`crate::ExplicitChecker`]
+/// (enumeration + cycle detection), [`crate::SatChecker`] (the paper's
+/// architecture: SAT over happens-before ordering variables) and
+/// [`crate::MonolithicSatChecker`] (read-from choices encoded as SAT
+/// variables too) — and the test suite cross-validates them.
+pub trait Checker {
+    /// Short name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Decides admissibility of a pre-derived candidate execution.
+    fn check_execution(&self, model: &MemoryModel, exec: &Execution) -> Verdict;
+
+    /// Decides admissibility of a litmus test under `model`.
+    fn check(&self, model: &MemoryModel, test: &LitmusTest) -> Verdict {
+        self.check_execution(model, &test.execution())
+    }
+
+    /// Convenience: just the boolean.
+    fn is_allowed(&self, model: &MemoryModel, test: &LitmusTest) -> bool {
+        self.check(model, test).allowed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(Verdict::forbidden().to_string(), "forbidden");
+        assert!(!Verdict::forbidden().allowed);
+        assert!(Verdict::forbidden().witness.is_none());
+    }
+}

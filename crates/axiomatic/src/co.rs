@@ -1,0 +1,164 @@
+//! Coherence orders: per-location total orders over writes.
+//!
+//! The paper's write-write axiom (§2.2) demands that any two same-location
+//! writes be happens-before ordered one way or the other; enumerating the
+//! per-location total orders (and letting acyclicity plus the ignore-local
+//! axiom weed out the impossible ones) realises that disjunction exactly.
+
+use mcm_core::{EventId, Execution, Loc};
+
+/// One coherence order: for every location with at least one write, the
+/// writes in their chosen order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CoOrder {
+    /// `(location, writes-in-order)` pairs, one per written location.
+    pub per_loc: Vec<(Loc, Vec<EventId>)>,
+}
+
+impl CoOrder {
+    /// Position of `write` within its location's order.
+    #[must_use]
+    pub fn position(&self, write: EventId) -> Option<usize> {
+        self.per_loc
+            .iter()
+            .flat_map(|(_, ws)| ws.iter().enumerate().map(move |(i, w)| (*w, i)))
+            .find(|(w, _)| *w == write)
+            .map(|(_, i)| i)
+    }
+
+    /// Whether `a` is coherence-before `b` (same location, both writes).
+    #[must_use]
+    pub fn before(&self, a: EventId, b: EventId) -> bool {
+        for (_, ws) in &self.per_loc {
+            let pa = ws.iter().position(|&w| w == a);
+            let pb = ws.iter().position(|&w| w == b);
+            if let (Some(pa), Some(pb)) = (pa, pb) {
+                return pa < pb;
+            }
+        }
+        false
+    }
+}
+
+/// Enumerates all coherence orders of the execution (the Cartesian product
+/// of per-location write permutations).
+///
+/// Orders that put two same-thread writes against program order are *not*
+/// filtered here — the ignore-local axiom rejects them during happens-before
+/// construction, keeping this module a pure enumerator.
+#[must_use]
+pub fn enumerate_co_orders(exec: &Execution) -> Vec<CoOrder> {
+    let mut locs: Vec<Loc> = exec.writes().filter_map(|w| w.loc()).collect();
+    locs.sort();
+    locs.dedup();
+    let per_loc_writes: Vec<(Loc, Vec<EventId>)> = locs
+        .into_iter()
+        .map(|loc| (loc, exec.writes_to(loc).map(|w| w.id).collect()))
+        .collect();
+
+    let mut orders: Vec<Vec<(Loc, Vec<EventId>)>> = vec![Vec::new()];
+    for (loc, writes) in &per_loc_writes {
+        let perms = permutations(writes);
+        let mut next = Vec::with_capacity(orders.len() * perms.len());
+        for prefix in &orders {
+            for perm in &perms {
+                let mut extended = prefix.clone();
+                extended.push((*loc, perm.clone()));
+                next.push(extended);
+            }
+        }
+        orders = next;
+    }
+    orders
+        .into_iter()
+        .map(|per_loc| CoOrder { per_loc })
+        .collect()
+}
+
+fn permutations(items: &[EventId]) -> Vec<Vec<EventId>> {
+    if items.is_empty() {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for (i, &head) in items.iter().enumerate() {
+        let mut rest: Vec<EventId> = items.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, head);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_core::{Outcome, Program, Value};
+
+    #[test]
+    fn two_writes_two_orders() {
+        let program = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .thread()
+            .write(Loc::X, Value(2))
+            .build()
+            .unwrap();
+        let exec = Execution::from_program(&program, &Outcome::new()).unwrap();
+        let orders = enumerate_co_orders(&exec);
+        assert_eq!(orders.len(), 2);
+        let writes: Vec<EventId> = exec.writes().map(|w| w.id).collect();
+        assert!(orders.iter().any(|o| o.before(writes[0], writes[1])));
+        assert!(orders.iter().any(|o| o.before(writes[1], writes[0])));
+    }
+
+    #[test]
+    fn independent_locations_multiply() {
+        let program = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .write(Loc::Y, Value(1))
+            .thread()
+            .write(Loc::X, Value(2))
+            .write(Loc::Y, Value(2))
+            .build()
+            .unwrap();
+        let exec = Execution::from_program(&program, &Outcome::new()).unwrap();
+        // 2 writes to X (2 perms) × 2 writes to Y (2 perms) = 4.
+        assert_eq!(enumerate_co_orders(&exec).len(), 4);
+    }
+
+    #[test]
+    fn no_writes_single_empty_order() {
+        let program = Program::builder().thread().fence().build().unwrap();
+        let exec = Execution::from_program(&program, &Outcome::new()).unwrap();
+        let orders = enumerate_co_orders(&exec);
+        assert_eq!(orders.len(), 1);
+        assert!(orders[0].per_loc.is_empty());
+    }
+
+    #[test]
+    fn position_and_before_agree() {
+        let program = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .write(Loc::X, Value(2))
+            .write(Loc::X, Value(3))
+            .build()
+            .unwrap();
+        let exec = Execution::from_program(&program, &Outcome::new()).unwrap();
+        let orders = enumerate_co_orders(&exec);
+        assert_eq!(orders.len(), 6);
+        for order in &orders {
+            let ws = &order.per_loc[0].1;
+            for i in 0..ws.len() {
+                assert_eq!(order.position(ws[i]), Some(i));
+                for j in (i + 1)..ws.len() {
+                    assert!(order.before(ws[i], ws[j]));
+                    assert!(!order.before(ws[j], ws[i]));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Enumeration-based admissibility checker.
+//!
+//! Enumerates every read-from map and coherence order, builds the forced
+//! happens-before edges and checks for a consistent partial order. Exact
+//! and fast on litmus-sized executions; serves both as the exploration
+//! engine's workhorse and as a SAT-free cross-check of the paper's
+//! SAT-based tool architecture.
+
+use mcm_core::{Execution, MemoryModel};
+
+use crate::checker::{Checker, Verdict, Witness};
+use crate::co::enumerate_co_orders;
+use crate::hb::required_edges;
+use crate::rf::enumerate_rf_maps;
+
+/// Admissibility by exhaustive `(rf, co)` enumeration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExplicitChecker;
+
+impl ExplicitChecker {
+    /// Creates the checker (stateless).
+    #[must_use]
+    pub fn new() -> Self {
+        ExplicitChecker
+    }
+}
+
+impl Checker for ExplicitChecker {
+    fn name(&self) -> &'static str {
+        "explicit"
+    }
+
+    fn check_execution(&self, model: &MemoryModel, exec: &Execution) -> Verdict {
+        let co_orders = enumerate_co_orders(exec);
+        for rf in enumerate_rf_maps(exec) {
+            for co in &co_orders {
+                let edges = required_edges(model, exec, &rf, co);
+                if edges.admits_partial_order(exec) {
+                    return Verdict::allowed(Witness {
+                        rf,
+                        co: co.clone(),
+                        hb_edges: edges.labeled,
+                    });
+                }
+            }
+        }
+        Verdict::forbidden()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_core::{Formula, LitmusTest, Loc, Outcome, Program, Reg, ThreadId, Value};
+
+    fn sc() -> MemoryModel {
+        MemoryModel::new("SC", Formula::always())
+    }
+
+    fn weakest() -> MemoryModel {
+        MemoryModel::new("weakest", Formula::never())
+    }
+
+    fn sb() -> LitmusTest {
+        let program = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .read(Loc::Y, Reg(1))
+            .thread()
+            .write(Loc::Y, Value(1))
+            .read(Loc::X, Reg(2))
+            .build()
+            .unwrap();
+        let outcome = Outcome::new()
+            .constrain(ThreadId(0), Reg(1), Value(0))
+            .constrain(ThreadId(1), Reg(2), Value(0));
+        LitmusTest::new("SB", program, outcome).unwrap()
+    }
+
+    #[test]
+    fn sb_forbidden_under_sc_allowed_when_unordered() {
+        let checker = ExplicitChecker::new();
+        assert!(!checker.is_allowed(&sc(), &sb()));
+        assert!(checker.is_allowed(&weakest(), &sb()));
+    }
+
+    #[test]
+    fn allowed_verdicts_carry_witnesses() {
+        let checker = ExplicitChecker::new();
+        let verdict = checker.check(&weakest(), &sb());
+        let witness = verdict.witness.expect("allowed verdict has witness");
+        assert_eq!(witness.rf.pairs.len(), 2);
+    }
+
+    #[test]
+    fn value_infeasible_outcome_is_forbidden_everywhere() {
+        let program = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .thread()
+            .read(Loc::X, Reg(1))
+            .build()
+            .unwrap();
+        let outcome = Outcome::new().constrain(ThreadId(1), Reg(1), Value(9));
+        let test = LitmusTest::new("bad-value", program, outcome).unwrap();
+        let checker = ExplicitChecker::new();
+        assert!(!checker.is_allowed(&weakest(), &test));
+    }
+
+    #[test]
+    fn sequential_program_allows_its_sequential_outcome() {
+        let program = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .read(Loc::X, Reg(1))
+            .build()
+            .unwrap();
+        let outcome = Outcome::new().constrain(ThreadId(0), Reg(1), Value(1));
+        let test = LitmusTest::new("seq", program, outcome).unwrap();
+        assert!(ExplicitChecker::new().is_allowed(&sc(), &test));
+    }
+}

@@ -1,0 +1,216 @@
+//! Read-from maps (the paper's `↦` relation, §2.2).
+
+use mcm_core::{EventId, Execution, Value};
+
+/// Where a read gets its value: a specific write event, or the initial
+/// memory state.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RfSource {
+    /// Reads the initial value (zero) — no write is mapped.
+    Init,
+    /// Reads the value stored by this write event.
+    Write(EventId),
+}
+
+/// A complete read-from map: one [`RfSource`] per read event, in the order
+/// produced by [`Execution::reads`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RfMap {
+    /// `(read, source)` pairs.
+    pub pairs: Vec<(EventId, RfSource)>,
+}
+
+impl RfMap {
+    /// The source of `read`, if `read` is indeed a read of this execution.
+    #[must_use]
+    pub fn source_of(&self, read: EventId) -> Option<RfSource> {
+        self.pairs
+            .iter()
+            .find(|(r, _)| *r == read)
+            .map(|(_, s)| *s)
+    }
+}
+
+/// The value-consistent source candidates of every read:
+///
+/// * a write source must access the same location and store exactly the
+///   value the read observes;
+/// * a read may take the initial value only if it observes [`Value::INIT`];
+/// * a read may not read from a program-order-*later* write of its own
+///   thread (the paper's "cannot read from a future write" rule). Reading
+///   from a program-earlier local write is allowed — that is early
+///   forwarding, which the write-read axiom deliberately exempts from
+///   happens-before (see Figure 1's discussion of TSO).
+///
+/// An empty candidate list for any read means the demanded outcome is
+/// value-infeasible: no model in the class (not even the weakest) allows
+/// the test.
+#[must_use]
+pub fn read_candidates(exec: &Execution) -> Vec<(EventId, Vec<RfSource>)> {
+    exec.reads()
+        .map(|read| {
+            let loc = read.loc().expect("read has a location");
+            let value = read.value().expect("read has a value");
+            let mut sources = Vec::new();
+            if value == Value::INIT {
+                sources.push(RfSource::Init);
+            }
+            for w in exec.writes_to(loc) {
+                if w.value() == Some(value) && !exec.po_earlier(read.id, w.id) {
+                    sources.push(RfSource::Write(w.id));
+                }
+            }
+            (read.id, sources)
+        })
+        .collect()
+}
+
+/// Enumerates every read-from map consistent with the execution's values
+/// (the Cartesian product of [`read_candidates`]).
+#[must_use]
+pub fn enumerate_rf_maps(exec: &Execution) -> Vec<RfMap> {
+    let per_read = read_candidates(exec);
+    let mut maps: Vec<Vec<(EventId, RfSource)>> = vec![Vec::new()];
+    for (read, sources) in &per_read {
+        if sources.is_empty() {
+            return Vec::new();
+        }
+        let mut next = Vec::with_capacity(maps.len() * sources.len());
+        for prefix in &maps {
+            for &s in sources {
+                let mut extended = prefix.clone();
+                extended.push((*read, s));
+                next.push(extended);
+            }
+        }
+        maps = next;
+    }
+    maps.into_iter().map(|pairs| RfMap { pairs }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_core::{Loc, Outcome, Program, Reg, ThreadId, Value};
+
+    fn exec(program: Program, outcome: Outcome) -> Execution {
+        Execution::from_program(&program, &outcome).unwrap()
+    }
+
+    #[test]
+    fn read_of_written_value_maps_to_the_write() {
+        let e = exec(
+            Program::builder()
+                .thread()
+                .write(Loc::X, Value(1))
+                .thread()
+                .read(Loc::X, Reg(1))
+                .build()
+                .unwrap(),
+            Outcome::new().constrain(ThreadId(1), Reg(1), Value(1)),
+        );
+        let maps = enumerate_rf_maps(&e);
+        assert_eq!(maps.len(), 1);
+        let write = e.writes().next().unwrap().id;
+        assert_eq!(maps[0].pairs[0].1, RfSource::Write(write));
+    }
+
+    #[test]
+    fn read_of_zero_can_be_init() {
+        let e = exec(
+            Program::builder()
+                .thread()
+                .write(Loc::X, Value(1))
+                .thread()
+                .read(Loc::X, Reg(1))
+                .build()
+                .unwrap(),
+            Outcome::new().constrain(ThreadId(1), Reg(1), Value(0)),
+        );
+        let maps = enumerate_rf_maps(&e);
+        assert_eq!(maps.len(), 1);
+        assert_eq!(maps[0].pairs[0].1, RfSource::Init);
+    }
+
+    #[test]
+    fn infeasible_value_has_no_maps() {
+        let e = exec(
+            Program::builder()
+                .thread()
+                .write(Loc::X, Value(1))
+                .thread()
+                .read(Loc::X, Reg(1))
+                .build()
+                .unwrap(),
+            Outcome::new().constrain(ThreadId(1), Reg(1), Value(7)),
+        );
+        assert!(enumerate_rf_maps(&e).is_empty());
+    }
+
+    #[test]
+    fn future_local_write_is_not_a_source() {
+        // R X -> r1 (=1); W X = 1  — the only write of 1 is po-later.
+        let e = exec(
+            Program::builder()
+                .thread()
+                .read(Loc::X, Reg(1))
+                .write(Loc::X, Value(1))
+                .build()
+                .unwrap(),
+            Outcome::new().constrain(ThreadId(0), Reg(1), Value(1)),
+        );
+        assert!(enumerate_rf_maps(&e).is_empty());
+    }
+
+    #[test]
+    fn earlier_local_write_is_a_source() {
+        // W X = 1; R X -> r1 (=1): forwarding.
+        let e = exec(
+            Program::builder()
+                .thread()
+                .write(Loc::X, Value(1))
+                .read(Loc::X, Reg(1))
+                .build()
+                .unwrap(),
+            Outcome::new().constrain(ThreadId(0), Reg(1), Value(1)),
+        );
+        let maps = enumerate_rf_maps(&e);
+        assert_eq!(maps.len(), 1);
+        assert!(matches!(maps[0].pairs[0].1, RfSource::Write(_)));
+    }
+
+    #[test]
+    fn ambiguous_sources_multiply() {
+        // Two writes of the same value to X; a read of that value has two
+        // candidate sources.
+        let e = exec(
+            Program::builder()
+                .thread()
+                .write(Loc::X, Value(1))
+                .thread()
+                .write(Loc::X, Value(1))
+                .thread()
+                .read(Loc::X, Reg(1))
+                .build()
+                .unwrap(),
+            Outcome::new().constrain(ThreadId(2), Reg(1), Value(1)),
+        );
+        assert_eq!(enumerate_rf_maps(&e).len(), 2);
+    }
+
+    #[test]
+    fn source_of_finds_pairs() {
+        let e = exec(
+            Program::builder()
+                .thread()
+                .read(Loc::X, Reg(1))
+                .build()
+                .unwrap(),
+            Outcome::new().constrain(ThreadId(0), Reg(1), Value(0)),
+        );
+        let maps = enumerate_rf_maps(&e);
+        let read = e.reads().next().unwrap().id;
+        assert_eq!(maps[0].source_of(read), Some(RfSource::Init));
+        assert_eq!(maps[0].source_of(EventId(99)), None);
+    }
+}

@@ -1,0 +1,198 @@
+//! Monolithic SAT checker: one query decides the whole test.
+//!
+//! Unlike [`crate::SatChecker`], the read-from choice is part of the CNF:
+//! each read gets selector variables over its value-consistent sources, and
+//! the write-read / read-write axioms become clauses conditioned on the
+//! selectors. One satisfiable assignment simultaneously picks the read-from
+//! map, the coherence order and the happens-before relation.
+
+use mcm_core::{Execution, MemoryModel};
+use mcm_sat::{Lit, SatResult, Solver};
+
+use crate::checker::{Checker, Verdict, Witness};
+use crate::hb::required_edges;
+use crate::rf::{read_candidates, RfMap, RfSource};
+use crate::sat_common::OrderVars;
+
+/// Admissibility via a single SAT query with read-from selector variables.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MonolithicSatChecker;
+
+impl MonolithicSatChecker {
+    /// Creates the checker (stateless).
+    #[must_use]
+    pub fn new() -> Self {
+        MonolithicSatChecker
+    }
+}
+
+impl Checker for MonolithicSatChecker {
+    fn name(&self) -> &'static str {
+        "sat-monolithic"
+    }
+
+    fn check_execution(&self, model: &MemoryModel, exec: &Execution) -> Verdict {
+        let candidates = read_candidates(exec);
+        if candidates.iter().any(|(_, sources)| sources.is_empty()) {
+            return Verdict::forbidden();
+        }
+
+        let n = exec.events().len();
+        let mut solver = Solver::new();
+        let order = OrderVars::new(&mut solver, n);
+        order.add_partial_order_clauses(&mut solver);
+        order.add_model_clauses(&mut solver, model, exec);
+
+        // Selector variables: selectors[i] parallels candidates[i].1.
+        let selectors: Vec<Vec<Lit>> = candidates
+            .iter()
+            .map(|(_, sources)| {
+                sources
+                    .iter()
+                    .map(|_| solver.new_var().positive())
+                    .collect()
+            })
+            .collect();
+
+        for ((read, sources), sel) in candidates.iter().zip(&selectors) {
+            // Exactly one source per read.
+            solver.add_clause(sel);
+            for a in 0..sel.len() {
+                for b in (a + 1)..sel.len() {
+                    solver.add_clause(&[!sel[a], !sel[b]]);
+                }
+            }
+            let loc = exec.event(*read).loc().expect("read has a location");
+            for (&lit, &source) in sel.iter().zip(sources.iter()) {
+                match source {
+                    RfSource::Init => {
+                        // Selecting init puts the read before every
+                        // same-location write; if one of them is a
+                        // program-earlier local write that forced ordering
+                        // would violate ignore-local, so the selector is
+                        // unusable.
+                        for w in exec.writes_to(loc) {
+                            if exec.po_earlier(w.id, *read) {
+                                solver.add_clause(&[!lit]);
+                            } else {
+                                solver.add_clause(&[
+                                    !lit,
+                                    order.before(read.index(), w.id.index()),
+                                ]);
+                            }
+                        }
+                    }
+                    RfSource::Write(z) => {
+                        if !exec.same_thread(z, *read) {
+                            solver.add_clause(&[!lit, order.before(z.index(), read.index())]);
+                        }
+                        for w in exec.writes_to(loc) {
+                            if w.id == z {
+                                continue;
+                            }
+                            let coherence_before = order.before(w.id.index(), z.index());
+                            if exec.po_earlier(w.id, *read) {
+                                // The from-read branch would point backwards
+                                // in program order: coherence must resolve it.
+                                solver.add_clause(&[!lit, coherence_before]);
+                            } else {
+                                solver.add_clause(&[
+                                    !lit,
+                                    coherence_before,
+                                    order.before(read.index(), w.id.index()),
+                                ]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if solver.solve() != SatResult::Sat {
+            return Verdict::forbidden();
+        }
+
+        // Decode the read-from map from the selectors.
+        let pairs = candidates
+            .iter()
+            .zip(&selectors)
+            .map(|((read, sources), sel)| {
+                let chosen = sel
+                    .iter()
+                    .position(|&lit| solver.lit_value_opt(lit) == Some(true))
+                    .expect("exactly-one selector is true");
+                (*read, sources[chosen])
+            })
+            .collect();
+        let rf = RfMap { pairs };
+        let co = order.extract_co(&solver, exec);
+        let edges = required_edges(model, exec, &rf, &co);
+        debug_assert!(edges.admits_partial_order(exec));
+        Verdict::allowed(Witness {
+            rf,
+            co,
+            hb_edges: edges.labeled,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_core::{Formula, LitmusTest, Loc, Outcome, Program, Reg, ThreadId, Value};
+
+    fn sc() -> MemoryModel {
+        MemoryModel::new("SC", Formula::always())
+    }
+
+    fn weakest() -> MemoryModel {
+        MemoryModel::new("weakest", Formula::never())
+    }
+
+    fn lb() -> LitmusTest {
+        // Load buffering: R X=1; W Y=1 || R Y=1; W X=1.
+        let program = Program::builder()
+            .thread()
+            .read(Loc::X, Reg(1))
+            .write(Loc::Y, Value(1))
+            .thread()
+            .read(Loc::Y, Reg(2))
+            .write(Loc::X, Value(1))
+            .build()
+            .unwrap();
+        let outcome = Outcome::new()
+            .constrain(ThreadId(0), Reg(1), Value(1))
+            .constrain(ThreadId(1), Reg(2), Value(1));
+        LitmusTest::new("LB", program, outcome).unwrap()
+    }
+
+    #[test]
+    fn lb_under_sc_and_weakest() {
+        let checker = MonolithicSatChecker::new();
+        assert!(!checker.is_allowed(&sc(), &lb()));
+        assert!(checker.is_allowed(&weakest(), &lb()));
+    }
+
+    #[test]
+    fn witness_decodes_selectors() {
+        let checker = MonolithicSatChecker::new();
+        let verdict = checker.check(&weakest(), &lb());
+        let witness = verdict.witness.expect("allowed");
+        // Both reads read 1, which only the cross-thread writes store.
+        for (_, source) in &witness.rf.pairs {
+            assert!(matches!(source, RfSource::Write(_)));
+        }
+    }
+
+    #[test]
+    fn infeasible_value_is_forbidden() {
+        let program = Program::builder()
+            .thread()
+            .read(Loc::X, Reg(1))
+            .build()
+            .unwrap();
+        let outcome = Outcome::new().constrain(ThreadId(0), Reg(1), Value(5));
+        let test = LitmusTest::new("inf", program, outcome).unwrap();
+        assert!(!MonolithicSatChecker::new().is_allowed(&weakest(), &test));
+    }
+}

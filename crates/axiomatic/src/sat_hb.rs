@@ -1,0 +1,241 @@
+//! SAT-based checker with read-from maps enumerated outside the solver.
+//!
+//! This mirrors the paper's tool (§4.1): for each value-consistent
+//! read-from map, the happens-before axioms become a CNF over ordering
+//! variables and a SAT solver decides whether an acyclic happens-before
+//! relation exists. The same encoding can be exported as DIMACS for
+//! cross-checking with external solvers ([`encode_cnf`]).
+
+use mcm_core::{Execution, MemoryModel};
+use mcm_sat::dimacs::Cnf;
+use mcm_sat::{SatResult, Solver};
+
+use crate::checker::{Checker, Verdict, Witness};
+use crate::hb::required_edges;
+use crate::rf::{enumerate_rf_maps, RfMap, RfSource};
+use crate::sat_common::{ClauseSink, OrderVars};
+
+/// Emits the complete encoding for one read-from map into `sink`:
+/// partial-order scaffolding, model clauses, and the read-from axioms.
+/// Returns `None` when the map is inconsistent outright (a read of the
+/// initial value po-after a local same-location write).
+fn encode<S: ClauseSink>(
+    sink: &mut S,
+    model: &MemoryModel,
+    exec: &Execution,
+    rf: &RfMap,
+) -> Option<OrderVars> {
+    let n = exec.events().len();
+    let order = OrderVars::new(sink, n);
+    order.add_partial_order_clauses(sink);
+    order.add_model_clauses(sink, model, exec);
+
+    for &(read, source) in &rf.pairs {
+        let loc = exec.event(read).loc().expect("read has a location");
+        match source {
+            RfSource::Init => {
+                // Read-write axiom, no-source case: the read is forced
+                // before every same-location write. A forced ordering
+                // towards a program-earlier local write violates
+                // ignore-local outright (a read cannot skip an earlier
+                // local write by taking the initial value).
+                for w in exec.writes_to(loc) {
+                    if exec.po_earlier(w.id, read) {
+                        return None;
+                    }
+                    sink.emit_clause(&[order.before(read.index(), w.id.index())]);
+                }
+            }
+            RfSource::Write(z) => {
+                // Write-read axiom: only across threads.
+                if !exec.same_thread(z, read) {
+                    sink.emit_clause(&[order.before(z.index(), read.index())]);
+                }
+                // Read-write axiom: for every other same-location write y,
+                // either y is coherence-before z or the read is forced
+                // before y. The second option is unavailable when y is a
+                // program-earlier local write (ignore-local), leaving the
+                // coherence obligation.
+                for w in exec.writes_to(loc) {
+                    if w.id == z {
+                        continue;
+                    }
+                    let coherence_before = order.before(w.id.index(), z.index());
+                    if exec.po_earlier(w.id, read) {
+                        sink.emit_clause(&[coherence_before]);
+                    } else {
+                        sink.emit_clause(&[
+                            coherence_before,
+                            order.before(read.index(), w.id.index()),
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+    Some(order)
+}
+
+/// Exports the admissibility query for one read-from map as DIMACS CNF:
+/// satisfiable iff the execution is allowed with that map. Returns `None`
+/// when the map is inconsistent outright (trivially forbidden).
+#[must_use]
+pub fn encode_cnf(model: &MemoryModel, exec: &Execution, rf: &RfMap) -> Option<Cnf> {
+    let mut cnf = Cnf::default();
+    encode(&mut cnf, model, exec, rf)?;
+    Some(cnf)
+}
+
+/// Exports one CNF per value-consistent read-from map; the execution is
+/// allowed iff at least one of them is satisfiable.
+#[must_use]
+pub fn encode_all_cnf(model: &MemoryModel, exec: &Execution) -> Vec<Cnf> {
+    enumerate_rf_maps(exec)
+        .iter()
+        .filter_map(|rf| encode_cnf(model, exec, rf))
+        .collect()
+}
+
+/// Admissibility via one SAT query per read-from map.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SatChecker;
+
+impl SatChecker {
+    /// Creates the checker (stateless).
+    #[must_use]
+    pub fn new() -> Self {
+        SatChecker
+    }
+
+    fn check_rf(&self, model: &MemoryModel, exec: &Execution, rf: &RfMap) -> Option<Witness> {
+        let mut solver = Solver::new();
+        let order = encode(&mut solver, model, exec, rf)?;
+        if solver.solve() == SatResult::Sat {
+            let co = order.extract_co(&solver, exec);
+            let edges = required_edges(model, exec, rf, &co);
+            debug_assert!(edges.admits_partial_order(exec));
+            Some(Witness {
+                rf: rf.clone(),
+                co,
+                hb_edges: edges.labeled,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl Checker for SatChecker {
+    fn name(&self) -> &'static str {
+        "sat"
+    }
+
+    fn check_execution(&self, model: &MemoryModel, exec: &Execution) -> Verdict {
+        for rf in enumerate_rf_maps(exec) {
+            if let Some(witness) = self.check_rf(model, exec, &rf) {
+                return Verdict::allowed(witness);
+            }
+        }
+        Verdict::forbidden()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_core::{Formula, LitmusTest, Loc, Outcome, Program, Reg, ThreadId, Value};
+
+    fn sc() -> MemoryModel {
+        MemoryModel::new("SC", Formula::always())
+    }
+
+    fn weakest() -> MemoryModel {
+        MemoryModel::new("weakest", Formula::never())
+    }
+
+    fn mp() -> LitmusTest {
+        let program = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .write(Loc::Y, Value(1))
+            .thread()
+            .read(Loc::Y, Reg(1))
+            .read(Loc::X, Reg(2))
+            .build()
+            .unwrap();
+        let outcome = Outcome::new()
+            .constrain(ThreadId(1), Reg(1), Value(1))
+            .constrain(ThreadId(1), Reg(2), Value(0));
+        LitmusTest::new("MP", program, outcome).unwrap()
+    }
+
+    #[test]
+    fn mp_under_sc_and_weakest() {
+        let checker = SatChecker::new();
+        assert!(!checker.is_allowed(&sc(), &mp()));
+        assert!(checker.is_allowed(&weakest(), &mp()));
+    }
+
+    #[test]
+    fn witnesses_are_valid() {
+        let checker = SatChecker::new();
+        let verdict = checker.check(&weakest(), &mp());
+        let witness = verdict.witness.expect("allowed");
+        // The witness coherence order covers both written locations.
+        assert_eq!(witness.co.per_loc.len(), 2);
+    }
+
+    #[test]
+    fn local_coherence_is_enforced() {
+        // W X=1; R X=0 forbidden even under the weakest model.
+        let program = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .read(Loc::X, Reg(1))
+            .build()
+            .unwrap();
+        let outcome = Outcome::new().constrain(ThreadId(0), Reg(1), Value(0));
+        let test = LitmusTest::new("local", program, outcome).unwrap();
+        assert!(!SatChecker::new().is_allowed(&weakest(), &test));
+    }
+
+    #[test]
+    fn exported_cnf_matches_the_solver_verdict() {
+        use crate::rf::enumerate_rf_maps;
+        for (model, test) in [
+            (sc(), mp()),
+            (weakest(), mp()),
+        ] {
+            let exec = test.execution();
+            let mut any_sat = false;
+            for rf in enumerate_rf_maps(&exec) {
+                if let Some(cnf) = encode_cnf(&model, &exec, &rf) {
+                    let mut solver = cnf.into_solver();
+                    if solver.solve() == SatResult::Sat {
+                        any_sat = true;
+                    }
+                }
+            }
+            assert_eq!(
+                any_sat,
+                SatChecker::new().is_allowed(&model, &test),
+                "CNF export disagrees for {} on {}",
+                model.name(),
+                test.name()
+            );
+        }
+    }
+
+    #[test]
+    fn dimacs_round_trip_preserves_the_query() {
+        let test = mp();
+        let exec = test.execution();
+        let cnfs = encode_all_cnf(&sc(), &exec);
+        assert!(!cnfs.is_empty());
+        for cnf in cnfs {
+            let text = cnf.to_dimacs();
+            let reparsed = mcm_sat::dimacs::parse_dimacs(&text).unwrap();
+            assert_eq!(cnf, reparsed);
+        }
+    }
+}

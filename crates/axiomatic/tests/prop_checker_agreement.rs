@@ -1,0 +1,168 @@
+//! The three admissibility checkers must agree on every (model, test)
+//! pair. This is the workspace's strongest evidence that the SAT encodings
+//! implement exactly the five axioms of §2.2.
+
+use mcm_axiomatic::{Checker, ExplicitChecker, MonolithicSatChecker, SatChecker};
+use mcm_core::{
+    ArgPos, Atom, Formula, LitmusTest, Loc, MemoryModel, Outcome, Program, Reg, ThreadId, Value,
+};
+use proptest::prelude::*;
+
+/// A pool of structurally diverse must-not-reorder functions: the named
+/// models of §2.4 plus assorted corner cases.
+fn model_pool() -> Vec<MemoryModel> {
+    use ArgPos::{First, Second};
+    let read_x = || Formula::atom(Atom::IsRead(First));
+    let fence = Formula::fence_either;
+    let ww = || {
+        Formula::and([
+            Formula::atom(Atom::IsWrite(First)),
+            Formula::atom(Atom::IsWrite(Second)),
+        ])
+    };
+    vec![
+        MemoryModel::new("SC", Formula::always()),
+        MemoryModel::new("weakest", Formula::never()),
+        MemoryModel::new("fences-only", fence()),
+        MemoryModel::new(
+            "TSO",
+            Formula::or([ww(), read_x(), fence()]),
+        ),
+        MemoryModel::new(
+            "PSO",
+            Formula::or([
+                Formula::and([ww(), Formula::atom(Atom::SameAddr)]),
+                read_x(),
+                fence(),
+            ]),
+        ),
+        MemoryModel::new(
+            "RMO-ish",
+            Formula::or([
+                Formula::and([
+                    Formula::atom(Atom::IsWrite(Second)),
+                    Formula::atom(Atom::SameAddr),
+                ]),
+                Formula::atom(Atom::DataDep),
+                Formula::atom(Atom::CtrlDep),
+                fence(),
+            ]),
+        ),
+        MemoryModel::new("same-addr-only", Formula::atom(Atom::SameAddr)),
+        MemoryModel::new("deps-only", Formula::atom(Atom::DataDep)),
+    ]
+}
+
+/// One randomly-shaped thread instruction menu entry.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    Write { loc: u8, value: i64 },
+    Read { loc: u8, value: i64 },
+    Fence,
+    /// read; dep-op; dependent write chain (3 instructions).
+    DepChain { loc_read: u8, loc_write: u8, read_value: i64 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..3, 1i64..3).prop_map(|(loc, value)| Step::Write { loc, value }),
+        (0u8..3, 0i64..3).prop_map(|(loc, value)| Step::Read { loc, value }),
+        Just(Step::Fence),
+        (0u8..3, 0u8..3, 0i64..3).prop_map(|(loc_read, loc_write, read_value)| {
+            Step::DepChain {
+                loc_read,
+                loc_write,
+                read_value,
+            }
+        }),
+    ]
+}
+
+fn build_test(threads: &[Vec<Step>]) -> Option<LitmusTest> {
+    let mut builder = Program::builder();
+    let mut outcome = Outcome::new();
+    for (t, steps) in threads.iter().enumerate() {
+        builder = builder.thread();
+        let tid = ThreadId(t as u8);
+        let mut next_reg = 1u8;
+        for step in steps {
+            match *step {
+                Step::Write { loc, value } => {
+                    builder = builder.write(Loc(loc), Value(value));
+                }
+                Step::Read { loc, value } => {
+                    let reg = Reg(next_reg);
+                    next_reg += 1;
+                    builder = builder.read(Loc(loc), reg);
+                    outcome = outcome.constrain(tid, reg, Value(value));
+                }
+                Step::Fence => {
+                    builder = builder.fence();
+                }
+                Step::DepChain {
+                    loc_read,
+                    loc_write,
+                    read_value,
+                } => {
+                    let reg = Reg(next_reg);
+                    let tmp = Reg(next_reg + 1);
+                    next_reg += 2;
+                    builder = builder
+                        .read(Loc(loc_read), reg)
+                        .dep_const(tmp, reg, Value(1))
+                        .write_expr(Loc(loc_write), mcm_core::RegExpr::Reg(tmp));
+                    outcome = outcome.constrain(tid, reg, Value(read_value));
+                }
+            }
+        }
+    }
+    let program = builder.build().ok()?;
+    LitmusTest::new("random", program, outcome).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn checkers_agree_on_random_tests(
+        t1 in proptest::collection::vec(step_strategy(), 1..4),
+        t2 in proptest::collection::vec(step_strategy(), 1..4),
+        model_idx in 0usize..8,
+    ) {
+        let Some(test) = build_test(&[t1, t2]) else {
+            return Ok(()); // builder rejected the shape; nothing to check
+        };
+        let model = &model_pool()[model_idx];
+        let explicit = ExplicitChecker::new().check(model, &test);
+        let sat = SatChecker::new().check(model, &test);
+        let monolithic = MonolithicSatChecker::new().check(model, &test);
+        prop_assert_eq!(
+            explicit.allowed, sat.allowed,
+            "explicit vs sat disagree on {} under {}", test, model
+        );
+        prop_assert_eq!(
+            sat.allowed, monolithic.allowed,
+            "sat vs monolithic disagree on {} under {}", test, model
+        );
+    }
+
+    #[test]
+    fn allowed_never_shrinks_for_weaker_models(
+        t1 in proptest::collection::vec(step_strategy(), 1..4),
+        t2 in proptest::collection::vec(step_strategy(), 1..4),
+    ) {
+        // SC is the strongest model in the class: anything SC allows, every
+        // other pool model allows too (their F is weaker pointwise).
+        let Some(test) = build_test(&[t1, t2]) else { return Ok(()); };
+        let checker = ExplicitChecker::new();
+        let sc = MemoryModel::new("SC", Formula::always());
+        if checker.is_allowed(&sc, &test) {
+            for model in &model_pool() {
+                prop_assert!(
+                    checker.is_allowed(model, &test),
+                    "{} forbids an SC-allowed outcome of {}", model, test
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Ablation: the three admissibility checkers on the full catalog — the
+//! design-choice benchmark behind using the explicit checker for space
+//! exploration and the SAT checkers for paper fidelity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcm_axiomatic::{all_checkers, Checker, ExplicitChecker, MonolithicSatChecker, SatChecker};
+use mcm_models::{catalog, named};
+use std::hint::black_box;
+
+fn bench_checkers(c: &mut Criterion) {
+    let tests = catalog::all_tests();
+    let models = [named::sc(), named::tso(), named::rmo()];
+
+    // Correctness gate: agreement across the board.
+    for test in &tests {
+        for model in &models {
+            let verdicts: Vec<bool> = all_checkers()
+                .iter()
+                .map(|ch| ch.is_allowed(model, test))
+                .collect();
+            assert!(verdicts.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    let mut group = c.benchmark_group("checkers");
+    group.bench_function("explicit/catalog-x3-models", |b| {
+        let checker = ExplicitChecker::new();
+        b.iter(|| run_all(&checker, &models, &tests));
+    });
+    group.bench_function("sat/catalog-x3-models", |b| {
+        let checker = SatChecker::new();
+        b.iter(|| run_all(&checker, &models, &tests));
+    });
+    group.bench_function("sat-monolithic/catalog-x3-models", |b| {
+        let checker = MonolithicSatChecker::new();
+        b.iter(|| run_all(&checker, &models, &tests));
+    });
+    group.finish();
+}
+
+fn run_all(
+    checker: &dyn Checker,
+    models: &[mcm_core::MemoryModel],
+    tests: &[mcm_core::LitmusTest],
+) -> usize {
+    let mut allowed = 0;
+    for model in models {
+        for test in tests {
+            if checker.is_allowed(black_box(model), black_box(test)) {
+                allowed += 1;
+            }
+        }
+    }
+    black_box(allowed)
+}
+
+criterion_group!(benches, bench_checkers);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E1 / Figure 1: admissibility of Test A under TSO (allowed via load
+//! forwarding) and SC (forbidden). Benchmarks the single-test
+//! admissibility query that underlies everything else.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcm_axiomatic::{Checker, ExplicitChecker, MonolithicSatChecker, SatChecker};
+use mcm_models::{catalog, named};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let test = catalog::test_a();
+    let tso = named::tso();
+    let sc = named::sc();
+
+    // Correctness gate: the bench must measure the paper's verdicts.
+    assert!(ExplicitChecker::new().is_allowed(&tso, &test));
+    assert!(!ExplicitChecker::new().is_allowed(&sc, &test));
+
+    let mut group = c.benchmark_group("fig1_test_a");
+    group.bench_function("explicit/TSO-allowed", |b| {
+        let checker = ExplicitChecker::new();
+        b.iter(|| black_box(checker.check(black_box(&tso), black_box(&test)).allowed));
+    });
+    group.bench_function("explicit/SC-forbidden", |b| {
+        let checker = ExplicitChecker::new();
+        b.iter(|| black_box(checker.check(black_box(&sc), black_box(&test)).allowed));
+    });
+    group.bench_function("sat/TSO-allowed", |b| {
+        let checker = SatChecker::new();
+        b.iter(|| black_box(checker.check(black_box(&tso), black_box(&test)).allowed));
+    });
+    group.bench_function("sat-monolithic/TSO-allowed", |b| {
+        let checker = MonolithicSatChecker::new();
+        b.iter(|| black_box(checker.check(black_box(&tso), black_box(&test)).allowed));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E2 / Figure 2: instantiating the seven litmus-test templates. Measures
+//! full-suite generation (the §3.4 reduction) with and without the
+//! dependency predicate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcm_gen::{template, template_suite, AddrRel, Connector, Segment, SegmentType};
+use std::hint::black_box;
+
+fn bench_templates(c: &mut Criterion) {
+    // Correctness gate: the suite sizes are stable.
+    assert!(template_suite(true).len() > template_suite(false).len());
+
+    let mut group = c.benchmark_group("fig2_templates");
+    group.bench_function("suite/with-deps", |b| {
+        b.iter(|| black_box(template_suite(true).len()));
+    });
+    group.bench_function("suite/without-deps", |b| {
+        b.iter(|| black_box(template_suite(false).len()));
+    });
+    let rw = Segment::new(SegmentType::ReadWrite, Connector::DataDep, AddrRel::Diff).unwrap();
+    group.bench_function("single/case1", |b| {
+        b.iter(|| black_box(template::case1(black_box(rw))));
+    });
+    let wr = Segment::new(SegmentType::WriteRead, Connector::None, AddrRel::Same).unwrap();
+    group.bench_function("single/case5b", |b| {
+        b.iter(|| black_box(template::case5b(black_box(wr), black_box(rw))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_templates);
+criterion_main!(benches);

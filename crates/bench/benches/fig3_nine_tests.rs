@@ -1,0 +1,45 @@
+//! E3 / Figure 3: the verdict matrix of the nine contrasting tests L1–L9
+//! against the named hardware models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcm_axiomatic::{Checker, ExplicitChecker};
+use mcm_models::{catalog, named};
+use std::hint::black_box;
+
+fn bench_nine_tests(c: &mut Criterion) {
+    let models = [
+        named::sc(),
+        named::ibm370(),
+        named::tso(),
+        named::pso(),
+        named::rmo(),
+        named::alpha(),
+    ];
+    let tests = catalog::nine_tests();
+    let checker = ExplicitChecker::new();
+
+    let mut group = c.benchmark_group("fig3_nine_tests");
+    group.bench_function("verdict-matrix/6-models", |b| {
+        b.iter(|| {
+            let mut allowed = 0usize;
+            for model in &models {
+                for test in &tests {
+                    if checker.is_allowed(black_box(model), black_box(test)) {
+                        allowed += 1;
+                    }
+                }
+            }
+            black_box(allowed)
+        });
+    });
+    for test in &tests {
+        group.bench_function(format!("single/{}-under-RMO", test.name()), |b| {
+            let rmo = named::rmo();
+            b.iter(|| black_box(checker.check(&rmo, black_box(test)).allowed));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nine_tests);
+criterion_main!(benches);

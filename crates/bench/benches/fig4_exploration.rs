@@ -1,0 +1,51 @@
+//! E4/E7/E8 / Figure 4 and §4.2: exploring the model spaces. The paper
+//! reports "a few seconds" per pair comparison and "20 minutes" for the
+//! pairwise comparison of all 90 models; this harness reproduces the
+//! *shape* (full space ≫ single pair) and records how far 2026 hardware
+//! moves the absolute numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcm_explore::paper;
+use mcm_explore::Lattice;
+use std::hint::black_box;
+
+fn bench_exploration(c: &mut Criterion) {
+    // Correctness gates: the headline results.
+    let report = paper::explore_digit_space(true);
+    assert_eq!(report.equivalent_pairs.len(), 8);
+    assert!(report.nine_tests_sufficient);
+
+    let mut group = c.benchmark_group("fig4_exploration");
+    group.sample_size(10);
+    group.bench_function("space-36-nodep/full-report", |b| {
+        b.iter(|| {
+            let report = paper::explore_digit_space(false);
+            black_box(report.lattice.classes.len())
+        });
+    });
+    group.bench_function("space-90/full-report", |b| {
+        b.iter(|| {
+            let report = paper::explore_digit_space(true);
+            black_box(report.equivalent_pairs.len())
+        });
+    });
+    // Lattice construction alone, on the verdict matrix of the 36-model
+    // space (the Figure 4 Hasse reduction).
+    let nodep = paper::explore_digit_space(false);
+    group.bench_function("lattice/hasse-reduction-36", |b| {
+        b.iter(|| black_box(Lattice::build(black_box(&nodep.exploration)).edges.len()));
+    });
+    group.bench_function("minimal-set/greedy+sat-certificate", |b| {
+        b.iter(|| {
+            black_box(
+                mcm_explore::distinguish::minimal_distinguishing_set(&nodep.exploration)
+                    .tests
+                    .len(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exploration);
+criterion_main!(benches);

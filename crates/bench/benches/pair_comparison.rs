@@ -1,0 +1,38 @@
+//! E9 / §4.2: "The comparison of each pair of models was done in a few
+//! seconds". One pair = two verdict vectors over the complete template
+//! suite plus classification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcm_axiomatic::ExplicitChecker;
+use mcm_explore::paper::comparison_tests;
+use mcm_explore::{Exploration, Relation};
+use mcm_models::named;
+use std::hint::black_box;
+
+fn bench_pair(c: &mut Criterion) {
+    let tests = comparison_tests(true);
+
+    let mut group = c.benchmark_group("pair_comparison");
+    let pairs = [
+        ("TSO-vs-SC", named::tso(), named::sc()),
+        ("TSO-vs-IBM370", named::tso(), named::ibm370()),
+        ("RMO-vs-Alpha", named::rmo(), named::alpha()),
+        ("TSO-vs-x86-equivalent", named::tso(), named::x86()),
+    ];
+    for (name, left, right) in pairs {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let expl = Exploration::run(
+                    vec![left.clone(), right.clone()],
+                    tests.clone(),
+                    &ExplicitChecker::new(),
+                );
+                black_box(expl.relation(0, 1) == Relation::Equivalent)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pair);
+criterion_main!(benches);

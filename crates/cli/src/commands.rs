@@ -1,0 +1,348 @@
+//! Subcommand implementations.
+
+use std::fs;
+use std::time::Instant;
+
+use mcm_axiomatic::{Checker, ExplicitChecker, MonolithicSatChecker, SatChecker};
+use mcm_core::parse::parse_litmus_file;
+use mcm_explore::dot::{render_dot, DotOptions};
+use mcm_explore::paper;
+use mcm_explore::{Exploration, Relation};
+use mcm_gen::{count, naive, template_suite, Segment, SegmentType};
+use mcm_models::catalog;
+
+use crate::resolve;
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn option_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn positional(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip_next = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--dot" || a == "--checker" || a == "--csv" {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        let _ = i;
+        out.push(a);
+    }
+    out
+}
+
+fn checker_from(args: &[String]) -> Result<Box<dyn Checker>, String> {
+    match option_value(args, "--checker").unwrap_or("explicit") {
+        "explicit" => Ok(Box::new(ExplicitChecker::new())),
+        "sat" => Ok(Box::new(SatChecker::new())),
+        "monolithic" => Ok(Box::new(MonolithicSatChecker::new())),
+        other => Err(format!("unknown checker `{other}`")),
+    }
+}
+
+/// `mcm check <MODEL> <FILE>`.
+pub fn check(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [model_name, path] = pos.as_slice() else {
+        return Err("usage: mcm check <MODEL> <FILE> [--checker C] [--witness]".to_string());
+    };
+    let model = resolve::model(model_name)?;
+    let checker = checker_from(args)?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let tests = parse_litmus_file(&text).map_err(|e| e.to_string())?;
+    if tests.is_empty() {
+        return Err(format!("{path} contains no tests"));
+    }
+    for test in &tests {
+        let verdict = checker.check(&model, test);
+        println!("{}: {} under {}", test.name(), verdict, model.name());
+        if flag(args, "--witness") {
+            let exec = test.execution();
+            print!("{}", mcm_axiomatic::explain::render(&model, &exec, &verdict));
+        }
+    }
+    Ok(())
+}
+
+/// `mcm compare <MODEL> <MODEL>`.
+pub fn compare(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [left_name, right_name] = pos.as_slice() else {
+        return Err("usage: mcm compare <MODEL> <MODEL> [--no-deps]".to_string());
+    };
+    let left = resolve::model(left_name)?;
+    let right = resolve::model(right_name)?;
+    let with_deps = !flag(args, "--no-deps");
+    let start = Instant::now();
+    let expl = Exploration::run(
+        vec![left, right],
+        paper::comparison_tests(with_deps),
+        &ExplicitChecker::new(),
+    );
+    let relation = expl.relation(0, 1);
+    println!(
+        "{} vs {}: {} is {} ({} tests, {:.2?})",
+        expl.models[0].name(),
+        expl.models[1].name(),
+        expl.models[0].name(),
+        relation,
+        expl.tests.len(),
+        start.elapsed(),
+    );
+    if relation != Relation::Equivalent {
+        for t in expl.distinguishing_tests(0, 1) {
+            let allowed_left = expl.verdicts[0].allowed(t);
+            println!(
+                "  {:44} allowed by {:8} forbidden by {}",
+                expl.tests[t].name(),
+                if allowed_left { expl.models[0].name() } else { expl.models[1].name() },
+                if allowed_left { expl.models[1].name() } else { expl.models[0].name() },
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `mcm explore [--no-deps] [--dot FILE]`.
+pub fn explore(args: &[String]) -> Result<(), String> {
+    let with_deps = !flag(args, "--no-deps");
+    let start = Instant::now();
+    let report = paper::explore_digit_space(with_deps);
+    let elapsed = start.elapsed();
+    println!(
+        "explored {} models against {} tests in {elapsed:.2?}",
+        report.exploration.models.len(),
+        report.exploration.tests.len(),
+    );
+    println!(
+        "equivalence classes: {}",
+        report.lattice.classes.len()
+    );
+    println!("equivalent pairs: {}", report.equivalent_pairs.len());
+    for (a, b) in &report.equivalent_pairs {
+        println!("  {a} == {b}");
+    }
+    let names: Vec<&str> = report
+        .minimal_set
+        .tests
+        .iter()
+        .map(|&t| report.exploration.tests[t].name())
+        .collect();
+    println!(
+        "minimum distinguishing set: {} tests (SAT-certified: {}): {names:?}",
+        report.minimal_set.tests.len(),
+        report.minimal_set.proved_minimum,
+    );
+    println!(
+        "paper's L1–L9 sufficient: {}",
+        report.nine_tests_sufficient
+    );
+    if let Some(path) = option_value(args, "--csv") {
+        let csv = mcm_explore::report::csv_matrix(&report.exploration);
+        fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = option_value(args, "--dot") {
+        let dot = render_dot(
+            &report.exploration,
+            &report.lattice,
+            &DotOptions {
+                name: "models".to_string(),
+                preferred_tests: report.nine_test_indices.clone(),
+                ..DotOptions::default()
+            },
+        );
+        fs::write(path, dot).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `mcm suite [--no-deps] [--print]`.
+pub fn suite(args: &[String]) -> Result<(), String> {
+    let with_deps = !flag(args, "--no-deps");
+    let suite = template_suite(with_deps);
+    println!(
+        "predicates {} DataDep: Corollary 1 bound = {}, materialised = {} tests",
+        if with_deps { "with" } else { "without" },
+        suite.corollary1_bound,
+        suite.len(),
+    );
+    if flag(args, "--print") {
+        for test in &suite.tests {
+            println!("{test}");
+        }
+    } else {
+        for test in &suite.tests {
+            println!("  {}", test.name());
+        }
+    }
+    Ok(())
+}
+
+/// `mcm catalog`.
+pub fn catalog(_args: &[String]) -> Result<(), String> {
+    for test in catalog::all_tests() {
+        println!("{test}");
+        if !test.description().is_empty() {
+            println!("  ({})\n", test.description());
+        }
+    }
+    Ok(())
+}
+
+/// `mcm parse <FILE>`.
+pub fn parse(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [path] = pos.as_slice() else {
+        return Err("usage: mcm parse <FILE>".to_string());
+    };
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let tests = parse_litmus_file(&text).map_err(|e| e.to_string())?;
+    for test in &tests {
+        println!("{test}");
+    }
+    println!("{} test(s) parsed successfully", tests.len());
+    Ok(())
+}
+
+/// `mcm figures <fig1|fig2|fig3|fig4|counts|all>`.
+pub fn figures(args: &[String]) -> Result<(), String> {
+    let which = positional(args)
+        .first()
+        .map(|s| s.as_str())
+        .unwrap_or("all")
+        .to_string();
+    let all = which == "all";
+    if all || which == "fig1" {
+        figure1();
+    }
+    if all || which == "fig2" {
+        figure2();
+    }
+    if all || which == "fig3" {
+        figure3();
+    }
+    if all || which == "counts" {
+        figure_counts();
+    }
+    if all || which == "fig4" {
+        figure4(args)?;
+    }
+    if !all && !["fig1", "fig2", "fig3", "fig4", "counts"].contains(&which.as_str()) {
+        return Err(format!("unknown figure `{which}`"));
+    }
+    Ok(())
+}
+
+fn figure1() {
+    println!("==== Figure 1: Test A (TSO load forwarding) ====");
+    let test = catalog::test_a();
+    println!("{test}");
+    let checker = ExplicitChecker::new();
+    for model in [
+        mcm_models::named::tso(),
+        mcm_models::named::sc(),
+        mcm_models::named::ibm370(),
+    ] {
+        println!(
+            "  {:8} {}",
+            model.name(),
+            checker.check(&model, &test)
+        );
+    }
+    println!();
+}
+
+fn figure2() {
+    println!("==== Figure 2: litmus test templates by critical segment ====");
+    let rw = Segment::enumerate(SegmentType::ReadWrite, true);
+    let ww = Segment::enumerate(SegmentType::WriteWrite, true);
+    let wr = Segment::enumerate(SegmentType::WriteRead, true);
+    let rr = Segment::enumerate(SegmentType::ReadRead, true);
+    let samples = [
+        mcm_gen::template::case1(rw[1]),
+        mcm_gen::template::case2(ww[1]),
+        mcm_gen::template::case3a(rr[1], ww[1]),
+        mcm_gen::template::case3b(rr[1], wr[1], rw[1]),
+        mcm_gen::template::case4(wr[1]),
+        mcm_gen::template::case5a(wr[0], rr[3]),
+        mcm_gen::template::case5b(wr[0], rw[3]),
+    ];
+    for test in samples.into_iter().flatten() {
+        println!("{test}");
+        println!("  ({})\n", test.description());
+    }
+}
+
+fn figure3() {
+    println!("==== Figure 3: the nine contrasting litmus tests ====");
+    for test in catalog::nine_tests() {
+        println!("{test}\n");
+    }
+}
+
+fn figure_counts() {
+    println!("==== §3.4 / Corollary 1: test counts ====");
+    println!(
+        "  with DataDep    : N_WW=4 N_WR=4 N_RW=6 N_RR=6  ->  {} tests",
+        count::paper_bound(true)
+    );
+    println!(
+        "  without DataDep : N_WW=4 N_WR=4 N_RW=4 N_RR=4  ->  {} tests",
+        count::paper_bound(false)
+    );
+    let bounds = naive::NaiveBounds::default();
+    println!(
+        "  naive enumeration (2 threads, <=3 accesses each, no deps): {} tests raw, {} canonical",
+        naive::count_tests_raw(&bounds),
+        naive::count_tests(&bounds),
+    );
+    println!(
+        "  materialised template suites: {} (with deps), {} (without)",
+        template_suite(true).len(),
+        template_suite(false).len(),
+    );
+    println!();
+}
+
+fn figure4(args: &[String]) -> Result<(), String> {
+    println!("==== Figure 4: the dependency-free model space ====");
+    let report = paper::explore_digit_space(false);
+    println!(
+        "  {} models, {} classes, {} covering edges",
+        report.exploration.models.len(),
+        report.lattice.classes.len(),
+        report.lattice.edges.len(),
+    );
+    for (a, b) in &report.equivalent_pairs {
+        println!("  merged node: {a} == {b}");
+    }
+    let path = option_value(args, "--dot").unwrap_or("figure4.dot");
+    let dot = render_dot(
+        &report.exploration,
+        &report.lattice,
+        &DotOptions {
+            name: "figure4".to_string(),
+            preferred_tests: report.nine_test_indices.clone(),
+            ..DotOptions::default()
+        },
+    );
+    fs::write(path, dot).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("  wrote {path}");
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! `mcm` — compare memory consistency models with bounded litmus tests.
+//!
+//! The command-line face of the workspace: the tool the paper describes in
+//! §4.1, plus subcommands regenerating every figure of the paper.
+
+use std::process::ExitCode;
+
+mod commands;
+mod resolve;
+
+const USAGE: &str = "\
+mcm — compare memory consistency models with bounded litmus tests
+(reproduction of Mador-Haim, Alur, Martin: \"Litmus Tests for Comparing
+Memory Consistency Models: How Long Do They Need to Be?\", DAC 2011)
+
+USAGE:
+    mcm <COMMAND> [ARGS]
+
+COMMANDS:
+    check <MODEL> <FILE>      verdict of every test in a .litmus file
+                              [--checker explicit|sat|monolithic] [--witness]
+    compare <MODEL> <MODEL>   relation between two models over the
+                              complete template suite [--no-deps]
+    explore                   the §4.2 exploration of the digit space
+                              [--no-deps] [--dot FILE]
+    suite                     generate the Theorem 1 template suite
+                              [--no-deps] [--print]
+    catalog                   print Test A, L1–L9 and the classic tests
+    figures <WHICH>           regenerate paper artifacts:
+                              fig1 | fig2 | fig3 | fig4 | counts | all
+    parse <FILE>              validate and pretty-print a .litmus file
+    help                      this message
+
+MODELS:
+    SC, TSO, x86, PSO, IBM370, RMO, RMO-nodep, Alpha, or any digit model
+    M{ww}{wr}{rw}{rr} (e.g. M4044) with digits 0=always reorder,
+    1=different addresses, 2=no data deps, 3=both, 4=never.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("check") => commands::check(&args[1..]),
+        Some("compare") => commands::compare(&args[1..]),
+        Some("explore") => commands::explore(&args[1..]),
+        Some("suite") => commands::suite(&args[1..]),
+        Some("catalog") => commands::catalog(&args[1..]),
+        Some("figures") => commands::figures(&args[1..]),
+        Some("parse") => commands::parse(&args[1..]),
+        Some("help" | "--help" | "-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`; try `mcm help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

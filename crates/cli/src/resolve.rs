@@ -1,0 +1,48 @@
+//! Model-name resolution shared by the subcommands.
+
+use mcm_core::MemoryModel;
+use mcm_models::{named, DigitModel};
+
+/// Resolves a model name: the named §2.4 models (case-insensitive) or a
+/// digit model `M####`.
+pub fn model(name: &str) -> Result<MemoryModel, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "sc" => return Ok(named::sc()),
+        "tso" => return Ok(named::tso()),
+        "x86" => return Ok(named::x86()),
+        "pso" => return Ok(named::pso()),
+        "ibm370" => return Ok(named::ibm370()),
+        "rmo" => return Ok(named::rmo()),
+        "rmo-nodep" => return Ok(named::rmo_without_dependencies()),
+        "alpha" => return Ok(named::alpha()),
+        _ => {}
+    }
+    name.parse::<DigitModel>()
+        .map(|d| d.to_model())
+        .map_err(|e| {
+            format!("unknown model `{name}`: {e}; try SC/TSO/x86/PSO/IBM370/RMO/Alpha or M####")
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_models_resolve_case_insensitively() {
+        assert_eq!(model("tso").unwrap().name(), "TSO");
+        assert_eq!(model("TSO").unwrap().name(), "TSO");
+        assert_eq!(model("Ibm370").unwrap().name(), "IBM370");
+    }
+
+    #[test]
+    fn digit_models_resolve() {
+        assert_eq!(model("M4044").unwrap().name(), "M4044");
+    }
+
+    #[test]
+    fn nonsense_is_an_error() {
+        assert!(model("powerpc").is_err());
+        assert!(model("M9999").is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! End-to-end tests of the `mcm` binary.
+
+use std::process::Command;
+
+fn mcm(args: &[&str]) -> (bool, String, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_mcm"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = mcm(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("compare"));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let (ok, stdout, _) = mcm(&[]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (ok, _, stderr) = mcm(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn compare_tso_with_its_digit_model() {
+    let (ok, stdout, _) = mcm(&["compare", "TSO", "M4044"]);
+    assert!(ok);
+    assert!(stdout.contains("equivalent"));
+}
+
+#[test]
+fn compare_tso_ibm370_lists_witnesses() {
+    let (ok, stdout, _) = mcm(&["compare", "TSO", "IBM370"]);
+    assert!(ok);
+    assert!(stdout.contains("strictly weaker"));
+    assert!(stdout.contains("L8") || stdout.contains("TestA"));
+}
+
+#[test]
+fn compare_rejects_unknown_models() {
+    let (ok, _, stderr) = mcm(&["compare", "TSO", "powerpc"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown model"));
+}
+
+#[test]
+fn check_reads_a_litmus_file() {
+    let dir = std::env::temp_dir().join("mcm-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sb.litmus");
+    std::fs::write(
+        &path,
+        "test SB {\n thread { write X = 1; read Y -> r1 }\n thread { write Y = 1; read X -> r2 }\n outcome { T1:r1 = 0; T2:r2 = 0 }\n}\n",
+    )
+    .unwrap();
+    let path = path.to_str().unwrap();
+    let (ok, stdout, _) = mcm(&["check", "TSO", path]);
+    assert!(ok);
+    assert!(stdout.contains("SB: allowed under TSO"));
+    let (ok, stdout, _) = mcm(&["check", "SC", path, "--witness"]);
+    assert!(ok);
+    assert!(stdout.contains("SB: forbidden under SC"));
+    assert!(stdout.contains("FORBIDDEN"));
+    let (ok, stdout, _) = mcm(&["check", "TSO", path, "--checker", "sat"]);
+    assert!(ok);
+    assert!(stdout.contains("allowed"));
+}
+
+#[test]
+fn suite_reports_corollary1_bounds() {
+    let (ok, stdout, _) = mcm(&["suite", "--no-deps"]);
+    assert!(ok);
+    assert!(stdout.contains("Corollary 1 bound = 124"));
+    let (ok, stdout, _) = mcm(&["suite"]);
+    assert!(ok);
+    assert!(stdout.contains("Corollary 1 bound = 230"));
+}
+
+#[test]
+fn figures_counts_reports_paper_numbers() {
+    let (ok, stdout, _) = mcm(&["figures", "counts"]);
+    assert!(ok);
+    assert!(stdout.contains("230 tests"));
+    assert!(stdout.contains("124 tests"));
+}
+
+#[test]
+fn figures_fig3_prints_all_nine() {
+    let (ok, stdout, _) = mcm(&["figures", "fig3"]);
+    assert!(ok);
+    for name in ["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9"] {
+        assert!(stdout.contains(&format!("Test {name}")), "missing {name}");
+    }
+}
+
+#[test]
+fn explore_nodep_writes_dot() {
+    let dir = std::env::temp_dir().join("mcm-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dot_path = dir.join("fig4.dot");
+    let dot = dot_path.to_str().unwrap();
+    let (ok, stdout, _) = mcm(&["explore", "--no-deps", "--dot", dot]);
+    assert!(ok);
+    assert!(stdout.contains("equivalent pairs: 6"));
+    let written = std::fs::read_to_string(&dot_path).unwrap();
+    assert!(written.starts_with("digraph"));
+}
+
+#[test]
+fn parse_validates_files() {
+    let dir = std::env::temp_dir().join("mcm-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.litmus");
+    std::fs::write(&path, "test Bad { thread { wibble } }").unwrap();
+    let (ok, _, stderr) = mcm(&["parse", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("wibble"));
+}

@@ -1,0 +1,141 @@
+//! Error types for litmus program construction and execution.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{Reg, ThreadId, Value};
+
+/// Errors arising while building programs or deriving executions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CoreError {
+    /// A register was used before being defined in its thread.
+    UndefinedRegister {
+        /// Thread where the use occurs.
+        thread: ThreadId,
+        /// The register.
+        reg: Reg,
+    },
+    /// A register was defined twice (programs are single-assignment).
+    RegisterRedefined {
+        /// Thread where the redefinition occurs.
+        thread: ThreadId,
+        /// The register.
+        reg: Reg,
+    },
+    /// The outcome does not constrain a read's destination register.
+    UnconstrainedRead {
+        /// Thread of the read.
+        thread: ThreadId,
+        /// Destination register of the unconstrained read.
+        reg: Reg,
+    },
+    /// The outcome constrains a register that no instruction defines.
+    ConstraintOnUnknownRegister {
+        /// Thread named by the constraint.
+        thread: ThreadId,
+        /// The register.
+        reg: Reg,
+    },
+    /// The outcome constrains a register defined by an `Op`; the implied
+    /// read values would be ambiguous, so only read destinations (whose
+    /// value *is* the read's value) may be constrained.
+    ConstraintOnComputedRegister {
+        /// Thread named by the constraint.
+        thread: ThreadId,
+        /// The register.
+        reg: Reg,
+    },
+    /// The outcome value of a computed register contradicts the values
+    /// implied by the constrained reads.
+    InconsistentConstraint {
+        /// Thread named by the constraint.
+        thread: ThreadId,
+        /// The register.
+        reg: Reg,
+        /// Value the program computes.
+        computed: Value,
+        /// Value the outcome demanded.
+        demanded: Value,
+    },
+    /// A register-indirect access resolved to a value that is not any
+    /// location's address.
+    InvalidAddress {
+        /// Thread of the faulting access.
+        thread: ThreadId,
+        /// The resolved (invalid) address value.
+        value: Value,
+    },
+    /// An outcome mentioned a thread the program does not have.
+    UnknownThread {
+        /// The thread.
+        thread: ThreadId,
+    },
+    /// The same `(thread, register)` was constrained twice.
+    DuplicateConstraint {
+        /// Thread named by the constraint.
+        thread: ThreadId,
+        /// The register.
+        reg: Reg,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UndefinedRegister { thread, reg } => {
+                write!(f, "{thread}: register {reg} used before definition")
+            }
+            CoreError::RegisterRedefined { thread, reg } => {
+                write!(f, "{thread}: register {reg} defined more than once")
+            }
+            CoreError::UnconstrainedRead { thread, reg } => {
+                write!(f, "{thread}: read destination {reg} is not constrained by the outcome")
+            }
+            CoreError::ConstraintOnUnknownRegister { thread, reg } => {
+                write!(f, "{thread}: outcome constrains {reg}, which is never defined")
+            }
+            CoreError::ConstraintOnComputedRegister { thread, reg } => {
+                write!(f, "{thread}: outcome constrains computed register {reg}")
+            }
+            CoreError::InconsistentConstraint {
+                thread,
+                reg,
+                computed,
+                demanded,
+            } => write!(
+                f,
+                "{thread}: register {reg} computes {computed} but outcome demands {demanded}"
+            ),
+            CoreError::InvalidAddress { thread, value } => {
+                write!(f, "{thread}: value {value} is not a location address")
+            }
+            CoreError::UnknownThread { thread } => {
+                write!(f, "outcome names {thread}, which does not exist")
+            }
+            CoreError::DuplicateConstraint { thread, reg } => {
+                write!(f, "outcome constrains {thread}:{reg} twice")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = CoreError::UndefinedRegister {
+            thread: ThreadId(0),
+            reg: Reg(1),
+        };
+        assert_eq!(e.to_string(), "T1: register r1 used before definition");
+        let e = CoreError::InvalidAddress {
+            thread: ThreadId(1),
+            value: Value(17),
+        };
+        assert!(e.to_string().contains("17"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Instruction executions ("events").
+//!
+//! The paper (§2.1) calls an instruction annotated with concrete register
+//! values an *instruction execution*; we follow the memory-model literature
+//! and call these events.
+
+use std::fmt;
+
+use crate::ids::{EventId, Loc, ThreadId, Value};
+use crate::instr::FenceKind;
+
+/// The observable shape of an event.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EventKind {
+    /// A read of `loc` observing `value`.
+    Read {
+        /// Location read.
+        loc: Loc,
+        /// Value observed.
+        value: Value,
+    },
+    /// A write of `value` to `loc`.
+    Write {
+        /// Location written.
+        loc: Loc,
+        /// Value stored.
+        value: Value,
+    },
+    /// A fence of the given kind.
+    Fence(FenceKind),
+    /// Register arithmetic (no memory effect).
+    Op,
+    /// A dependency-only branch (no memory effect).
+    Branch,
+}
+
+/// An instruction execution with its concrete values.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Event {
+    /// Globally unique id; also the index into [`crate::Execution::events`].
+    pub id: EventId,
+    /// The thread this event executes on.
+    pub thread: ThreadId,
+    /// Zero-based program-order position within the thread (counting all
+    /// instructions, memory and non-memory alike).
+    pub po_index: usize,
+    /// What the event does.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Whether the event is a memory read.
+    #[must_use]
+    pub fn is_read(&self) -> bool {
+        matches!(self.kind, EventKind::Read { .. })
+    }
+
+    /// Whether the event is a memory write.
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        matches!(self.kind, EventKind::Write { .. })
+    }
+
+    /// Whether the event is a memory access (read or write).
+    #[must_use]
+    pub fn is_access(&self) -> bool {
+        self.is_read() || self.is_write()
+    }
+
+    /// Whether the event is a *full* fence ([`FenceKind::Full`]).
+    #[must_use]
+    pub fn is_full_fence(&self) -> bool {
+        matches!(self.kind, EventKind::Fence(FenceKind::Full))
+    }
+
+    /// Whether the event is a fence of the given kind.
+    #[must_use]
+    pub fn is_fence_kind(&self, kind: FenceKind) -> bool {
+        matches!(self.kind, EventKind::Fence(k) if k == kind)
+    }
+
+    /// The location accessed, for reads and writes.
+    #[must_use]
+    pub fn loc(&self) -> Option<Loc> {
+        match self.kind {
+            EventKind::Read { loc, .. } | EventKind::Write { loc, .. } => Some(loc),
+            _ => None,
+        }
+    }
+
+    /// The value read or written, for reads and writes.
+    #[must_use]
+    pub fn value(&self) -> Option<Value> {
+        match self.kind {
+            EventKind::Read { value, .. } | EventKind::Write { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            EventKind::Read { loc, value } => {
+                write!(f, "{}:{} R {loc}={value}", self.thread, self.id)
+            }
+            EventKind::Write { loc, value } => {
+                write!(f, "{}:{} W {loc}={value}", self.thread, self.id)
+            }
+            EventKind::Fence(kind) => write!(f, "{}:{} {kind}", self.thread, self.id),
+            EventKind::Op => write!(f, "{}:{} op", self.thread, self.id),
+            EventKind::Branch => write!(f, "{}:{} branch", self.thread, self.id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(kind: EventKind) -> Event {
+        Event {
+            id: EventId(0),
+            thread: ThreadId(0),
+            po_index: 0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn classification() {
+        let r = event(EventKind::Read {
+            loc: Loc::X,
+            value: Value(1),
+        });
+        assert!(r.is_read() && r.is_access() && !r.is_write());
+        assert_eq!(r.loc(), Some(Loc::X));
+        assert_eq!(r.value(), Some(Value(1)));
+
+        let w = event(EventKind::Write {
+            loc: Loc::Y,
+            value: Value(2),
+        });
+        assert!(w.is_write() && w.is_access() && !w.is_read());
+
+        let fence = event(EventKind::Fence(FenceKind::Full));
+        assert!(fence.is_full_fence());
+        assert!(!fence.is_access());
+        assert_eq!(fence.loc(), None);
+
+        let special = event(EventKind::Fence(FenceKind::Special(3)));
+        assert!(!special.is_full_fence());
+        assert!(special.is_fence_kind(FenceKind::Special(3)));
+        assert!(!special.is_fence_kind(FenceKind::Special(4)));
+    }
+
+    #[test]
+    fn display_forms() {
+        let r = event(EventKind::Read {
+            loc: Loc::X,
+            value: Value(0),
+        });
+        assert_eq!(r.to_string(), "T1:e0 R X=0");
+    }
+}

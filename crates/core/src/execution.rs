@@ -1,0 +1,535 @@
+//! Candidate program executions and register dataflow.
+//!
+//! A litmus test pairs a [`Program`] with an [`Outcome`]
+//! (demanded final register values). Because the programs in the paper's
+//! class are loop-free and single-assignment, the outcome determines the
+//! value observed by every read, and therefore a unique *candidate
+//! execution* — the paper's `α_P` (§2.1). Whether the execution is allowed
+//! by a memory model is then a question for the happens-before axioms
+//! (crate `mcm-axiomatic`).
+//!
+//! Dependency relations (`DataDep`, `ControlDep`, §2.3) are derived here by
+//! syntactic register-taint dataflow: a read taints its destination
+//! register, arithmetic propagates taint (even when the value is constant,
+//! as in the paper's `t1 = r1 - r1 + 1` idiom), and an instruction depends
+//! on every read whose taint reaches one of its operands.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::CoreError;
+use crate::event::{Event, EventKind};
+use crate::ids::{EventId, Loc, Reg, ThreadId, Value};
+use crate::instr::{AddrExpr, Instruction, RegExpr};
+use crate::program::Program;
+
+/// Maximum number of events in one execution (relations are 64-bit masks).
+pub const MAX_EVENTS: usize = 64;
+
+/// Demanded final register values, e.g. `r1 = 1; r2 = 0`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Outcome {
+    constraints: Vec<(ThreadId, Reg, Value)>,
+}
+
+impl Outcome {
+    /// An empty outcome (valid only for programs with no reads).
+    #[must_use]
+    pub fn new() -> Self {
+        Outcome::default()
+    }
+
+    /// Adds the constraint `thread:reg == value`, returning `self`.
+    #[must_use]
+    pub fn constrain(mut self, thread: ThreadId, reg: Reg, value: Value) -> Self {
+        self.constraints.push((thread, reg, value));
+        self
+    }
+
+    /// The demanded value of `thread:reg`, if constrained.
+    #[must_use]
+    pub fn get(&self, thread: ThreadId, reg: Reg) -> Option<Value> {
+        self.constraints
+            .iter()
+            .find(|(t, r, _)| *t == thread && *r == reg)
+            .map(|(_, _, v)| *v)
+    }
+
+    /// All constraints, in insertion order.
+    #[must_use]
+    pub fn constraints(&self) -> &[(ThreadId, Reg, Value)] {
+        &self.constraints
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether there are no constraints.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .constraints
+            .iter()
+            .map(|(t, r, v)| format!("{t}:{r}={v}"))
+            .collect();
+        write!(f, "{}", parts.join("; "))
+    }
+}
+
+/// A candidate execution: the events of every thread with concrete values,
+/// plus derived dependency relations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Execution {
+    events: Vec<Event>,
+    thread_events: Vec<Vec<EventId>>,
+    /// Bit `x` of `data_dep[y]`: read `x` feeds a *value* operand of `y`.
+    data_dep: Vec<u64>,
+    /// Bit `x` of `addr_dep[y]`: read `x` feeds the *address* operand of `y`.
+    addr_dep: Vec<u64>,
+    /// Bit `x` of `ctrl_dep[y]`: `y` is po-after a branch conditioned on `x`.
+    ctrl_dep: Vec<u64>,
+}
+
+impl Execution {
+    /// Derives the candidate execution of `program` under `outcome`.
+    ///
+    /// Every read's destination register must be constrained (reads are
+    /// where nondeterminism enters); constraints on `Op` destinations are
+    /// checked against the computed value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] if the program fails validation, an outcome
+    /// constraint is missing/unknown/duplicated/inconsistent, or an indirect
+    /// access resolves to a non-address value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has more than [`MAX_EVENTS`] instructions or
+    /// more than 255 threads; litmus tests are small by construction
+    /// (Theorem 1 bounds the interesting ones at two threads and six
+    /// accesses).
+    pub fn from_program(program: &Program, outcome: &Outcome) -> Result<Execution, CoreError> {
+        program.validate()?;
+        let total: usize = program.threads.iter().map(|t| t.instructions.len()).sum();
+        assert!(total <= MAX_EVENTS, "execution exceeds {MAX_EVENTS} events");
+        assert!(program.threads.len() <= 255, "too many threads");
+
+        // Validate outcome constraints refer to defined registers, once each.
+        let mut seen: Vec<(ThreadId, Reg)> = Vec::new();
+        for &(thread, reg, _) in outcome.constraints() {
+            if thread.index() >= program.threads.len() {
+                return Err(CoreError::UnknownThread { thread });
+            }
+            if seen.contains(&(thread, reg)) {
+                return Err(CoreError::DuplicateConstraint { thread, reg });
+            }
+            seen.push((thread, reg));
+            let defined = program.threads[thread.index()]
+                .instructions
+                .iter()
+                .any(|i| i.def() == Some(reg));
+            if !defined {
+                return Err(CoreError::ConstraintOnUnknownRegister { thread, reg });
+            }
+        }
+
+        let mut events: Vec<Event> = Vec::with_capacity(total);
+        let mut thread_events: Vec<Vec<EventId>> = Vec::new();
+        let mut data_dep: Vec<u64> = Vec::with_capacity(total);
+        let mut addr_dep: Vec<u64> = Vec::with_capacity(total);
+        let mut ctrl_dep: Vec<u64> = Vec::with_capacity(total);
+
+        for (t, thread) in program.threads.iter().enumerate() {
+            let tid = ThreadId(u8::try_from(t).expect("checked above"));
+            let mut ids = Vec::with_capacity(thread.instructions.len());
+            // Register file: value and taint (set of read events feeding it).
+            let mut regs: BTreeMap<Reg, (Value, u64)> = BTreeMap::new();
+            let mut ctrl_taint: u64 = 0;
+
+            for (po_index, instr) in thread.instructions.iter().enumerate() {
+                let id = EventId(u32::try_from(events.len()).expect("fits"));
+                let bit = 1u64 << id.index();
+                let mut ev_data = 0u64;
+                let mut ev_addr = 0u64;
+                // An event is control-dependent on branches strictly before
+                // it, so capture the taint before this instruction runs.
+                let ctrl_before = ctrl_taint;
+
+                let kind = match instr {
+                    Instruction::Read { addr, dst } => {
+                        let (loc, taint) = resolve_addr(addr, &regs, tid)?;
+                        ev_addr |= taint;
+                        let value = outcome
+                            .get(tid, *dst)
+                            .ok_or(CoreError::UnconstrainedRead { thread: tid, reg: *dst })?;
+                        regs.insert(*dst, (value, bit));
+                        EventKind::Read { loc, value }
+                    }
+                    Instruction::Write { addr, val } => {
+                        let (loc, taint) = resolve_addr(addr, &regs, tid)?;
+                        ev_addr |= taint;
+                        let (value, vtaint) = eval(val, &regs);
+                        ev_data |= vtaint;
+                        EventKind::Write { loc, value }
+                    }
+                    Instruction::Fence(kind) => EventKind::Fence(*kind),
+                    Instruction::Op { dst, expr } => {
+                        let (value, taint) = eval(expr, &regs);
+                        if let Some(demanded) = outcome.get(tid, *dst) {
+                            if demanded != value {
+                                return Err(CoreError::InconsistentConstraint {
+                                    thread: tid,
+                                    reg: *dst,
+                                    computed: value,
+                                    demanded,
+                                });
+                            }
+                        }
+                        ev_data |= taint;
+                        regs.insert(*dst, (value, taint));
+                        EventKind::Op
+                    }
+                    Instruction::Branch { cond } => {
+                        let (_, taint) = eval(cond, &regs);
+                        ev_data |= taint;
+                        ctrl_taint |= taint;
+                        EventKind::Branch
+                    }
+                };
+
+                events.push(Event {
+                    id,
+                    thread: tid,
+                    po_index,
+                    kind,
+                });
+                data_dep.push(ev_data);
+                addr_dep.push(ev_addr);
+                ctrl_dep.push(ctrl_before);
+                ids.push(id);
+            }
+            thread_events.push(ids);
+        }
+
+        Ok(Execution {
+            events,
+            thread_events,
+            data_dep,
+            addr_dep,
+            ctrl_dep,
+        })
+    }
+
+    /// All events, indexed by [`EventId`].
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The event with the given id.
+    #[must_use]
+    pub fn event(&self, id: EventId) -> &Event {
+        &self.events[id.index()]
+    }
+
+    /// Number of threads.
+    #[must_use]
+    pub fn num_threads(&self) -> usize {
+        self.thread_events.len()
+    }
+
+    /// Event ids of one thread, in program order.
+    #[must_use]
+    pub fn thread_events(&self, thread: ThreadId) -> &[EventId] {
+        &self.thread_events[thread.index()]
+    }
+
+    /// Whether `x` and `y` are on the same thread.
+    #[must_use]
+    pub fn same_thread(&self, x: EventId, y: EventId) -> bool {
+        self.event(x).thread == self.event(y).thread
+    }
+
+    /// Whether `x` precedes `y` in program order (same thread, earlier).
+    #[must_use]
+    pub fn po_earlier(&self, x: EventId, y: EventId) -> bool {
+        self.same_thread(x, y) && self.event(x).po_index < self.event(y).po_index
+    }
+
+    /// The paper's `DataDep(x, y)`: `x` is a read whose value feeds an
+    /// operand (value *or* address) of `y`. The address case is what tests
+    /// L4 and L8 use.
+    #[must_use]
+    pub fn data_dep(&self, x: EventId, y: EventId) -> bool {
+        let bit = 1u64 << x.index();
+        (self.data_dep[y.index()] | self.addr_dep[y.index()]) & bit != 0
+    }
+
+    /// Address-dependency component of [`Execution::data_dep`] only.
+    #[must_use]
+    pub fn addr_dep(&self, x: EventId, y: EventId) -> bool {
+        self.addr_dep[y.index()] & (1u64 << x.index()) != 0
+    }
+
+    /// Value-dependency component of [`Execution::data_dep`] only.
+    #[must_use]
+    pub fn value_dep(&self, x: EventId, y: EventId) -> bool {
+        self.data_dep[y.index()] & (1u64 << x.index()) != 0
+    }
+
+    /// `ControlDep(x, y)`: `y` is po-after a branch whose condition was fed
+    /// by read `x`.
+    #[must_use]
+    pub fn ctrl_dep(&self, x: EventId, y: EventId) -> bool {
+        self.ctrl_dep[y.index()] & (1u64 << x.index()) != 0
+    }
+
+    /// All read events.
+    pub fn reads(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(|e| e.is_read())
+    }
+
+    /// All write events.
+    pub fn writes(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(|e| e.is_write())
+    }
+
+    /// All write events to `loc`.
+    pub fn writes_to(&self, loc: Loc) -> impl Iterator<Item = &Event> + '_ {
+        self.writes().filter(move |e| e.loc() == Some(loc))
+    }
+}
+
+fn eval(expr: &RegExpr, regs: &BTreeMap<Reg, (Value, u64)>) -> (Value, u64) {
+    match expr {
+        RegExpr::Const(v) => (*v, 0),
+        RegExpr::LocAddr(loc) => (loc.base_address(), 0),
+        RegExpr::Reg(r) => *regs
+            .get(r)
+            .expect("validated: registers are defined before use"),
+        RegExpr::Add(a, b) => {
+            let (va, ta) = eval(a, regs);
+            let (vb, tb) = eval(b, regs);
+            (Value(va.0.wrapping_add(vb.0)), ta | tb)
+        }
+        RegExpr::Sub(a, b) => {
+            let (va, ta) = eval(a, regs);
+            let (vb, tb) = eval(b, regs);
+            (Value(va.0.wrapping_sub(vb.0)), ta | tb)
+        }
+    }
+}
+
+fn resolve_addr(
+    addr: &AddrExpr,
+    regs: &BTreeMap<Reg, (Value, u64)>,
+    thread: ThreadId,
+) -> Result<(Loc, u64), CoreError> {
+    match addr {
+        AddrExpr::Loc(loc) => Ok((*loc, 0)),
+        AddrExpr::Reg(r) => {
+            let (value, taint) = *regs
+                .get(r)
+                .expect("validated: registers are defined before use");
+            let loc = Loc::from_address(value)
+                .ok_or(CoreError::InvalidAddress { thread, value })?;
+            Ok((loc, taint))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Loc;
+    use crate::program::Program;
+
+    fn t1() -> ThreadId {
+        ThreadId(0)
+    }
+
+    #[test]
+    fn sb_execution_has_expected_events() {
+        // Store buffering: W X=1; R Y -> r1 || W Y=1; R X -> r2.
+        let program = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .read(Loc::Y, Reg(1))
+            .thread()
+            .write(Loc::Y, Value(1))
+            .read(Loc::X, Reg(2))
+            .build()
+            .unwrap();
+        let outcome = Outcome::new()
+            .constrain(ThreadId(0), Reg(1), Value(0))
+            .constrain(ThreadId(1), Reg(2), Value(0));
+        let exec = Execution::from_program(&program, &outcome).unwrap();
+        assert_eq!(exec.events().len(), 4);
+        assert_eq!(exec.num_threads(), 2);
+        assert_eq!(exec.reads().count(), 2);
+        assert_eq!(exec.writes().count(), 2);
+        let read1 = exec.thread_events(ThreadId(0))[1];
+        assert_eq!(exec.event(read1).value(), Some(Value(0)));
+        assert!(exec.po_earlier(exec.thread_events(t1())[0], read1));
+        assert!(!exec.po_earlier(read1, exec.thread_events(t1())[0]));
+    }
+
+    #[test]
+    fn unconstrained_read_is_an_error() {
+        let program = Program::builder()
+            .thread()
+            .read(Loc::X, Reg(1))
+            .build()
+            .unwrap();
+        let err = Execution::from_program(&program, &Outcome::new()).unwrap_err();
+        assert!(matches!(err, CoreError::UnconstrainedRead { .. }));
+    }
+
+    #[test]
+    fn data_dependency_via_arithmetic_idiom() {
+        // R X -> r1; t2 = r1 - r1 + 1; W Y = t2  (paper test L6 shape).
+        let program = Program::builder()
+            .thread()
+            .read(Loc::X, Reg(1))
+            .dep_const(Reg(2), Reg(1), Value(1))
+            .write_expr(Loc::Y, RegExpr::Reg(Reg(2)))
+            .build()
+            .unwrap();
+        let outcome = Outcome::new().constrain(t1(), Reg(1), Value(1));
+        let exec = Execution::from_program(&program, &outcome).unwrap();
+        let ids = exec.thread_events(t1()).to_vec();
+        let (read, op, write) = (ids[0], ids[1], ids[2]);
+        assert!(exec.data_dep(read, write), "read feeds the write's value");
+        assert!(exec.data_dep(read, op));
+        assert!(!exec.data_dep(read, read));
+        assert!(!exec.addr_dep(read, write), "no address dependency here");
+        // The computed value flows: write stores 1.
+        assert_eq!(exec.event(write).value(), Some(Value(1)));
+    }
+
+    #[test]
+    fn address_dependency_via_indirect_read() {
+        // R Y -> r1; t1 = r1 - r1 + &X; R [t1] -> r2  (paper test L4 shape).
+        let program = Program::builder()
+            .thread()
+            .read(Loc::Y, Reg(1))
+            .dep_addr(Reg(2), Reg(1), Loc::X)
+            .read_indirect(Reg(2), Reg(3))
+            .build()
+            .unwrap();
+        let outcome = Outcome::new()
+            .constrain(t1(), Reg(1), Value(2))
+            .constrain(t1(), Reg(3), Value(0));
+        let exec = Execution::from_program(&program, &outcome).unwrap();
+        let ids = exec.thread_events(t1()).to_vec();
+        let (read1, read2) = (ids[0], ids[2]);
+        assert!(exec.addr_dep(read1, read2));
+        assert!(exec.data_dep(read1, read2), "DataDep includes address deps");
+        assert!(!exec.value_dep(read1, read2));
+        // The indirect read resolved to X.
+        assert_eq!(exec.event(read2).loc(), Some(Loc::X));
+    }
+
+    #[test]
+    fn control_dependency_covers_everything_after_the_branch() {
+        let program = Program::builder()
+            .thread()
+            .read(Loc::X, Reg(1))
+            .branch_on(Reg(1))
+            .write(Loc::Y, Value(1))
+            .write(Loc::Z, Value(2))
+            .build()
+            .unwrap();
+        let outcome = Outcome::new().constrain(t1(), Reg(1), Value(1));
+        let exec = Execution::from_program(&program, &outcome).unwrap();
+        let ids = exec.thread_events(t1()).to_vec();
+        let (read, branch, w1, w2) = (ids[0], ids[1], ids[2], ids[3]);
+        assert!(exec.ctrl_dep(read, w1));
+        assert!(exec.ctrl_dep(read, w2));
+        assert!(!exec.ctrl_dep(read, branch), "branch itself is not ctrl-dependent");
+        assert!(!exec.ctrl_dep(read, read));
+        assert!(!exec.data_dep(read, w1), "ctrl dep is not data dep");
+    }
+
+    #[test]
+    fn computed_register_constraint_is_checked() {
+        let program = Program::builder()
+            .thread()
+            .read(Loc::X, Reg(1))
+            .dep_const(Reg(2), Reg(1), Value(7))
+            .build()
+            .unwrap();
+        let ok = Outcome::new()
+            .constrain(t1(), Reg(1), Value(3))
+            .constrain(t1(), Reg(2), Value(7));
+        assert!(Execution::from_program(&program, &ok).is_ok());
+        let bad = Outcome::new()
+            .constrain(t1(), Reg(1), Value(3))
+            .constrain(t1(), Reg(2), Value(8));
+        let err = Execution::from_program(&program, &bad).unwrap_err();
+        assert!(matches!(err, CoreError::InconsistentConstraint { .. }));
+    }
+
+    #[test]
+    fn bad_indirect_address_is_an_error() {
+        let program = Program::builder()
+            .thread()
+            .read(Loc::X, Reg(1))
+            .read_indirect(Reg(1), Reg(2))
+            .build()
+            .unwrap();
+        let outcome = Outcome::new()
+            .constrain(t1(), Reg(1), Value(42))
+            .constrain(t1(), Reg(2), Value(0));
+        let err = Execution::from_program(&program, &outcome).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidAddress { .. }));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_constraints_are_errors() {
+        let program = Program::builder()
+            .thread()
+            .read(Loc::X, Reg(1))
+            .build()
+            .unwrap();
+        let dup = Outcome::new()
+            .constrain(t1(), Reg(1), Value(0))
+            .constrain(t1(), Reg(1), Value(0));
+        assert!(matches!(
+            Execution::from_program(&program, &dup).unwrap_err(),
+            CoreError::DuplicateConstraint { .. }
+        ));
+        let unknown = Outcome::new()
+            .constrain(t1(), Reg(1), Value(0))
+            .constrain(t1(), Reg(9), Value(0));
+        assert!(matches!(
+            Execution::from_program(&program, &unknown).unwrap_err(),
+            CoreError::ConstraintOnUnknownRegister { .. }
+        ));
+        let bad_thread = Outcome::new()
+            .constrain(t1(), Reg(1), Value(0))
+            .constrain(ThreadId(4), Reg(1), Value(0));
+        assert!(matches!(
+            Execution::from_program(&program, &bad_thread).unwrap_err(),
+            CoreError::UnknownThread { .. }
+        ));
+    }
+
+    #[test]
+    fn outcome_display() {
+        let o = Outcome::new()
+            .constrain(t1(), Reg(1), Value(2))
+            .constrain(ThreadId(1), Reg(2), Value(0));
+        assert_eq!(o.to_string(), "T1:r1=2; T2:r2=0");
+    }
+}

@@ -1,0 +1,340 @@
+//! The *must-not-reorder* function DSL (paper §2.3).
+//!
+//! A memory model in the paper's class is specified by a quantifier-free
+//! **positive** boolean function `F(x, y)` over a set of predicates on
+//! instruction executions. If `F(x, y)` holds for two events of the same
+//! thread with `x` before `y` in program order, the pair must execute in
+//! order (it contributes a happens-before edge).
+//!
+//! Positivity is enforced structurally: [`Formula`] has conjunction and
+//! disjunction but no negation. The predicate set matches the paper's
+//! examples — `Read`, `Write`, `Fence`, `SameAddr`, `DataDep` — plus
+//! `ControlDep` (which the paper's framework supports but its tool did not
+//! implement) and custom fence-flavour predicates for the §3.3 experiments.
+//!
+//! All predicates respect the symmetry requirement of §2.3: they depend
+//! only on event kinds, address *equality* and dependency relations, never
+//! on concrete values, location names or register names, so any two reads
+//! (or writes) can be permuted.
+
+use std::fmt;
+
+use crate::execution::Execution;
+use crate::ids::EventId;
+
+/// Which of the two arguments of `F(x, y)` a unary predicate inspects.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ArgPos {
+    /// The program-order-earlier event `x`.
+    First,
+    /// The program-order-later event `y`.
+    Second,
+}
+
+impl fmt::Display for ArgPos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgPos::First => write!(f, "x"),
+            ArgPos::Second => write!(f, "y"),
+        }
+    }
+}
+
+/// An atomic predicate on an event pair `(x, y)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Atom {
+    /// `Read(arg)`: the argument is a memory read.
+    IsRead(ArgPos),
+    /// `Write(arg)`: the argument is a memory write.
+    IsWrite(ArgPos),
+    /// `Fence(arg)`: the argument is a full fence.
+    IsFence(ArgPos),
+    /// The argument is a memory access (read or write).
+    IsAccess(ArgPos),
+    /// The argument is a special fence of the given flavour (§3.3).
+    IsSpecialFence(u8, ArgPos),
+    /// `SameAddr(x, y)`: both are accesses of the same location.
+    SameAddr,
+    /// `DataDep(x, y)`: `x` is a read feeding a value or address operand of
+    /// `y` (the paper's single data-dependency predicate).
+    DataDep,
+    /// `ControlDep(x, y)`: `y` is po-after a branch conditioned on read `x`.
+    CtrlDep,
+}
+
+impl Atom {
+    /// Evaluates the predicate on events `x`, `y` of `exec`.
+    #[must_use]
+    pub fn eval(self, exec: &Execution, x: EventId, y: EventId) -> bool {
+        let pick = |pos: ArgPos| match pos {
+            ArgPos::First => exec.event(x),
+            ArgPos::Second => exec.event(y),
+        };
+        match self {
+            Atom::IsRead(pos) => pick(pos).is_read(),
+            Atom::IsWrite(pos) => pick(pos).is_write(),
+            Atom::IsFence(pos) => pick(pos).is_full_fence(),
+            Atom::IsAccess(pos) => pick(pos).is_access(),
+            Atom::IsSpecialFence(flavour, pos) => {
+                pick(pos).is_fence_kind(crate::instr::FenceKind::Special(flavour))
+            }
+            Atom::SameAddr => match (exec.event(x).loc(), exec.event(y).loc()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+            Atom::DataDep => exec.data_dep(x, y),
+            Atom::CtrlDep => exec.ctrl_dep(x, y),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::IsRead(p) => write!(f, "Read({p})"),
+            Atom::IsWrite(p) => write!(f, "Write({p})"),
+            Atom::IsFence(p) => write!(f, "Fence({p})"),
+            Atom::IsAccess(p) => write!(f, "Access({p})"),
+            Atom::IsSpecialFence(n, p) => write!(f, "SpecialFence{n}({p})"),
+            Atom::SameAddr => write!(f, "SameAddr(x,y)"),
+            Atom::DataDep => write!(f, "DataDep(x,y)"),
+            Atom::CtrlDep => write!(f, "ControlDep(x,y)"),
+        }
+    }
+}
+
+/// A positive boolean combination of [`Atom`]s.
+///
+/// # Examples
+///
+/// SPARC TSO as written in the paper (§2.4):
+/// `F_TSO(x,y) = (Write(x) ∧ Write(y)) ∨ Read(x) ∨ Fence(x) ∨ Fence(y)`.
+///
+/// ```
+/// use mcm_core::formula::{Formula, Atom, ArgPos};
+///
+/// let f_tso = Formula::or([
+///     Formula::and([
+///         Formula::atom(Atom::IsWrite(ArgPos::First)),
+///         Formula::atom(Atom::IsWrite(ArgPos::Second)),
+///     ]),
+///     Formula::atom(Atom::IsRead(ArgPos::First)),
+///     Formula::fence_either(),
+/// ]);
+/// assert!(f_tso.to_string().contains("Write(x)"));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Formula {
+    /// Constant true (every program-ordered pair constrained) or false (no
+    /// pair constrained).
+    ///
+    /// Note: the paper's §2.4 writes `F_SC = False`, but with a
+    /// *must-not-reorder* reading SC — which allows no reordering at all —
+    /// is `F = True`; `False` would be the weakest model in the class. The
+    /// IBM370/TSO/RMO examples in the same section confirm the
+    /// must-not-reorder reading, so we treat `F_SC = False` as a typo and
+    /// define SC with [`Formula::always`].
+    Const(bool),
+    /// An atomic predicate.
+    Atom(Atom),
+    /// Conjunction of all children (empty = true).
+    And(Vec<Formula>),
+    /// Disjunction of all children (empty = false).
+    Or(Vec<Formula>),
+}
+
+impl Formula {
+    /// The constant `true` (order *every* program-ordered pair — SC).
+    #[must_use]
+    pub fn always() -> Formula {
+        Formula::Const(true)
+    }
+
+    /// The constant `false` (no pair constrained by this disjunct).
+    #[must_use]
+    pub fn never() -> Formula {
+        Formula::Const(false)
+    }
+
+    /// Wraps an atom.
+    #[must_use]
+    pub fn atom(atom: Atom) -> Formula {
+        Formula::Atom(atom)
+    }
+
+    /// Conjunction.
+    #[must_use]
+    pub fn and<I: IntoIterator<Item = Formula>>(children: I) -> Formula {
+        Formula::And(children.into_iter().collect())
+    }
+
+    /// Disjunction.
+    #[must_use]
+    pub fn or<I: IntoIterator<Item = Formula>>(children: I) -> Formula {
+        Formula::Or(children.into_iter().collect())
+    }
+
+    /// `Fence(x) ∨ Fence(y)`: the standard full-fence disjunct.
+    #[must_use]
+    pub fn fence_either() -> Formula {
+        Formula::or([
+            Formula::atom(Atom::IsFence(ArgPos::First)),
+            Formula::atom(Atom::IsFence(ArgPos::Second)),
+        ])
+    }
+
+    /// `KindA(x) ∧ KindB(y) ∧ extra`: a typed pair constraint, the building
+    /// block of the digit models of §4.2.
+    #[must_use]
+    pub fn pair(first: Atom, second: Atom, extra: Formula) -> Formula {
+        Formula::and([Formula::atom(first), Formula::atom(second), extra])
+    }
+
+    /// Evaluates `F(x, y)` on two events of `exec`.
+    ///
+    /// The caller decides which pairs to ask about; the program-order axiom
+    /// applies this to all same-thread pairs with `x` po-before `y`.
+    #[must_use]
+    pub fn eval(&self, exec: &Execution, x: EventId, y: EventId) -> bool {
+        match self {
+            Formula::Const(b) => *b,
+            Formula::Atom(a) => a.eval(exec, x, y),
+            Formula::And(children) => children.iter().all(|c| c.eval(exec, x, y)),
+            Formula::Or(children) => children.iter().any(|c| c.eval(exec, x, y)),
+        }
+    }
+
+    /// All atoms mentioned, in syntactic order (with duplicates).
+    #[must_use]
+    pub fn atoms(&self) -> Vec<Atom> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut Vec<Atom>) {
+        match self {
+            Formula::Const(_) => {}
+            Formula::Atom(a) => out.push(*a),
+            Formula::And(children) | Formula::Or(children) => {
+                for c in children {
+                    c.collect_atoms(out);
+                }
+            }
+        }
+    }
+
+    /// Whether the formula mentions a dependency predicate (used to pick
+    /// between the 230-test and 124-test suites, Corollary 1).
+    #[must_use]
+    pub fn uses_dependencies(&self) -> bool {
+        self.atoms()
+            .iter()
+            .any(|a| matches!(a, Atom::DataDep | Atom::CtrlDep))
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Const(true) => write!(f, "True"),
+            Formula::Const(false) => write!(f, "False"),
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::And(children) => {
+                if children.is_empty() {
+                    return write!(f, "True");
+                }
+                let parts: Vec<String> = children
+                    .iter()
+                    .map(|c| match c {
+                        Formula::Or(inner) if inner.len() > 1 => format!("({c})"),
+                        _ => c.to_string(),
+                    })
+                    .collect();
+                write!(f, "{}", parts.join(" ∧ "))
+            }
+            Formula::Or(children) => {
+                if children.is_empty() {
+                    return write!(f, "False");
+                }
+                let parts: Vec<String> = children.iter().map(ToString::to_string).collect();
+                write!(f, "{}", parts.join(" ∨ "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::Outcome;
+    use crate::ids::{Loc, Reg, ThreadId, Value};
+    use crate::program::Program;
+
+    fn two_writes_and_read() -> Execution {
+        let program = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .write(Loc::X, Value(2))
+            .read(Loc::Y, Reg(1))
+            .build()
+            .unwrap();
+        let outcome = Outcome::new().constrain(ThreadId(0), Reg(1), Value(0));
+        Execution::from_program(&program, &outcome).unwrap()
+    }
+
+    #[test]
+    fn atoms_evaluate_on_events() {
+        let exec = two_writes_and_read();
+        let ids = exec.thread_events(ThreadId(0)).to_vec();
+        let (w1, w2, r) = (ids[0], ids[1], ids[2]);
+        assert!(Atom::IsWrite(ArgPos::First).eval(&exec, w1, r));
+        assert!(Atom::IsRead(ArgPos::Second).eval(&exec, w1, r));
+        assert!(!Atom::IsRead(ArgPos::First).eval(&exec, w1, r));
+        assert!(Atom::SameAddr.eval(&exec, w1, w2));
+        assert!(!Atom::SameAddr.eval(&exec, w1, r));
+        assert!(Atom::IsAccess(ArgPos::First).eval(&exec, w1, w2));
+    }
+
+    #[test]
+    fn constants_and_connectives() {
+        let exec = two_writes_and_read();
+        let ids = exec.thread_events(ThreadId(0)).to_vec();
+        let (w1, w2) = (ids[0], ids[1]);
+        assert!(Formula::always().eval(&exec, w1, w2));
+        assert!(!Formula::never().eval(&exec, w1, w2));
+        let ww_same = Formula::pair(
+            Atom::IsWrite(ArgPos::First),
+            Atom::IsWrite(ArgPos::Second),
+            Formula::atom(Atom::SameAddr),
+        );
+        assert!(ww_same.eval(&exec, w1, w2));
+        let empty_and = Formula::and([]);
+        assert!(empty_and.eval(&exec, w1, w2));
+        let empty_or = Formula::or([]);
+        assert!(!empty_or.eval(&exec, w1, w2));
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let f = Formula::or([
+            Formula::and([
+                Formula::atom(Atom::IsWrite(ArgPos::First)),
+                Formula::atom(Atom::IsWrite(ArgPos::Second)),
+            ]),
+            Formula::atom(Atom::IsRead(ArgPos::First)),
+        ]);
+        assert_eq!(f.to_string(), "Write(x) ∧ Write(y) ∨ Read(x)");
+    }
+
+    #[test]
+    fn uses_dependencies_detects_dep_atoms() {
+        assert!(!Formula::fence_either().uses_dependencies());
+        assert!(Formula::atom(Atom::DataDep).uses_dependencies());
+        assert!(Formula::and([
+            Formula::atom(Atom::SameAddr),
+            Formula::or([Formula::atom(Atom::CtrlDep)]),
+        ])
+        .uses_dependencies());
+    }
+}

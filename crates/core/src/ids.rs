@@ -1,0 +1,164 @@
+//! Newtype identifiers used throughout the workspace.
+
+use std::fmt;
+
+/// A shared-memory location (the paper's `X`, `Y`, `Z`, `W`).
+///
+/// Locations are abstract names; [`Loc::base_address`] gives each one a
+/// distinct numeric "address" so that address dependencies (`t1 = r1 - r1 +
+/// X; Read [t1]`) can be expressed with ordinary arithmetic.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Loc(pub u8);
+
+impl Loc {
+    /// The canonical first four locations, named as in the paper.
+    pub const X: Loc = Loc(0);
+    /// Second location.
+    pub const Y: Loc = Loc(1);
+    /// Third location.
+    pub const Z: Loc = Loc(2);
+    /// Fourth location.
+    pub const W: Loc = Loc(3);
+
+    /// The numeric address of this location (used by address arithmetic).
+    ///
+    /// Addresses are spaced so no arithmetic in realistic litmus tests can
+    /// accidentally turn one location's address into another's.
+    #[must_use]
+    pub fn base_address(self) -> Value {
+        Value(0x1000 + 0x100 * i64::from(self.0))
+    }
+
+    /// Inverse of [`Loc::base_address`].
+    #[must_use]
+    pub fn from_address(value: Value) -> Option<Loc> {
+        let off = value.0 - 0x1000;
+        if off >= 0 && off % 0x100 == 0 && off / 0x100 <= i64::from(u8::MAX) {
+            Some(Loc(u8::try_from(off / 0x100).expect("range checked")))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            0 => write!(f, "X"),
+            1 => write!(f, "Y"),
+            2 => write!(f, "Z"),
+            3 => write!(f, "W"),
+            n => write!(f, "L{n}"),
+        }
+    }
+}
+
+/// A per-thread register (`r1`, `r2`, …).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Reg(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A runtime value (register contents or memory contents).
+///
+/// All locations initially hold [`Value::INIT`] (zero), as in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Value(pub i64);
+
+impl Value {
+    /// The initial value of every memory location.
+    pub const INIT: Value = Value(0);
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value(v)
+    }
+}
+
+/// A thread index within a program (displayed one-based as `T1`, `T2`, …).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ThreadId(pub u8);
+
+impl ThreadId {
+    /// Zero-based index into [`crate::Program::threads`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0 + 1)
+    }
+}
+
+/// A global index of an instruction execution (an *event*) in an
+/// [`crate::Execution`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(pub u32);
+
+impl EventId {
+    /// Zero-based index into [`crate::Execution::events`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_addresses_round_trip() {
+        for i in 0..10u8 {
+            let loc = Loc(i);
+            assert_eq!(Loc::from_address(loc.base_address()), Some(loc));
+        }
+    }
+
+    #[test]
+    fn non_addresses_do_not_resolve() {
+        assert_eq!(Loc::from_address(Value(0)), None);
+        assert_eq!(Loc::from_address(Value(0x1001)), None);
+        assert_eq!(Loc::from_address(Value(-0x1000)), None);
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Loc::X.to_string(), "X");
+        assert_eq!(Loc::Y.to_string(), "Y");
+        assert_eq!(Loc::Z.to_string(), "Z");
+        assert_eq!(Loc::W.to_string(), "W");
+        assert_eq!(Loc(7).to_string(), "L7");
+        assert_eq!(ThreadId(0).to_string(), "T1");
+        assert_eq!(Reg(3).to_string(), "r3");
+    }
+
+    #[test]
+    fn distinct_locations_have_distinct_addresses() {
+        let addresses: Vec<Value> = (0..20u8).map(|i| Loc(i).base_address()).collect();
+        let mut deduped = addresses.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(addresses.len(), deduped.len());
+    }
+}

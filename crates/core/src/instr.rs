@@ -1,0 +1,300 @@
+//! Litmus-test instructions.
+//!
+//! The paper (§2.1) splits instructions into *memory access* instructions
+//! (reads and writes) and *non-memory-access* instructions (fences,
+//! arithmetic, branches). This module defines the concrete instruction set
+//! used by our litmus programs, including the register-arithmetic idiom
+//! `t1 = r1 - r1 + 1` that the paper uses to manufacture data dependencies
+//! (Figure 3, tests L4, L6, L8, L9).
+
+use std::fmt;
+
+use crate::ids::{Loc, Reg, Value};
+
+/// The kind of a fence (or other special non-memory instruction).
+///
+/// [`FenceKind::Full`] is the ordinary full memory fence; [`FenceKind::Special`]
+/// models the paper's §3.3 hypothetical family of `n` distinguishable fence
+/// flavours `f1 … fn`, used to show that the number of non-memory
+/// instructions in a minimal litmus test depends on the predicate set.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FenceKind {
+    /// A full fence, ordering everything with everything (under the usual
+    /// `Fence(x) ∨ Fence(y)` disjunct of a must-not-reorder function).
+    Full,
+    /// A custom fence flavour, distinguished only by custom predicates.
+    Special(u8),
+}
+
+impl fmt::Display for FenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FenceKind::Full => write!(f, "fence"),
+            FenceKind::Special(n) => write!(f, "fence.f{n}"),
+        }
+    }
+}
+
+/// An address operand: a literal location or a register holding an address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AddrExpr {
+    /// A fixed location, e.g. `X`.
+    Loc(Loc),
+    /// A register-indirect address, e.g. `[t1]` — this is how address
+    /// dependencies enter a program.
+    Reg(Reg),
+}
+
+impl fmt::Display for AddrExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrExpr::Loc(loc) => write!(f, "{loc}"),
+            AddrExpr::Reg(reg) => write!(f, "[{reg}]"),
+        }
+    }
+}
+
+/// A register-arithmetic expression (right-hand side of [`Instruction::Op`],
+/// value operand of writes, condition of branches).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum RegExpr {
+    /// A constant.
+    Const(Value),
+    /// A register read.
+    Reg(Reg),
+    /// The numeric address of a location (`&X`), for address arithmetic.
+    LocAddr(Loc),
+    /// Addition.
+    Add(Box<RegExpr>, Box<RegExpr>),
+    /// Subtraction.
+    Sub(Box<RegExpr>, Box<RegExpr>),
+}
+
+impl RegExpr {
+    /// `r - r + k`: the paper's data-dependency idiom. The result is always
+    /// `k`, but hardware must respect the syntactic dependency on `r`.
+    #[must_use]
+    pub fn dep_const(reg: Reg, value: Value) -> RegExpr {
+        RegExpr::Add(
+            Box::new(RegExpr::Sub(
+                Box::new(RegExpr::Reg(reg)),
+                Box::new(RegExpr::Reg(reg)),
+            )),
+            Box::new(RegExpr::Const(value)),
+        )
+    }
+
+    /// `r - r + &loc`: the address-dependency idiom (always evaluates to the
+    /// address of `loc`, but depends on `r`).
+    #[must_use]
+    pub fn dep_addr(reg: Reg, loc: Loc) -> RegExpr {
+        RegExpr::Add(
+            Box::new(RegExpr::Sub(
+                Box::new(RegExpr::Reg(reg)),
+                Box::new(RegExpr::Reg(reg)),
+            )),
+            Box::new(RegExpr::LocAddr(loc)),
+        )
+    }
+
+    /// Evaluates the expression over a register file. Returns `None` when
+    /// a register is unset (validated programs never hit this).
+    #[must_use]
+    pub fn eval(&self, regs: &std::collections::BTreeMap<Reg, Value>) -> Option<Value> {
+        match self {
+            RegExpr::Const(v) => Some(*v),
+            RegExpr::Reg(r) => regs.get(r).copied(),
+            RegExpr::LocAddr(loc) => Some(loc.base_address()),
+            RegExpr::Add(a, b) => {
+                Some(Value(a.eval(regs)?.0.wrapping_add(b.eval(regs)?.0)))
+            }
+            RegExpr::Sub(a, b) => {
+                Some(Value(a.eval(regs)?.0.wrapping_sub(b.eval(regs)?.0)))
+            }
+        }
+    }
+
+    /// All registers syntactically mentioned by the expression.
+    pub fn registers(&self, out: &mut Vec<Reg>) {
+        match self {
+            RegExpr::Const(_) | RegExpr::LocAddr(_) => {}
+            RegExpr::Reg(r) => out.push(*r),
+            RegExpr::Add(a, b) | RegExpr::Sub(a, b) => {
+                a.registers(out);
+                b.registers(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for RegExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegExpr::Const(v) => write!(f, "{v}"),
+            RegExpr::Reg(r) => write!(f, "{r}"),
+            RegExpr::LocAddr(loc) => write!(f, "&{loc}"),
+            RegExpr::Add(a, b) => write!(f, "{a} + {b}"),
+            RegExpr::Sub(a, b) => match **b {
+                RegExpr::Add(..) | RegExpr::Sub(..) => write!(f, "{a} - ({b})"),
+                _ => write!(f, "{a} - {b}"),
+            },
+        }
+    }
+}
+
+/// One instruction of a litmus-test thread.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Instruction {
+    /// `Read addr -> dst`: load from memory into a register.
+    Read {
+        /// Where to read from.
+        addr: AddrExpr,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `Write addr <- val`: store a value to memory.
+    Write {
+        /// Where to write to.
+        addr: AddrExpr,
+        /// The stored value.
+        val: RegExpr,
+    },
+    /// A memory fence.
+    Fence(FenceKind),
+    /// `dst = expr`: register arithmetic (a non-memory-access instruction).
+    Op {
+        /// Destination register.
+        dst: Reg,
+        /// Right-hand side.
+        expr: RegExpr,
+    },
+    /// A branch on `cond` whose two targets are both the next instruction:
+    /// control flow is unaffected (programs stay loop-free and
+    /// deterministic) but every later instruction becomes control-dependent
+    /// on the reads feeding `cond`. This is the `beq r1, r1, next` idiom of
+    /// real litmus tests.
+    Branch {
+        /// The (ignored) branch condition.
+        cond: RegExpr,
+    },
+}
+
+impl Instruction {
+    /// Whether this is a memory-access instruction (read or write).
+    #[must_use]
+    pub fn is_access(&self) -> bool {
+        matches!(self, Instruction::Read { .. } | Instruction::Write { .. })
+    }
+
+    /// The register this instruction writes, if any.
+    #[must_use]
+    pub fn def(&self) -> Option<Reg> {
+        match self {
+            Instruction::Read { dst, .. } | Instruction::Op { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// All registers this instruction reads.
+    #[must_use]
+    pub fn uses(&self) -> Vec<Reg> {
+        let mut out = Vec::new();
+        match self {
+            Instruction::Read { addr, .. } => {
+                if let AddrExpr::Reg(r) = addr {
+                    out.push(*r);
+                }
+            }
+            Instruction::Write { addr, val } => {
+                if let AddrExpr::Reg(r) = addr {
+                    out.push(*r);
+                }
+                val.registers(&mut out);
+            }
+            Instruction::Fence(_) => {}
+            Instruction::Op { expr, .. } => expr.registers(&mut out),
+            Instruction::Branch { cond } => cond.registers(&mut out),
+        }
+        out
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::Read { addr, dst } => write!(f, "read {addr} -> {dst}"),
+            Instruction::Write { addr, val } => write!(f, "write {addr} = {val}"),
+            Instruction::Fence(kind) => write!(f, "{kind}"),
+            Instruction::Op { dst, expr } => write!(f, "op {dst} = {expr}"),
+            Instruction::Branch { cond } => write!(f, "branch {cond}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dep_const_mentions_register_but_is_constant_shaped() {
+        let e = RegExpr::dep_const(Reg(1), Value(5));
+        let mut regs = Vec::new();
+        e.registers(&mut regs);
+        assert_eq!(regs, vec![Reg(1), Reg(1)]);
+        assert_eq!(e.to_string(), "r1 - r1 + 5");
+    }
+
+    #[test]
+    fn dep_addr_displays_like_the_paper() {
+        let e = RegExpr::dep_addr(Reg(1), Loc::Y);
+        assert_eq!(e.to_string(), "r1 - r1 + &Y");
+    }
+
+    #[test]
+    fn uses_and_defs() {
+        let read = Instruction::Read {
+            addr: AddrExpr::Reg(Reg(2)),
+            dst: Reg(3),
+        };
+        assert_eq!(read.def(), Some(Reg(3)));
+        assert_eq!(read.uses(), vec![Reg(2)]);
+        assert!(read.is_access());
+
+        let write = Instruction::Write {
+            addr: AddrExpr::Loc(Loc::X),
+            val: RegExpr::Reg(Reg(1)),
+        };
+        assert_eq!(write.def(), None);
+        assert_eq!(write.uses(), vec![Reg(1)]);
+        assert!(write.is_access());
+
+        let fence = Instruction::Fence(FenceKind::Full);
+        assert!(!fence.is_access());
+        assert!(fence.uses().is_empty());
+
+        let branch = Instruction::Branch {
+            cond: RegExpr::Reg(Reg(7)),
+        };
+        assert!(!branch.is_access());
+        assert_eq!(branch.uses(), vec![Reg(7)]);
+    }
+
+    #[test]
+    fn instruction_display() {
+        let i = Instruction::Write {
+            addr: AddrExpr::Loc(Loc::X),
+            val: RegExpr::Const(Value(1)),
+        };
+        assert_eq!(i.to_string(), "write X = 1");
+        let i = Instruction::Read {
+            addr: AddrExpr::Reg(Reg(1)),
+            dst: Reg(2),
+        };
+        assert_eq!(i.to_string(), "read [r1] -> r2");
+        assert_eq!(Instruction::Fence(FenceKind::Full).to_string(), "fence");
+        assert_eq!(
+            Instruction::Fence(FenceKind::Special(2)).to_string(),
+            "fence.f2"
+        );
+    }
+}

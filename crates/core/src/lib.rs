@@ -1,0 +1,62 @@
+//! # mcm-core
+//!
+//! Core vocabulary for the litmus-test memory-model comparator: litmus
+//! programs and their instruction set ([`instr`], [`program`]), candidate
+//! executions with dependency dataflow ([`execution`]), the predicate and
+//! *must-not-reorder* formula DSL defining the paper's class of memory
+//! models ([`formula`], [`MemoryModel`]), and litmus tests themselves
+//! ([`LitmusTest`], [`parse`]).
+//!
+//! This crate implements §2 of Mador-Haim, Alur, Martin, *"Litmus Tests
+//! for Comparing Memory Consistency Models: How Long Do They Need to Be?"*
+//! (DAC 2011): the semantic judgement (happens-before axioms) lives in
+//! `mcm-axiomatic`, and concrete models live in `mcm-models`.
+//!
+//! ## Example
+//!
+//! Build the store-buffering test and inspect its candidate execution:
+//!
+//! ```
+//! use mcm_core::{LitmusTest, Loc, Outcome, Program, Reg, ThreadId, Value};
+//!
+//! # fn main() -> Result<(), mcm_core::CoreError> {
+//! let program = Program::builder()
+//!     .thread()
+//!     .write(Loc::X, Value(1))
+//!     .read(Loc::Y, Reg(1))
+//!     .thread()
+//!     .write(Loc::Y, Value(1))
+//!     .read(Loc::X, Reg(2))
+//!     .build()?;
+//! let outcome = Outcome::new()
+//!     .constrain(ThreadId(0), Reg(1), Value(0))
+//!     .constrain(ThreadId(1), Reg(2), Value(0));
+//! let test = LitmusTest::new("SB", program, outcome)?;
+//! assert_eq!(test.execution().events().len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod event;
+pub mod execution;
+pub mod formula;
+mod ids;
+pub mod instr;
+mod litmus;
+mod model;
+pub mod parse;
+pub mod program;
+
+pub use error::CoreError;
+pub use event::{Event, EventKind};
+pub use execution::{Execution, Outcome, MAX_EVENTS};
+pub use formula::{ArgPos, Atom, Formula};
+pub use ids::{EventId, Loc, Reg, ThreadId, Value};
+pub use instr::{AddrExpr, FenceKind, Instruction, RegExpr};
+pub use litmus::LitmusTest;
+pub use model::MemoryModel;
+pub use program::{Program, ProgramBuilder, Thread};

@@ -1,0 +1,192 @@
+//! Litmus tests: a program plus a demanded outcome.
+
+use std::fmt;
+
+use crate::error::CoreError;
+use crate::execution::{Execution, Outcome};
+use crate::ids::ThreadId;
+use crate::program::Program;
+
+/// A litmus test asks: *can this program end with these register values?*
+///
+/// Different memory models answer differently, which is exactly how the
+/// paper contrasts them: test `P` with execution `α_P` distinguishes `M1`
+/// from `M2` when `α_P ∈ M2 \ M1`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LitmusTest {
+    name: String,
+    description: String,
+    program: Program,
+    outcome: Outcome,
+}
+
+impl LitmusTest {
+    /// Creates a test, eagerly checking that the candidate execution is
+    /// derivable (program valid, outcome complete and consistent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Execution::from_program`] failures.
+    pub fn new(
+        name: impl Into<String>,
+        program: Program,
+        outcome: Outcome,
+    ) -> Result<Self, CoreError> {
+        Execution::from_program(&program, &outcome)?;
+        Ok(LitmusTest {
+            name: name.into(),
+            description: String::new(),
+            program,
+            outcome,
+        })
+    }
+
+    /// Attaches a human-readable description (shown by the CLI and docs).
+    #[must_use]
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = description.into();
+        self
+    }
+
+    /// Returns a copy under a different name (used when the same shape has
+    /// both a paper name and a community name, e.g. `L7` vs `SB`).
+    #[must_use]
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Test name (e.g. `L5`, `SB`, `case1-rw-dep-diff`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Optional description.
+    #[must_use]
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The program.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The demanded outcome.
+    #[must_use]
+    pub fn outcome(&self) -> &Outcome {
+        &self.outcome
+    }
+
+    /// The candidate execution (the paper's `α_P`).
+    ///
+    /// Construction was validated in [`LitmusTest::new`], so this cannot
+    /// fail.
+    #[must_use]
+    pub fn execution(&self) -> Execution {
+        Execution::from_program(&self.program, &self.outcome)
+            .expect("validated at construction")
+    }
+}
+
+impl fmt::Display for LitmusTest {
+    /// Renders the paper's side-by-side table format (Figure 3).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Test {}", self.name)?;
+        let columns: Vec<Vec<String>> = self
+            .program
+            .threads
+            .iter()
+            .map(|t| t.instructions.iter().map(ToString::to_string).collect())
+            .collect();
+        let widths: Vec<usize> = columns
+            .iter()
+            .enumerate()
+            .map(|(i, col)| {
+                col.iter()
+                    .map(String::len)
+                    .chain(std::iter::once(ThreadId(i as u8).to_string().len()))
+                    .max()
+                    .unwrap_or(2)
+            })
+            .collect();
+        let header: Vec<String> = (0..columns.len())
+            .map(|i| format!("{:w$}", ThreadId(i as u8).to_string(), w = widths[i]))
+            .collect();
+        writeln!(f, "{}", header.join(" | "))?;
+        let rows = columns.iter().map(Vec::len).max().unwrap_or(0);
+        for r in 0..rows {
+            let cells: Vec<String> = columns
+                .iter()
+                .enumerate()
+                .map(|(i, col)| {
+                    format!(
+                        "{:w$}",
+                        col.get(r).map(String::as_str).unwrap_or(""),
+                        w = widths[i]
+                    )
+                })
+                .collect();
+            writeln!(f, "{}", cells.join(" | ").trim_end())?;
+        }
+        writeln!(f, "Outcome: {}", self.outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Loc, Reg, Value};
+
+    fn sb() -> LitmusTest {
+        let program = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .read(Loc::Y, Reg(1))
+            .thread()
+            .write(Loc::Y, Value(1))
+            .read(Loc::X, Reg(2))
+            .build()
+            .unwrap();
+        let outcome = Outcome::new()
+            .constrain(ThreadId(0), Reg(1), Value(0))
+            .constrain(ThreadId(1), Reg(2), Value(0));
+        LitmusTest::new("SB", program, outcome).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_execution() {
+        let program = Program::builder()
+            .thread()
+            .read(Loc::X, Reg(1))
+            .build()
+            .unwrap();
+        assert!(LitmusTest::new("bad", program, Outcome::new()).is_err());
+    }
+
+    #[test]
+    fn execution_is_reproducible() {
+        let test = sb();
+        assert_eq!(test.execution(), test.execution());
+        assert_eq!(test.execution().events().len(), 4);
+    }
+
+    #[test]
+    fn display_renders_side_by_side() {
+        let rendered = sb().to_string();
+        assert!(rendered.starts_with("Test SB\n"));
+        assert!(rendered.contains("T1"));
+        assert!(rendered.contains("T2"));
+        assert!(rendered.contains("write X = 1"));
+        assert!(rendered.contains("Outcome: T1:r1=0; T2:r2=0"));
+    }
+
+    #[test]
+    fn description_is_attached() {
+        let test = sb().with_description("store buffering");
+        assert_eq!(test.description(), "store buffering");
+        assert_eq!(test.name(), "SB");
+    }
+}

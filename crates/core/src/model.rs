@@ -1,0 +1,112 @@
+//! Memory models as named must-not-reorder functions.
+
+use std::fmt;
+
+use crate::execution::Execution;
+use crate::formula::Formula;
+use crate::ids::EventId;
+
+/// A memory consistency model in the paper's class (§2.2): a name plus a
+/// must-not-reorder function `F`.
+///
+/// The model's meaning — the set of allowed program executions — is given
+/// by the happens-before axioms, implemented in the `mcm-axiomatic` crate;
+/// this type only carries the specification.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MemoryModel {
+    name: String,
+    formula: Formula,
+}
+
+impl MemoryModel {
+    /// Creates a model from a name and its must-not-reorder function.
+    #[must_use]
+    pub fn new(name: impl Into<String>, formula: Formula) -> Self {
+        MemoryModel {
+            name: name.into(),
+            formula,
+        }
+    }
+
+    /// The model's display name (e.g. `TSO`, `M4044`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The must-not-reorder function.
+    #[must_use]
+    pub fn formula(&self) -> &Formula {
+        &self.formula
+    }
+
+    /// Evaluates `F(x, y)` on two events of `exec`.
+    ///
+    /// Program-order happens-before edges are generated for same-thread
+    /// pairs with `x` po-before `y` where this returns true.
+    #[must_use]
+    pub fn must_not_reorder(&self, exec: &Execution, x: EventId, y: EventId) -> bool {
+        self.formula.eval(exec, x, y)
+    }
+
+    /// Returns a copy with a different display name (used when a digit
+    /// model is given its conventional name, e.g. `M4044` → `TSO`).
+    #[must_use]
+    pub fn renamed(&self, name: impl Into<String>) -> Self {
+        MemoryModel {
+            name: name.into(),
+            formula: self.formula.clone(),
+        }
+    }
+}
+
+impl fmt::Display for MemoryModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: F(x,y) = {}", self.name, self.formula)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::Outcome;
+    use crate::formula::{ArgPos, Atom};
+    use crate::ids::{Loc, Reg, ThreadId, Value};
+    use crate::program::Program;
+
+    #[test]
+    fn model_evaluates_its_formula() {
+        let program = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .read(Loc::Y, Reg(1))
+            .build()
+            .unwrap();
+        let outcome = Outcome::new().constrain(ThreadId(0), Reg(1), Value(0));
+        let exec = Execution::from_program(&program, &outcome).unwrap();
+        let ids = exec.thread_events(ThreadId(0)).to_vec();
+
+        let model = MemoryModel::new("ww-only", Formula::pair(
+            Atom::IsWrite(ArgPos::First),
+            Atom::IsWrite(ArgPos::Second),
+            Formula::always(),
+        ));
+        assert!(!model.must_not_reorder(&exec, ids[0], ids[1]));
+        let sc = MemoryModel::new("SC", Formula::always());
+        assert!(sc.must_not_reorder(&exec, ids[0], ids[1]));
+    }
+
+    #[test]
+    fn renamed_keeps_formula() {
+        let m = MemoryModel::new("M4044", Formula::always());
+        let renamed = m.renamed("TSO");
+        assert_eq!(renamed.name(), "TSO");
+        assert_eq!(renamed.formula(), m.formula());
+    }
+
+    #[test]
+    fn display_includes_name_and_formula() {
+        let m = MemoryModel::new("SC", Formula::always());
+        assert_eq!(m.to_string(), "SC: F(x,y) = True");
+    }
+}

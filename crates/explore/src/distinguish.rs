@@ -1,0 +1,185 @@
+//! Minimal distinguishing test sets (§4.2: "a set of nine different litmus
+//! tests is sufficient to contrast any two non-equivalent memory models").
+//!
+//! Finding a smallest set of tests that separates every pair of
+//! non-equivalent models is a set-cover problem: the universe is the pairs
+//! of distinct verdict vectors, and test `t` covers a pair when the two
+//! vectors disagree on `t`. We compute a small cover greedily, then prove
+//! it minimum with the workspace SAT solver: "a cover of size `k - 1`
+//! exists" is encoded as selector variables + coverage clauses + a
+//! sequential-counter cardinality bound, and `Unsat` is the minimality
+//! certificate. The paper reports the sufficient set; the certificate is
+//! our extension.
+
+use mcm_sat::{cardinality, Lit, SatResult, Solver};
+
+use crate::space::Exploration;
+
+/// The distinct-vector pairs and, for each, the tests that separate it.
+fn coverage(exploration: &Exploration) -> Vec<Vec<usize>> {
+    let classes = exploration.equivalence_classes();
+    let mut pairs = Vec::new();
+    for (a, ca) in classes.iter().enumerate() {
+        for cb in classes.iter().skip(a + 1) {
+            let diff = exploration.distinguishing_tests(ca[0], cb[0]);
+            debug_assert!(!diff.is_empty(), "distinct classes must differ");
+            pairs.push(diff);
+        }
+    }
+    pairs
+}
+
+/// Greedy set cover: repeatedly pick the test separating the most
+/// still-unseparated pairs. Returns test indices in pick order.
+#[must_use]
+pub fn greedy_distinguishing_set(exploration: &Exploration) -> Vec<usize> {
+    let pairs = coverage(exploration);
+    let num_tests = exploration.tests.len();
+    let mut uncovered: Vec<&Vec<usize>> = pairs.iter().collect();
+    let mut chosen = Vec::new();
+    while !uncovered.is_empty() {
+        let mut counts = vec![0usize; num_tests];
+        for pair in &uncovered {
+            for &t in *pair {
+                counts[t] += 1;
+            }
+        }
+        let best = (0..num_tests)
+            .max_by_key(|&t| counts[t])
+            .expect("non-empty test list");
+        assert!(counts[best] > 0, "uncovered pair with no separating test");
+        chosen.push(best);
+        uncovered.retain(|pair| !pair.contains(&best));
+    }
+    chosen
+}
+
+/// Whether a set of tests separates every pair of non-equivalent models.
+#[must_use]
+pub fn is_sufficient(exploration: &Exploration, tests: &[usize]) -> bool {
+    coverage(exploration)
+        .iter()
+        .all(|pair| pair.iter().any(|t| tests.contains(t)))
+}
+
+/// Decides whether *some* cover of size at most `k` exists, by SAT.
+#[must_use]
+pub fn cover_of_size_exists(exploration: &Exploration, k: usize) -> bool {
+    let pairs = coverage(exploration);
+    if pairs.is_empty() {
+        return true;
+    }
+    let num_tests = exploration.tests.len();
+    let mut solver = Solver::new();
+    let selectors: Vec<Lit> = (0..num_tests).map(|_| solver.new_var().positive()).collect();
+    for pair in &pairs {
+        let clause: Vec<Lit> = pair.iter().map(|&t| selectors[t]).collect();
+        solver.add_clause(&clause);
+    }
+    cardinality::add_at_most_k(&mut solver, &selectors, k);
+    solver.solve() == SatResult::Sat
+}
+
+/// A minimum distinguishing set together with a minimality certificate.
+#[derive(Clone, Debug)]
+pub struct MinimalSet {
+    /// The chosen test indices (into [`Exploration::tests`]).
+    pub tests: Vec<usize>,
+    /// `true` when the SAT solver proved no smaller cover exists.
+    pub proved_minimum: bool,
+}
+
+/// Computes a minimum distinguishing set: greedy cover, then SAT queries
+/// shrinking the bound until `Unsat` certifies minimality.
+#[must_use]
+pub fn minimal_distinguishing_set(exploration: &Exploration) -> MinimalSet {
+    let greedy = greedy_distinguishing_set(exploration);
+    let mut best = greedy;
+    // Try to find strictly smaller covers via SAT, extracting the model.
+    while !best.is_empty() && cover_of_size_exists(exploration, best.len() - 1) {
+        best = extract_cover(exploration, best.len() - 1)
+            .expect("SAT said a smaller cover exists");
+    }
+    MinimalSet {
+        proved_minimum: true, // the loop exits on an Unsat certificate
+        tests: best,
+    }
+}
+
+/// Extracts an actual cover of size ≤ `k` from a satisfying assignment.
+fn extract_cover(exploration: &Exploration, k: usize) -> Option<Vec<usize>> {
+    let pairs = coverage(exploration);
+    let num_tests = exploration.tests.len();
+    let mut solver = Solver::new();
+    let selectors: Vec<Lit> = (0..num_tests).map(|_| solver.new_var().positive()).collect();
+    for pair in &pairs {
+        let clause: Vec<Lit> = pair.iter().map(|&t| selectors[t]).collect();
+        solver.add_clause(&clause);
+    }
+    cardinality::add_at_most_k(&mut solver, &selectors, k);
+    if solver.solve() != SatResult::Sat {
+        return None;
+    }
+    Some(
+        (0..num_tests)
+            .filter(|&t| solver.lit_value_opt(selectors[t]) == Some(true))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_axiomatic::ExplicitChecker;
+    use mcm_models::{catalog, named};
+
+    fn exploration() -> Exploration {
+        Exploration::run(
+            vec![
+                named::sc(),
+                named::tso(),
+                named::pso(),
+                named::ibm370(),
+                named::rmo(),
+            ],
+            catalog::all_tests(),
+            &ExplicitChecker::new(),
+        )
+    }
+
+    #[test]
+    fn greedy_cover_is_sufficient() {
+        let expl = exploration();
+        let cover = greedy_distinguishing_set(&expl);
+        assert!(is_sufficient(&expl, &cover));
+        assert!(!cover.is_empty());
+        // Dropping the last test breaks sufficiency or was redundant; at
+        // minimum the empty set cannot suffice for >1 class.
+        assert!(!is_sufficient(&expl, &[]));
+    }
+
+    #[test]
+    fn minimal_set_is_no_larger_than_greedy_and_sufficient() {
+        let expl = exploration();
+        let greedy = greedy_distinguishing_set(&expl);
+        let minimal = minimal_distinguishing_set(&expl);
+        assert!(minimal.tests.len() <= greedy.len());
+        assert!(minimal.proved_minimum);
+        assert!(is_sufficient(&expl, &minimal.tests));
+        // And the SAT side agrees no smaller cover exists.
+        assert!(!cover_of_size_exists(&expl, minimal.tests.len() - 1));
+        assert!(cover_of_size_exists(&expl, minimal.tests.len()));
+    }
+
+    #[test]
+    fn single_model_needs_no_tests() {
+        let expl = Exploration::run(
+            vec![named::sc()],
+            catalog::all_tests(),
+            &ExplicitChecker::new(),
+        );
+        let minimal = minimal_distinguishing_set(&expl);
+        assert!(minimal.tests.is_empty());
+        assert!(cover_of_size_exists(&expl, 0));
+    }
+}

@@ -1,0 +1,117 @@
+//! Graphviz DOT rendering of the model lattice (Figure 4).
+
+use crate::lattice::Lattice;
+use crate::space::Exploration;
+
+/// Options for [`render_dot`].
+#[derive(Clone, Debug)]
+pub struct DotOptions {
+    /// Graph name.
+    pub name: String,
+    /// Label edges with the distinguishing tests of a preferred set (e.g.
+    /// the nine tests of Figure 3); when a covering pair is distinguished
+    /// by several, the first preferred test is used, falling back to the
+    /// first distinguishing test.
+    pub preferred_tests: Vec<usize>,
+    /// Rank the strongest models at the top (Figure 4 places SC last /
+    /// bottom-right; graphviz `rankdir=BT` with weaker→stronger edges puts
+    /// SC on top, which reads naturally).
+    pub rankdir_bottom_to_top: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "models".to_string(),
+            preferred_tests: Vec::new(),
+            rankdir_bottom_to_top: true,
+        }
+    }
+}
+
+/// Renders the lattice as a DOT digraph. Nodes are equivalence classes
+/// labelled with every member model's name; edges point from weaker to
+/// stronger models, labelled with a distinguishing test, exactly as in
+/// Figure 4.
+#[must_use]
+pub fn render_dot(exploration: &Exploration, lattice: &Lattice, options: &DotOptions) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", options.name));
+    if options.rankdir_bottom_to_top {
+        out.push_str("  rankdir=BT;\n");
+    }
+    out.push_str("  node [shape=box, fontname=\"Helvetica\"];\n");
+    out.push_str("  edge [fontname=\"Helvetica\", fontsize=10];\n");
+    for (i, class) in lattice.classes.iter().enumerate() {
+        let label = class
+            .members
+            .iter()
+            .map(|&m| exploration.models[m].name().to_string())
+            .collect::<Vec<_>>()
+            .join("\\n");
+        out.push_str(&format!("  c{i} [label=\"{label}\"];\n"));
+    }
+    for edge in &lattice.edges {
+        let label_test = options
+            .preferred_tests
+            .iter()
+            .copied()
+            .find(|t| edge.distinguishing.contains(t))
+            .or_else(|| edge.distinguishing.first().copied());
+        let label = label_test
+            .map(|t| exploration.tests[t].name().to_string())
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "  c{} -> c{} [label=\"{}\"];\n",
+            edge.weaker, edge.stronger, label
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_axiomatic::ExplicitChecker;
+    use mcm_models::{catalog, named};
+
+    #[test]
+    fn dot_output_contains_nodes_and_labelled_edges() {
+        let expl = Exploration::run(
+            vec![named::sc(), named::tso(), named::x86(), named::pso()],
+            catalog::all_tests(),
+            &ExplicitChecker::new(),
+        );
+        let lattice = Lattice::build(&expl);
+        let dot = render_dot(&expl, &lattice, &DotOptions::default());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("rankdir=BT"));
+        // TSO and x86 share a node.
+        assert!(dot.contains("TSO\\nx86"));
+        assert!(dot.contains("SC"));
+        assert!(dot.contains("->"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn preferred_tests_label_edges() {
+        let tests = catalog::all_tests();
+        let l7_index = tests.iter().position(|t| t.name() == "L7").unwrap();
+        let expl = Exploration::run(
+            vec![named::sc(), named::tso()],
+            tests,
+            &ExplicitChecker::new(),
+        );
+        let lattice = Lattice::build(&expl);
+        let dot = render_dot(
+            &expl,
+            &lattice,
+            &DotOptions {
+                preferred_tests: vec![l7_index],
+                ..DotOptions::default()
+            },
+        );
+        assert!(dot.contains("label=\"L7\""));
+    }
+}

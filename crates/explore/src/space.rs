@@ -1,0 +1,188 @@
+//! Exploring a space of memory models over a litmus suite (§4.2).
+
+use mcm_axiomatic::{Checker, ExplicitChecker};
+use mcm_core::{Execution, LitmusTest, MemoryModel};
+
+use crate::verdict::{Relation, VerdictVector};
+
+/// The result of checking every model against every test.
+#[derive(Clone, Debug)]
+pub struct Exploration {
+    /// The models, in input order.
+    pub models: Vec<MemoryModel>,
+    /// The tests, in input order.
+    pub tests: Vec<LitmusTest>,
+    /// `verdicts[m]` is model `m`'s vector over `tests`.
+    pub verdicts: Vec<VerdictVector>,
+}
+
+impl Exploration {
+    /// Runs the exploration sequentially with the given checker.
+    #[must_use]
+    pub fn run(models: Vec<MemoryModel>, tests: Vec<LitmusTest>, checker: &dyn Checker) -> Self {
+        let executions: Vec<Execution> = tests.iter().map(LitmusTest::execution).collect();
+        let verdicts = models
+            .iter()
+            .map(|m| verdict_vector(m, &executions, checker))
+            .collect();
+        Exploration {
+            models,
+            tests,
+            verdicts,
+        }
+    }
+
+    /// Runs the exploration with the explicit checker, fanning the models
+    /// out over all available cores (crossbeam scoped threads).
+    #[must_use]
+    pub fn run_parallel(models: Vec<MemoryModel>, tests: Vec<LitmusTest>) -> Self {
+        let executions: Vec<Execution> = tests.iter().map(LitmusTest::execution).collect();
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(models.len().max(1));
+        let chunk_size = models.len().div_ceil(workers.max(1)).max(1);
+        let mut verdicts: Vec<Option<VerdictVector>> = vec![None; models.len()];
+        crossbeam::thread::scope(|scope| {
+            for (chunk_index, (model_chunk, verdict_chunk)) in models
+                .chunks(chunk_size)
+                .zip(verdicts.chunks_mut(chunk_size))
+                .enumerate()
+            {
+                let executions = &executions;
+                let _ = chunk_index;
+                scope.spawn(move |_| {
+                    let checker = ExplicitChecker::new();
+                    for (model, slot) in model_chunk.iter().zip(verdict_chunk.iter_mut()) {
+                        *slot = Some(verdict_vector(model, executions, &checker));
+                    }
+                });
+            }
+        })
+        .expect("exploration workers do not panic");
+        Exploration {
+            models,
+            tests,
+            verdicts: verdicts
+                .into_iter()
+                .map(|v| v.expect("all chunks computed"))
+                .collect(),
+        }
+    }
+
+    /// Number of models.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the exploration is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// The relation between models `i` and `j`.
+    #[must_use]
+    pub fn relation(&self, i: usize, j: usize) -> Relation {
+        Relation::classify(&self.verdicts[i], &self.verdicts[j])
+    }
+
+    /// Indices of tests that distinguish models `i` and `j`.
+    #[must_use]
+    pub fn distinguishing_tests(&self, i: usize, j: usize) -> Vec<usize> {
+        self.verdicts[i].diff_indices(&self.verdicts[j])
+    }
+
+    /// Groups model indices with identical verdict vectors, preserving
+    /// input order of first members.
+    #[must_use]
+    pub fn equivalence_classes(&self) -> Vec<Vec<usize>> {
+        let mut classes: Vec<Vec<usize>> = Vec::new();
+        for (i, vector) in self.verdicts.iter().enumerate() {
+            if let Some(class) = classes
+                .iter_mut()
+                .find(|c| &self.verdicts[c[0]] == vector)
+            {
+                class.push(i);
+            } else {
+                classes.push(vec![i]);
+            }
+        }
+        classes
+    }
+
+    /// All unordered pairs of equivalent (but distinct) models.
+    #[must_use]
+    pub fn equivalent_pairs(&self) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        for class in self.equivalence_classes() {
+            for (a, &i) in class.iter().enumerate() {
+                for &j in &class[a + 1..] {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+fn verdict_vector(
+    model: &MemoryModel,
+    executions: &[Execution],
+    checker: &dyn Checker,
+) -> VerdictVector {
+    let mut vector = VerdictVector::new(executions.len());
+    for (i, exec) in executions.iter().enumerate() {
+        vector.set(i, checker.check_execution(model, exec).allowed);
+    }
+    vector
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_models::catalog;
+    use mcm_models::named;
+
+    fn small_exploration() -> Exploration {
+        let models = vec![named::sc(), named::tso(), named::x86(), named::pso()];
+        let tests = vec![catalog::l1(), catalog::l7(), catalog::test_a()];
+        Exploration::run(models, tests, &ExplicitChecker::new())
+    }
+
+    #[test]
+    fn tso_and_x86_are_equivalent() {
+        let expl = small_exploration();
+        assert_eq!(expl.relation(1, 2), Relation::Equivalent);
+        assert_eq!(expl.equivalent_pairs(), vec![(1, 2)]);
+        assert_eq!(expl.equivalence_classes().len(), 3);
+    }
+
+    #[test]
+    fn sc_is_strictly_stronger_than_tso() {
+        let expl = small_exploration();
+        assert_eq!(expl.relation(0, 1), Relation::StrictlyStronger);
+        assert_eq!(expl.relation(1, 0), Relation::StrictlyWeaker);
+        let tests = expl.distinguishing_tests(0, 1);
+        assert!(!tests.is_empty());
+        // All distinguishing tests are allowed by TSO and forbidden by SC.
+        for t in tests {
+            assert!(expl.verdicts[1].allowed(t));
+            assert!(!expl.verdicts[0].allowed(t));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let models = vec![named::sc(), named::tso(), named::pso(), named::rmo()];
+        let tests = catalog::all_tests();
+        let seq = Exploration::run(
+            models.clone(),
+            tests.clone(),
+            &ExplicitChecker::new(),
+        );
+        let par = Exploration::run_parallel(models, tests);
+        assert_eq!(seq.verdicts, par.verdicts);
+    }
+}

@@ -1,0 +1,83 @@
+//! Corollary 1: counting the template instantiations.
+//!
+//! > *Suppose the number of distinct local segments of each type given by
+//! > `N_WW`, `N_WR`, `N_RW`, and `N_RR`. The total number of required
+//! > tests is given by*
+//! > `N_RW + N_WW + N_RR·(N_WW + N_WR·N_RW) + N_WR·(1 + N_RR + N_RW)`.
+//!
+//! With the paper's predicate set (`N_RW = N_RR = 6`, `N_WR = N_WW = 4`)
+//! this gives **230** tests; without data dependencies (`all = 4`), **124**
+//! — versus roughly a million naively enumerated tests (see
+//! [`crate::naive`]) and the "several thousands" of the earlier
+//! CAV 2010 generator the paper improves on.
+
+use crate::segment::Segment;
+
+/// Evaluates Corollary 1 for the given per-type segment counts.
+#[must_use]
+pub fn corollary1(n_ww: u64, n_wr: u64, n_rw: u64, n_rr: u64) -> u64 {
+    n_rw + n_ww + n_rr * (n_ww + n_wr * n_rw) + n_wr * (1 + n_rr + n_rw)
+}
+
+/// The paper's headline numbers: 230 tests with the `DataDep` predicate,
+/// 124 without.
+#[must_use]
+pub fn paper_bound(with_deps: bool) -> u64 {
+    extended_bound(with_deps, false)
+}
+
+/// Corollary 1 evaluated for a predicate set that may also include
+/// `ControlDep` (an extension over the paper's tool): with both dependency
+/// predicates the bound is 368.
+#[must_use]
+pub fn extended_bound(with_deps: bool, with_ctrl: bool) -> u64 {
+    let (ww, wr, rw, rr) = Segment::counts_extended(with_deps, with_ctrl);
+    corollary1(ww as u64, wr as u64, rw as u64, rr as u64)
+}
+
+/// Breakdown of the bound by template case, in proof order
+/// (1, 2, 3a, 3b, 4, 5a, 5b).
+#[must_use]
+pub fn per_case_bounds(with_deps: bool) -> [u64; 7] {
+    let (ww, wr, rw, rr) = Segment::counts(with_deps);
+    let (ww, wr, rw, rr) = (ww as u64, wr as u64, rw as u64, rr as u64);
+    [
+        rw,           // case 1
+        ww,           // case 2
+        rr * ww,      // case 3a
+        rr * wr * rw, // case 3b
+        wr,           // case 4
+        wr * rr,      // case 5a
+        wr * rw,      // case 5b
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers() {
+        assert_eq!(corollary1(4, 4, 6, 6), 230);
+        assert_eq!(corollary1(4, 4, 4, 4), 124);
+        assert_eq!(paper_bound(true), 230);
+        assert_eq!(paper_bound(false), 124);
+    }
+
+    #[test]
+    fn per_case_sums_match_the_total() {
+        for with_deps in [true, false] {
+            let total: u64 = per_case_bounds(with_deps).iter().sum();
+            assert_eq!(total, paper_bound(with_deps));
+        }
+    }
+
+    #[test]
+    fn formula_is_monotone_in_each_argument() {
+        let base = corollary1(4, 4, 6, 6);
+        assert!(corollary1(5, 4, 6, 6) > base);
+        assert!(corollary1(4, 5, 6, 6) > base);
+        assert!(corollary1(4, 4, 7, 6) > base);
+        assert!(corollary1(4, 4, 6, 7) > base);
+    }
+}

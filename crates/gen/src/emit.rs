@@ -1,0 +1,239 @@
+//! Low-level emitter used by the template engine to materialise segments
+//! into concrete litmus programs.
+//!
+//! The emitter owns register allocation (fresh register per read / op, per
+//! thread), value allocation (distinct non-zero value per write, per
+//! location, so read-from maps are unambiguous) and outcome constraints.
+
+use mcm_core::{
+    CoreError, LitmusTest, Loc, Outcome, Program, Reg, RegExpr, ThreadId, Value,
+};
+
+use crate::segment::Connector;
+
+/// Handle to a read emitted into the program (for outcome wiring).
+#[derive(Clone, Copy, Debug)]
+pub struct ReadHandle {
+    thread: ThreadId,
+    reg: Reg,
+}
+
+/// Builds a litmus program thread by thread.
+#[derive(Debug, Default)]
+pub struct Emitter {
+    builder: Option<mcm_core::ProgramBuilder>,
+    current_thread: Option<ThreadId>,
+    thread_count: u8,
+    next_reg: u8,
+    next_value: i64,
+    outcome: Outcome,
+}
+
+impl Emitter {
+    /// Creates an empty emitter.
+    #[must_use]
+    pub fn new() -> Self {
+        Emitter {
+            builder: Some(Program::builder()),
+            current_thread: None,
+            thread_count: 0,
+            next_reg: 1,
+            next_value: 1,
+            outcome: Outcome::new(),
+        }
+    }
+
+    fn with_builder(
+        &mut self,
+        f: impl FnOnce(mcm_core::ProgramBuilder) -> mcm_core::ProgramBuilder,
+    ) {
+        let builder = self.builder.take().expect("emitter not finished");
+        self.builder = Some(f(builder));
+    }
+
+    /// Opens a new thread; subsequent emissions go to it.
+    pub fn thread(&mut self) -> ThreadId {
+        self.with_builder(mcm_core::ProgramBuilder::thread);
+        let tid = ThreadId(self.thread_count);
+        self.thread_count += 1;
+        self.current_thread = Some(tid);
+        // Registers are per-thread in display but globally unique here to
+        // keep generated programs easy to read.
+        tid
+    }
+
+    fn current(&self) -> ThreadId {
+        self.current_thread.expect("call thread() first")
+    }
+
+    /// Emits `read loc -> fresh_reg` and returns its handle.
+    pub fn read(&mut self, loc: Loc) -> ReadHandle {
+        let reg = Reg(self.next_reg);
+        self.next_reg += 1;
+        self.with_builder(|b| b.read(loc, reg));
+        ReadHandle {
+            thread: self.current(),
+            reg,
+        }
+    }
+
+    /// Emits a read of `loc` whose *address* depends on the earlier read
+    /// `src` (the `t = r - r + &loc; read [t]` idiom).
+    pub fn read_with_addr_dep(&mut self, src: ReadHandle, loc: Loc) -> ReadHandle {
+        assert_eq!(src.thread, self.current(), "dependency must be local");
+        let tmp = Reg(self.next_reg);
+        let dst = Reg(self.next_reg + 1);
+        self.next_reg += 2;
+        self.with_builder(|b| b.dep_addr(tmp, src.reg, loc).read_indirect(tmp, dst));
+        ReadHandle {
+            thread: self.current(),
+            reg: dst,
+        }
+    }
+
+    /// Emits a branch on `src` followed by a read of `loc`: the read is
+    /// control-dependent on `src`.
+    pub fn read_with_ctrl_dep(&mut self, src: ReadHandle, loc: Loc) -> ReadHandle {
+        assert_eq!(src.thread, self.current(), "dependency must be local");
+        let src_reg = src.reg;
+        self.with_builder(move |b| b.branch_on(src_reg));
+        self.read(loc)
+    }
+
+    /// Emits `write loc = fresh_value` and returns the stored value.
+    pub fn write(&mut self, loc: Loc) -> Value {
+        let value = Value(self.next_value);
+        self.next_value += 1;
+        self.with_builder(|b| b.write(loc, value));
+        value
+    }
+
+    /// Emits a write of a fresh value to `loc` whose stored value depends
+    /// on the earlier read `src` (the `t = r - r + v; write loc = t` idiom).
+    pub fn write_with_data_dep(&mut self, src: ReadHandle, loc: Loc) -> Value {
+        assert_eq!(src.thread, self.current(), "dependency must be local");
+        let value = Value(self.next_value);
+        self.next_value += 1;
+        let tmp = Reg(self.next_reg);
+        self.next_reg += 1;
+        self.with_builder(|b| {
+            b.dep_const(tmp, src.reg, value)
+                .write_expr(loc, RegExpr::Reg(tmp))
+        });
+        value
+    }
+
+    /// Emits a branch on `src` followed by a write to `loc`: the write is
+    /// control-dependent on `src`.
+    pub fn write_with_ctrl_dep(&mut self, src: ReadHandle, loc: Loc) -> Value {
+        assert_eq!(src.thread, self.current(), "dependency must be local");
+        let src_reg = src.reg;
+        self.with_builder(move |b| b.branch_on(src_reg));
+        self.write(loc)
+    }
+
+    /// Emits a full fence.
+    pub fn fence(&mut self) {
+        self.with_builder(mcm_core::ProgramBuilder::fence);
+    }
+
+    /// Emits a special fence flavour (§3.3).
+    pub fn special_fence(&mut self, flavour: u8) {
+        self.with_builder(move |b| b.special_fence(flavour));
+    }
+
+    /// Emits the connector between a segment's two accesses. For
+    /// [`Connector::DataDep`] and [`Connector::CtrlDep`] the *caller* emits
+    /// the dependent access via the `*_with_*_dep` methods; this method
+    /// then does nothing.
+    pub fn connector(&mut self, connector: Connector) {
+        match connector {
+            Connector::None | Connector::DataDep | Connector::CtrlDep => {}
+            Connector::Fence => self.fence(),
+        }
+    }
+
+    /// Constrains `read` to observe `value` in the outcome.
+    pub fn expect(&mut self, read: ReadHandle, value: Value) {
+        self.outcome = std::mem::take(&mut self.outcome).constrain(read.thread, read.reg, value);
+    }
+
+    /// Constrains `read` to observe the initial value (zero).
+    pub fn expect_init(&mut self, read: ReadHandle) {
+        self.expect(read, Value::INIT);
+    }
+
+    /// Finishes the program and wraps it into a named litmus test.
+    ///
+    /// # Errors
+    ///
+    /// Propagates program/outcome validation failures — template
+    /// construction bugs, surfaced eagerly.
+    pub fn finish(mut self, name: impl Into<String>) -> Result<LitmusTest, CoreError> {
+        let builder = self.builder.take().expect("emitter not finished");
+        let program = builder.build()?;
+        LitmusTest::new(name, program, self.outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_store_buffering() {
+        let mut em = Emitter::new();
+        em.thread();
+        let _v1 = em.write(Loc::X);
+        let r1 = em.read(Loc::Y);
+        em.thread();
+        let _v2 = em.write(Loc::Y);
+        let r2 = em.read(Loc::X);
+        em.expect_init(r1);
+        em.expect_init(r2);
+        let test = em.finish("sb").unwrap();
+        assert_eq!(test.program().access_count(), 4);
+        assert_eq!(test.outcome().len(), 2);
+    }
+
+    #[test]
+    fn values_are_distinct_across_writes() {
+        let mut em = Emitter::new();
+        em.thread();
+        let v1 = em.write(Loc::X);
+        let v2 = em.write(Loc::X);
+        em.thread();
+        let v3 = em.write(Loc::Y);
+        assert!(v1 != v2 && v2 != v3 && v1 != v3);
+        em.finish("w3").unwrap();
+    }
+
+    #[test]
+    fn dependency_emissions_produce_dependencies() {
+        let mut em = Emitter::new();
+        em.thread();
+        let r1 = em.read(Loc::X);
+        let r2 = em.read_with_addr_dep(r1, Loc::Y);
+        let _v = em.write_with_data_dep(r2, Loc::Z);
+        em.expect_init(r1);
+        em.expect_init(r2);
+        let test = em.finish("deps").unwrap();
+        let exec = test.execution();
+        let reads: Vec<_> = exec.reads().map(|e| e.id).collect();
+        let write = exec.writes().next().unwrap().id;
+        assert!(exec.addr_dep(reads[0], reads[1]));
+        assert!(exec.data_dep(reads[1], write));
+    }
+
+    #[test]
+    fn cross_thread_dependency_panics() {
+        let mut em = Emitter::new();
+        em.thread();
+        let r1 = em.read(Loc::X);
+        em.thread();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            em.read_with_addr_dep(r1, Loc::Y);
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! # mcm-gen
+//!
+//! Litmus-test generation, implementing §3 of the paper:
+//!
+//! * [`segment`] — local segments (type × connector × address relation)
+//!   and their enumeration per predicate set;
+//! * [`template`] — the seven templates of Theorem 1's proof (Figure 2),
+//!   each materialising a two-thread, ≤ six-access litmus test from a
+//!   critical segment;
+//! * [`suite`] — the full comparison suite (§3.4);
+//! * [`count`] — Corollary 1 (230 tests with dependencies, 124 without);
+//! * [`naive`] — the bounded-enumeration baseline (≈ a million tests) the
+//!   paper improves on by orders of magnitude;
+//! * [`local`] — the §3.3 bound on non-memory instructions and the special
+//!   fence-chain family showing the bound is predicate-dependent.
+//!
+//! ## Example
+//!
+//! ```
+//! use mcm_gen::{count, suite};
+//!
+//! assert_eq!(count::paper_bound(true), 230);
+//! assert_eq!(count::paper_bound(false), 124);
+//! let tests = suite::template_suite(false);
+//! assert!(tests.len() <= 124);
+//! assert!(tests.tests.iter().all(|t| t.program().access_count() <= 6));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod count;
+pub mod emit;
+pub mod local;
+pub mod naive;
+pub mod segment;
+pub mod suite;
+pub mod template;
+
+pub use segment::{AccessKind, AddrRel, Connector, Segment, SegmentType};
+pub use suite::{template_suite, template_suite_extended, TestSuite};

@@ -1,0 +1,169 @@
+//! Local-segment length bounds (§3.3).
+//!
+//! Theorem 1 bounds threads and memory accesses, but the number of
+//! *non-memory* instructions in a litmus test depends on the predicate
+//! set: §3.3 exhibits a family of models with `n` special fence flavours
+//! `f1 … fn` whose contrasting test needs a local segment of `n + 2`
+//! instructions (`Read X, f1, …, fn, Write Y`), and shows a matching upper
+//! bound — a minimal segment never contains two *equivalent* non-memory
+//! instructions, so its length is bounded by the number of equivalence
+//! classes induced by the predicates.
+//!
+//! This module materialises that example family and the bound.
+
+use mcm_core::{
+    ArgPos, Atom, Formula, LitmusTest, Loc, MemoryModel, Outcome, Program, Reg, ThreadId, Value,
+};
+
+/// The `special(x, y)` predicate of §3.3 as a positive formula: true when
+/// `x` is an access and `y = f1`, when `x = fn` and `y` is an access, or
+/// when `x = f_i` and `y = f_{i+1}`.
+#[must_use]
+pub fn special_chain_formula(n: u8) -> Formula {
+    assert!(n >= 1, "the chain needs at least one flavour");
+    let access = |pos| Formula::atom(Atom::IsAccess(pos));
+    let flavour = |i: u8, pos| Formula::atom(Atom::IsSpecialFence(i, pos));
+    let mut disjuncts = vec![
+        Formula::and([access(ArgPos::First), flavour(1, ArgPos::Second)]),
+        Formula::and([flavour(n, ArgPos::First), access(ArgPos::Second)]),
+    ];
+    for i in 1..n {
+        disjuncts.push(Formula::and([
+            flavour(i, ArgPos::First),
+            flavour(i + 1, ArgPos::Second),
+        ]));
+    }
+    Formula::or(disjuncts)
+}
+
+/// The §3.3 model pair: `F1 = SameAddr ∨ special(x, y)` and
+/// `F2 = SameAddr`. They differ, but only on tests whose local segment
+/// threads an access through the complete chain `f1 … fn`.
+#[must_use]
+pub fn special_chain_models(n: u8) -> (MemoryModel, MemoryModel) {
+    let f1 = Formula::or([
+        Formula::atom(Atom::SameAddr),
+        special_chain_formula(n),
+    ]);
+    let f2 = Formula::atom(Atom::SameAddr);
+    (
+        MemoryModel::new(format!("F1-chain{n}"), f1),
+        MemoryModel::new("F2", f2),
+    )
+}
+
+/// The contrasting litmus test: a load-buffering shape whose threads run
+/// the full fence chain between read and write (local segments of `n + 2`
+/// instructions). `F2` allows the outcome; `F1` forbids it.
+#[must_use]
+pub fn special_chain_contrast_test(n: u8) -> LitmusTest {
+    special_chain_test(n, &(1..=n).collect::<Vec<u8>>())
+}
+
+/// Like [`special_chain_contrast_test`] but with an arbitrary subsequence
+/// of the chain — used to demonstrate that any *incomplete* chain fails to
+/// contrast the two models (hence the `n + 2` lower bound).
+#[must_use]
+pub fn special_chain_test(n: u8, flavours: &[u8]) -> LitmusTest {
+    assert!(flavours.iter().all(|&f| f >= 1 && f <= n));
+    let chain = |mut b: mcm_core::ProgramBuilder| {
+        for &f in flavours {
+            b = b.special_fence(f);
+        }
+        b
+    };
+    let mut builder = Program::builder()
+        .thread()
+        .read(Loc::X, Reg(1));
+    builder = chain(builder).write(Loc::Y, Value(1)).thread().read(Loc::Y, Reg(2));
+    let program = chain(builder)
+        .write(Loc::X, Value(1))
+        .build()
+        .expect("chain test is well-formed");
+    let outcome = Outcome::new()
+        .constrain(ThreadId(0), Reg(1), Value(1))
+        .constrain(ThreadId(1), Reg(2), Value(1));
+    LitmusTest::new(format!("chain{n}-{:?}", flavours), program, outcome)
+        .expect("outcome constrains all reads")
+        .with_description(format!(
+            "§3.3 special-fence family: LB with chain {flavours:?} of {n}"
+        ))
+}
+
+/// The §3.3 upper bound on local-segment length for a must-not-reorder
+/// function: two accesses plus at most one instruction per equivalence
+/// class of non-memory instructions distinguishable by the formula's
+/// predicates (generic ops, the full fence if mentioned, and each special
+/// flavour mentioned).
+#[must_use]
+pub fn local_segment_bound(formula: &Formula) -> usize {
+    let mut classes = 1; // ops/branches: indistinguishable by kind atoms
+    let mut full_fence = false;
+    let mut flavours: Vec<u8> = Vec::new();
+    for atom in formula.atoms() {
+        match atom {
+            Atom::IsFence(_) => full_fence = true,
+            Atom::IsSpecialFence(f, _) => {
+                if !flavours.contains(&f) {
+                    flavours.push(f);
+                }
+            }
+            _ => {}
+        }
+    }
+    if full_fence {
+        classes += 1;
+    }
+    classes += flavours.len();
+    classes + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_formula_shape() {
+        let f = special_chain_formula(3);
+        let atoms = f.atoms();
+        // 2 access atoms + 2 endpoint flavours + 2×2 link flavours.
+        assert_eq!(atoms.len(), 8);
+        assert!(!f.uses_dependencies());
+    }
+
+    #[test]
+    fn contrast_test_has_n_plus_2_segments() {
+        for n in 1..=4u8 {
+            let test = special_chain_contrast_test(n);
+            let thread = &test.program().threads[0];
+            assert_eq!(thread.instructions.len(), usize::from(n) + 2);
+            assert_eq!(test.program().access_count(), 4);
+        }
+    }
+
+    #[test]
+    fn bound_grows_with_the_chain() {
+        for n in 1..=4u8 {
+            let (f1, _) = special_chain_models(n);
+            let bound = local_segment_bound(f1.formula());
+            // 1 op class + n flavours + 2 accesses.
+            assert_eq!(bound, usize::from(n) + 3);
+            // The contrast test's segments fit within the bound.
+            assert!(usize::from(n) + 2 <= bound);
+        }
+    }
+
+    #[test]
+    fn standard_formulas_have_small_bounds() {
+        let fences_only = Formula::fence_either();
+        assert_eq!(local_segment_bound(&fences_only), 4);
+        let bare = Formula::atom(Atom::SameAddr);
+        assert_eq!(local_segment_bound(&bare), 3);
+    }
+
+    #[test]
+    fn subchain_tests_are_constructible() {
+        let test = special_chain_test(3, &[1, 3]);
+        assert_eq!(test.program().threads[0].instructions.len(), 4);
+    }
+}

@@ -1,0 +1,293 @@
+//! Local segments (paper §3.2–3.4).
+//!
+//! A *segment* is a sequence of instructions starting and ending with a
+//! memory access and containing no other access; the instructions between
+//! the two accesses (here: nothing, a dependency idiom, or a fence) are the
+//! *local segment*. Segments are classified by their end-point kinds
+//! (read-read, read-write, write-read, write-write), by the address
+//! relation of the two accesses, and by the connector.
+//!
+//! For the paper's predicate set `{Read, Write, Fence, SameAddr, DataDep}`
+//! the distinct segments per type are `N_RW = N_RR = 6` (three connectors ×
+//! two address relations) and `N_WR = N_WW = 4` (writes produce no
+//! dependencies, so the dependency connector only exists after a read);
+//! dropping `DataDep` gives `6 → 4`.
+
+use std::fmt;
+
+/// Read or write — the end points of a segment.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AccessKind {
+    /// A memory read.
+    Read,
+    /// A memory write.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "R"),
+            AccessKind::Write => write!(f, "W"),
+        }
+    }
+}
+
+/// The four segment types.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SegmentType {
+    /// Read then read.
+    ReadRead,
+    /// Read then write.
+    ReadWrite,
+    /// Write then read.
+    WriteRead,
+    /// Write then write.
+    WriteWrite,
+}
+
+impl SegmentType {
+    /// All four types.
+    pub const ALL: [SegmentType; 4] = [
+        SegmentType::ReadRead,
+        SegmentType::ReadWrite,
+        SegmentType::WriteRead,
+        SegmentType::WriteWrite,
+    ];
+
+    /// The first access kind.
+    #[must_use]
+    pub fn first(self) -> AccessKind {
+        match self {
+            SegmentType::ReadRead | SegmentType::ReadWrite => AccessKind::Read,
+            SegmentType::WriteRead | SegmentType::WriteWrite => AccessKind::Write,
+        }
+    }
+
+    /// The second access kind.
+    #[must_use]
+    pub fn last(self) -> AccessKind {
+        match self {
+            SegmentType::ReadRead | SegmentType::WriteRead => AccessKind::Read,
+            SegmentType::ReadWrite | SegmentType::WriteWrite => AccessKind::Write,
+        }
+    }
+}
+
+impl fmt::Display for SegmentType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.first(), self.last())
+    }
+}
+
+/// What sits between the two accesses of a segment.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Connector {
+    /// Nothing: the accesses are adjacent.
+    None,
+    /// A syntactic dependency from the first access (a read) into the
+    /// second access — an address dependency when the second access is a
+    /// read, a value dependency when it is a write.
+    DataDep,
+    /// A full fence.
+    Fence,
+    /// A branch conditioned on the first access (a read), making the
+    /// second access control-dependent on it. The paper's tool did not
+    /// implement control dependencies ("supported by our framework" —
+    /// §4.2); this workspace does, as an extension.
+    CtrlDep,
+}
+
+impl fmt::Display for Connector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Connector::None => write!(f, "adjacent"),
+            Connector::DataDep => write!(f, "dep"),
+            Connector::Fence => write!(f, "fence"),
+            Connector::CtrlDep => write!(f, "ctrl"),
+        }
+    }
+}
+
+/// Whether the segment's two accesses share an address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AddrRel {
+    /// Both accesses touch the same location.
+    Same,
+    /// The accesses touch different locations.
+    Diff,
+}
+
+impl fmt::Display for AddrRel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrRel::Same => write!(f, "same"),
+            AddrRel::Diff => write!(f, "diff"),
+        }
+    }
+}
+
+/// A local segment: end-point kinds, connector, address relation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Segment {
+    /// The segment type (end-point access kinds).
+    pub ty: SegmentType,
+    /// The connector between the accesses.
+    pub connector: Connector,
+    /// The address relation of the accesses.
+    pub addr_rel: AddrRel,
+}
+
+impl Segment {
+    /// Creates a segment if the combination is well-formed (a dependency or
+    /// control connector requires the first access to be a read — writes
+    /// produce no values for later instructions to depend on).
+    #[must_use]
+    pub fn new(ty: SegmentType, connector: Connector, addr_rel: AddrRel) -> Option<Segment> {
+        if matches!(connector, Connector::DataDep | Connector::CtrlDep)
+            && ty.first() != AccessKind::Read
+        {
+            return None;
+        }
+        Some(Segment {
+            ty,
+            connector,
+            addr_rel,
+        })
+    }
+
+    /// Enumerates all distinct segments of `ty` for the paper's predicate
+    /// set, with (`with_deps = true`) or without the `DataDep` predicate.
+    #[must_use]
+    pub fn enumerate(ty: SegmentType, with_deps: bool) -> Vec<Segment> {
+        Segment::enumerate_extended(ty, with_deps, false)
+    }
+
+    /// Like [`Segment::enumerate`], optionally including the
+    /// control-dependency connector (for predicate sets with `ControlDep`,
+    /// which the paper's tool left unimplemented).
+    #[must_use]
+    pub fn enumerate_extended(ty: SegmentType, with_deps: bool, with_ctrl: bool) -> Vec<Segment> {
+        let mut out = Vec::new();
+        let connectors = [
+            Connector::None,
+            Connector::DataDep,
+            Connector::CtrlDep,
+            Connector::Fence,
+        ];
+        for connector in connectors {
+            if connector == Connector::DataDep && !with_deps {
+                continue;
+            }
+            if connector == Connector::CtrlDep && !with_ctrl {
+                continue;
+            }
+            for addr_rel in [AddrRel::Same, AddrRel::Diff] {
+                if let Some(segment) = Segment::new(ty, connector, addr_rel) {
+                    out.push(segment);
+                }
+            }
+        }
+        out
+    }
+
+    /// The `(N_WW, N_WR, N_RW, N_RR)` counts of Corollary 1 for the paper's
+    /// predicate set with or without `DataDep`.
+    #[must_use]
+    pub fn counts(with_deps: bool) -> (usize, usize, usize, usize) {
+        Segment::counts_extended(with_deps, false)
+    }
+
+    /// Segment counts when the `ControlDep` predicate (and connector) is
+    /// also enabled.
+    #[must_use]
+    pub fn counts_extended(with_deps: bool, with_ctrl: bool) -> (usize, usize, usize, usize) {
+        (
+            Segment::enumerate_extended(SegmentType::WriteWrite, with_deps, with_ctrl).len(),
+            Segment::enumerate_extended(SegmentType::WriteRead, with_deps, with_ctrl).len(),
+            Segment::enumerate_extended(SegmentType::ReadWrite, with_deps, with_ctrl).len(),
+            Segment::enumerate_extended(SegmentType::ReadRead, with_deps, with_ctrl).len(),
+        )
+    }
+
+    /// A short identifier used in generated test names, e.g. `rw-dep-diff`.
+    #[must_use]
+    pub fn tag(&self) -> String {
+        let ty = match self.ty {
+            SegmentType::ReadRead => "rr",
+            SegmentType::ReadWrite => "rw",
+            SegmentType::WriteRead => "wr",
+            SegmentType::WriteWrite => "ww",
+        };
+        let conn = match self.connector {
+            Connector::None => "adj",
+            Connector::DataDep => "dep",
+            Connector::Fence => "fen",
+            Connector::CtrlDep => "ctl",
+        };
+        let rel = match self.addr_rel {
+            AddrRel::Same => "same",
+            AddrRel::Diff => "diff",
+        };
+        format!("{ty}-{conn}-{rel}")
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} segment ({}, {})", self.ty, self.connector, self.addr_rel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_corollary1_parameters() {
+        assert_eq!(Segment::counts(true), (4, 4, 6, 6));
+        assert_eq!(Segment::counts(false), (4, 4, 4, 4));
+    }
+
+    #[test]
+    fn dep_connector_requires_leading_read() {
+        assert!(Segment::new(SegmentType::WriteRead, Connector::DataDep, AddrRel::Diff).is_none());
+        assert!(Segment::new(SegmentType::WriteWrite, Connector::DataDep, AddrRel::Same).is_none());
+        assert!(Segment::new(SegmentType::ReadRead, Connector::DataDep, AddrRel::Diff).is_some());
+        assert!(Segment::new(SegmentType::ReadWrite, Connector::DataDep, AddrRel::Same).is_some());
+    }
+
+    #[test]
+    fn enumeration_has_no_duplicates() {
+        for ty in SegmentType::ALL {
+            for with_deps in [false, true] {
+                let segs = Segment::enumerate(ty, with_deps);
+                let mut deduped = segs.clone();
+                deduped.sort();
+                deduped.dedup();
+                assert_eq!(segs.len(), deduped.len());
+                assert!(segs.iter().all(|s| s.ty == ty));
+            }
+        }
+    }
+
+    #[test]
+    fn type_endpoints() {
+        assert_eq!(SegmentType::ReadWrite.first(), AccessKind::Read);
+        assert_eq!(SegmentType::ReadWrite.last(), AccessKind::Write);
+        assert_eq!(SegmentType::WriteRead.to_string(), "WR");
+    }
+
+    #[test]
+    fn tags_are_unique_across_all_segments() {
+        let mut tags: Vec<String> = SegmentType::ALL
+            .iter()
+            .flat_map(|&ty| Segment::enumerate(ty, true))
+            .map(|s| s.tag())
+            .collect();
+        let before = tags.len();
+        tags.sort();
+        tags.dedup();
+        assert_eq!(tags.len(), before);
+    }
+}

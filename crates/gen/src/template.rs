@@ -1,0 +1,437 @@
+//! The seven litmus-test templates of Theorem 1 (§3.2, Figure 2).
+//!
+//! The proof constructs, for every possible *critical segment* (the
+//! program-ordered pair of accesses on which two models disagree), a
+//! two-thread litmus test with at most six memory accesses whose demanded
+//! outcome is allowed exactly when the critical edge is absent:
+//!
+//! | template | critical segment       | auxiliary segments      | accesses |
+//! |----------|------------------------|-------------------------|----------|
+//! | Case 1   | read-write             | mirrored copy           | 4        |
+//! | Case 2   | write-write            | copy + two reads        | 6        |
+//! | Case 3a  | read-read              | write-write             | 4        |
+//! | Case 3b  | read-read              | write-read ⋈ read-write | 5        |
+//! | Case 4   | write-read (diff addr) | mirrored copy           | 4        |
+//! | Case 5a  | write-read (same addr) | read-read continuation  | 6        |
+//! | Case 5b  | write-read (same addr) | read-write continuation | 6        |
+//!
+//! Some `(critical, auxiliary)` combinations are geometrically impossible —
+//! e.g. Case 3a with a same-address read-read segment but a
+//! different-address write-write segment needs the two write targets to be
+//! simultaneously equal and distinct. Those slots return `None`; Corollary
+//! 1 counts them anyway, which is why its bound (230 with dependencies) is
+//! an over-approximation of the materialised suite.
+
+use mcm_core::{LitmusTest, Loc, Value};
+
+use crate::emit::{Emitter, ReadHandle};
+use crate::segment::{AddrRel, Connector, Segment, SegmentType};
+
+fn pair_locs(rel: AddrRel, first: Loc, other: Loc) -> (Loc, Loc) {
+    match rel {
+        AddrRel::Same => (first, first),
+        AddrRel::Diff => (first, other),
+    }
+}
+
+/// Emits a read-read segment; returns the two read handles.
+fn emit_rr(em: &mut Emitter, seg: Segment, loc1: Loc, loc2: Loc) -> (ReadHandle, ReadHandle) {
+    debug_assert_eq!(seg.ty, SegmentType::ReadRead);
+    let r1 = em.read(loc1);
+    let r2 = match seg.connector {
+        Connector::DataDep => em.read_with_addr_dep(r1, loc2),
+        Connector::CtrlDep => em.read_with_ctrl_dep(r1, loc2),
+        c => {
+            em.connector(c);
+            em.read(loc2)
+        }
+    };
+    (r1, r2)
+}
+
+/// Emits a read-write segment; returns the read handle and written value.
+fn emit_rw(em: &mut Emitter, seg: Segment, loc_r: Loc, loc_w: Loc) -> (ReadHandle, Value) {
+    debug_assert_eq!(seg.ty, SegmentType::ReadWrite);
+    let r = em.read(loc_r);
+    let v = match seg.connector {
+        Connector::DataDep => em.write_with_data_dep(r, loc_w),
+        Connector::CtrlDep => em.write_with_ctrl_dep(r, loc_w),
+        c => {
+            em.connector(c);
+            em.write(loc_w)
+        }
+    };
+    (r, v)
+}
+
+/// Emits a write-read segment; returns the written value and read handle.
+fn emit_wr(em: &mut Emitter, seg: Segment, loc_w: Loc, loc_r: Loc) -> (Value, ReadHandle) {
+    debug_assert_eq!(seg.ty, SegmentType::WriteRead);
+    let v = em.write(loc_w);
+    em.connector(seg.connector);
+    let r = em.read(loc_r);
+    (v, r)
+}
+
+/// Emits a write-write segment; returns the two written values.
+fn emit_ww(em: &mut Emitter, seg: Segment, loc1: Loc, loc2: Loc) -> (Value, Value) {
+    debug_assert_eq!(seg.ty, SegmentType::WriteWrite);
+    let v1 = em.write(loc1);
+    em.connector(seg.connector);
+    let v2 = em.write(loc2);
+    (v1, v2)
+}
+
+/// Case 1: critical read-write segment, mirrored (4 accesses).
+///
+/// The generalised load-buffering shape: each thread's read observes the
+/// other thread's write.
+#[must_use]
+pub fn case1(rw: Segment) -> Option<LitmusTest> {
+    if rw.ty != SegmentType::ReadWrite {
+        return None;
+    }
+    let (a, b) = pair_locs(rw.addr_rel, Loc::X, Loc::Y);
+    let mut em = Emitter::new();
+    em.thread();
+    let (r1, v1) = emit_rw(&mut em, rw, a, b);
+    em.thread();
+    let (r2, v2) = emit_rw(&mut em, rw, b, a);
+    em.expect(r1, v2);
+    em.expect(r2, v1);
+    Some(
+        em.finish(format!("c1[{}]", rw.tag()))
+            .expect("case 1 construction is well-formed")
+            .with_description(format!("Theorem 1 Case 1: critical {rw}")),
+    )
+}
+
+/// Case 2: critical write-write segment, copied with switched addresses,
+/// plus one observer read per thread (6 accesses).
+#[must_use]
+pub fn case2(ww: Segment) -> Option<LitmusTest> {
+    if ww.ty != SegmentType::WriteWrite {
+        return None;
+    }
+    let (a, b) = pair_locs(ww.addr_rel, Loc::X, Loc::Y);
+    let mut em = Emitter::new();
+    em.thread();
+    let (v1a, _v1b) = emit_ww(&mut em, ww, a, b);
+    let r1 = em.read(b);
+    em.thread();
+    let (v2b, _v2a) = emit_ww(&mut em, ww, b, a);
+    let r2 = em.read(a);
+    // Each observer reads the *first* write of the other thread, which
+    // forces the coherence order to close the cycle (§3.1 rule 4).
+    em.expect(r1, v2b);
+    em.expect(r2, v1a);
+    Some(
+        em.finish(format!("c2[{}]", ww.tag()))
+            .expect("case 2 construction is well-formed")
+            .with_description(format!("Theorem 1 Case 2: critical {ww}")),
+    )
+}
+
+/// Case 3a: critical read-read segment against a write-write segment
+/// (4 accesses — the generalised message-passing shape).
+///
+/// Returns `None` when the address relations are incompatible (the
+/// write-write segment's targets are dictated by the read addresses).
+#[must_use]
+pub fn case3a(rr: Segment, ww: Segment) -> Option<LitmusTest> {
+    if rr.ty != SegmentType::ReadRead || ww.ty != SegmentType::WriteWrite {
+        return None;
+    }
+    if rr.addr_rel != ww.addr_rel {
+        return None;
+    }
+    let (a, b) = pair_locs(rr.addr_rel, Loc::X, Loc::Y);
+    let mut em = Emitter::new();
+    em.thread();
+    let (ra, rb) = emit_rr(&mut em, rr, a, b);
+    em.thread();
+    let (_vb, va) = emit_ww(&mut em, ww, b, a);
+    em.expect(ra, va);
+    em.expect_init(rb);
+    Some(
+        em.finish(format!("c3a[{}+{}]", rr.tag(), ww.tag()))
+            .expect("case 3a construction is well-formed")
+            .with_description(format!("Theorem 1 Case 3a: critical {rr} against {ww}")),
+    )
+}
+
+/// Case 3b: critical read-read segment against a write-read and a
+/// read-write segment merged into a `W … R … W` chain (5 accesses).
+///
+/// Returns `None` when the three address relations cannot be realised
+/// simultaneously.
+#[must_use]
+pub fn case3b(rr: Segment, wr: Segment, rw: Segment) -> Option<LitmusTest> {
+    if rr.ty != SegmentType::ReadRead
+        || wr.ty != SegmentType::WriteRead
+        || rw.ty != SegmentType::ReadWrite
+    {
+        return None;
+    }
+    let (a, b) = pair_locs(rr.addr_rel, Loc::X, Loc::Y);
+    let (p, s) = (b, a); // first write observes the fr edge, last feeds rf
+    let q = match (wr.addr_rel, rw.addr_rel) {
+        (AddrRel::Same, AddrRel::Same) => {
+            if a != b {
+                return None; // q = p and q = s forces p = s, i.e. a = b
+            }
+            p
+        }
+        (AddrRel::Same, AddrRel::Diff) => {
+            if a == b {
+                return None; // q = p = b must differ from s = a
+            }
+            p
+        }
+        (AddrRel::Diff, AddrRel::Same) => {
+            if a == b {
+                return None; // q = s = a must differ from p = b
+            }
+            s
+        }
+        (AddrRel::Diff, AddrRel::Diff) => Loc::Z, // fresh, distinct from X/Y
+    };
+    let mut em = Emitter::new();
+    em.thread();
+    let (ra, rb) = emit_rr(&mut em, rr, a, b);
+    em.thread();
+    let vp = em.write(p);
+    em.connector(wr.connector);
+    let rq = em.read(q);
+    let vs = match rw.connector {
+        Connector::DataDep => em.write_with_data_dep(rq, s),
+        Connector::CtrlDep => em.write_with_ctrl_dep(rq, s),
+        c => {
+            em.connector(c);
+            em.write(s)
+        }
+    };
+    em.expect(ra, vs);
+    em.expect_init(rb);
+    if q == p {
+        em.expect(rq, vp); // forwarded from the local write
+    } else {
+        em.expect_init(rq);
+    }
+    Some(
+        em.finish(format!("c3b[{}+{}+{}]", rr.tag(), wr.tag(), rw.tag()))
+            .expect("case 3b construction is well-formed")
+            .with_description(format!(
+                "Theorem 1 Case 3b: critical {rr} against merged {wr} / {rw}"
+            )),
+    )
+}
+
+/// Case 4: critical write-read segment to different addresses, mirrored
+/// (4 accesses — the generalised store-buffering shape).
+#[must_use]
+pub fn case4(wr: Segment) -> Option<LitmusTest> {
+    if wr.ty != SegmentType::WriteRead || wr.addr_rel != AddrRel::Diff {
+        return None;
+    }
+    let mut em = Emitter::new();
+    em.thread();
+    let (_v1, r1) = emit_wr(&mut em, wr, Loc::X, Loc::Y);
+    em.thread();
+    let (_v2, r2) = emit_wr(&mut em, wr, Loc::Y, Loc::X);
+    em.expect_init(r1);
+    em.expect_init(r2);
+    Some(
+        em.finish(format!("c4[{}]", wr.tag()))
+            .expect("case 4 construction is well-formed")
+            .with_description(format!("Theorem 1 Case 4: critical {wr}")),
+    )
+}
+
+/// Case 5a: critical write-read segment to the *same* address, continued
+/// by a read-read segment to a different address, mirrored (6 accesses —
+/// the L8 shape).
+#[must_use]
+pub fn case5a(wr: Segment, rr: Segment) -> Option<LitmusTest> {
+    if wr.ty != SegmentType::WriteRead || wr.addr_rel != AddrRel::Same {
+        return None;
+    }
+    if rr.ty != SegmentType::ReadRead || rr.addr_rel != AddrRel::Diff {
+        // The proof requires the closing reads to target the other
+        // thread's location.
+        return None;
+    }
+    let mut em = Emitter::new();
+    let continue_rr = |em: &mut Emitter, from: ReadHandle, loc: Loc| match rr.connector {
+        Connector::DataDep => em.read_with_addr_dep(from, loc),
+        Connector::CtrlDep => em.read_with_ctrl_dep(from, loc),
+        c => {
+            em.connector(c);
+            em.read(loc)
+        }
+    };
+    em.thread();
+    let (v1, r1) = emit_wr(&mut em, wr, Loc::X, Loc::X);
+    let r1y = continue_rr(&mut em, r1, Loc::Y);
+    em.thread();
+    let (v2, r2) = emit_wr(&mut em, wr, Loc::Y, Loc::Y);
+    let r2x = continue_rr(&mut em, r2, Loc::X);
+    em.expect(r1, v1);
+    em.expect_init(r1y);
+    em.expect(r2, v2);
+    em.expect_init(r2x);
+    Some(
+        em.finish(format!("c5a[{}+{}]", wr.tag(), rr.tag()))
+            .expect("case 5a construction is well-formed")
+            .with_description(format!("Theorem 1 Case 5a: critical {wr} closed by {rr}")),
+    )
+}
+
+/// Case 5b: critical write-read segment to the *same* address, continued
+/// by a read-write segment whose copy runs on the second thread, plus a
+/// coherence-observer read (6 accesses — the L9 shape).
+#[must_use]
+pub fn case5b(wr: Segment, rw: Segment) -> Option<LitmusTest> {
+    if wr.ty != SegmentType::WriteRead || wr.addr_rel != AddrRel::Same {
+        return None;
+    }
+    if rw.ty != SegmentType::ReadWrite {
+        return None;
+    }
+    let x = Loc::X;
+    let y = match rw.addr_rel {
+        AddrRel::Same => x,
+        AddrRel::Diff => Loc::Y,
+    };
+    let mut em = Emitter::new();
+    em.thread();
+    let (v1, r1) = emit_wr(&mut em, wr, x, x);
+    let vy = match rw.connector {
+        Connector::DataDep => em.write_with_data_dep(r1, y),
+        Connector::CtrlDep => em.write_with_ctrl_dep(r1, y),
+        c => {
+            em.connector(c);
+            em.write(y)
+        }
+    };
+    em.thread();
+    let r2 = em.read(y);
+    let _v2x = match rw.connector {
+        Connector::DataDep => em.write_with_data_dep(r2, x),
+        Connector::CtrlDep => em.write_with_ctrl_dep(r2, x),
+        c => {
+            em.connector(c);
+            em.write(x)
+        }
+    };
+    let r3 = em.read(x);
+    em.expect(r1, v1);
+    em.expect(r2, vy);
+    // The observer read sees the *first* write of T1, forcing T2's write
+    // to be coherence-earlier and closing the cycle.
+    em.expect(r3, v1);
+    Some(
+        em.finish(format!("c5b[{}+{}]", wr.tag(), rw.tag()))
+            .expect("case 5b construction is well-formed")
+            .with_description(format!("Theorem 1 Case 5b: critical {wr} closed by {rw}")),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::Segment;
+
+    fn seg(ty: SegmentType, connector: Connector, addr_rel: AddrRel) -> Segment {
+        Segment::new(ty, connector, addr_rel).expect("valid segment")
+    }
+
+    #[test]
+    fn case1_produces_four_accesses() {
+        for s in Segment::enumerate(SegmentType::ReadWrite, true) {
+            let test = case1(s).expect("case 1 always materialises");
+            assert_eq!(test.program().access_count(), 4, "{}", test.name());
+            assert_eq!(test.program().threads.len(), 2);
+        }
+    }
+
+    #[test]
+    fn case2_produces_six_accesses() {
+        for s in Segment::enumerate(SegmentType::WriteWrite, true) {
+            let test = case2(s).expect("case 2 always materialises");
+            assert_eq!(test.program().access_count(), 6, "{}", test.name());
+        }
+    }
+
+    #[test]
+    fn case3a_respects_address_compatibility() {
+        let rr_same = seg(SegmentType::ReadRead, Connector::None, AddrRel::Same);
+        let rr_diff = seg(SegmentType::ReadRead, Connector::None, AddrRel::Diff);
+        let ww_same = seg(SegmentType::WriteWrite, Connector::None, AddrRel::Same);
+        let ww_diff = seg(SegmentType::WriteWrite, Connector::None, AddrRel::Diff);
+        assert!(case3a(rr_same, ww_same).is_some());
+        assert!(case3a(rr_diff, ww_diff).is_some());
+        assert!(case3a(rr_same, ww_diff).is_none());
+        assert!(case3a(rr_diff, ww_same).is_none());
+        let test = case3a(rr_diff, ww_diff).unwrap();
+        assert_eq!(test.program().access_count(), 4);
+    }
+
+    #[test]
+    fn case3b_access_count_is_five() {
+        let rr = seg(SegmentType::ReadRead, Connector::None, AddrRel::Diff);
+        let wr = seg(SegmentType::WriteRead, Connector::None, AddrRel::Diff);
+        let rw = seg(SegmentType::ReadWrite, Connector::DataDep, AddrRel::Diff);
+        let test = case3b(rr, wr, rw).expect("compatible combination");
+        assert_eq!(test.program().access_count(), 5);
+    }
+
+    #[test]
+    fn case3b_rejects_impossible_geometry() {
+        let rr_diff = seg(SegmentType::ReadRead, Connector::None, AddrRel::Diff);
+        let rr_same = seg(SegmentType::ReadRead, Connector::None, AddrRel::Same);
+        let wr_same = seg(SegmentType::WriteRead, Connector::None, AddrRel::Same);
+        let rw_same = seg(SegmentType::ReadWrite, Connector::None, AddrRel::Same);
+        let rw_diff = seg(SegmentType::ReadWrite, Connector::None, AddrRel::Diff);
+        // WR-same + RW-same needs all addresses equal, so RR must be Same.
+        assert!(case3b(rr_diff, wr_same, rw_same).is_none());
+        assert!(case3b(rr_same, wr_same, rw_same).is_some());
+        // WR-same + RW-diff needs the read addresses to differ.
+        assert!(case3b(rr_same, wr_same, rw_diff).is_none());
+        assert!(case3b(rr_diff, wr_same, rw_diff).is_some());
+    }
+
+    #[test]
+    fn case4_is_store_buffering_shaped() {
+        let wr = seg(SegmentType::WriteRead, Connector::None, AddrRel::Diff);
+        let test = case4(wr).unwrap();
+        assert_eq!(test.program().access_count(), 4);
+        // Same-address write-read segments belong to Case 5.
+        let wr_same = seg(SegmentType::WriteRead, Connector::None, AddrRel::Same);
+        assert!(case4(wr_same).is_none());
+    }
+
+    #[test]
+    fn case5_shapes_have_six_accesses() {
+        let wr_same = seg(SegmentType::WriteRead, Connector::None, AddrRel::Same);
+        let rr = seg(SegmentType::ReadRead, Connector::DataDep, AddrRel::Diff);
+        let rw = seg(SegmentType::ReadWrite, Connector::DataDep, AddrRel::Diff);
+        let a = case5a(wr_same, rr).unwrap();
+        assert_eq!(a.program().access_count(), 6);
+        let b = case5b(wr_same, rw).unwrap();
+        assert_eq!(b.program().access_count(), 6);
+        // Diff-address critical segments are Case 4 material.
+        let wr_diff = seg(SegmentType::WriteRead, Connector::None, AddrRel::Diff);
+        assert!(case5a(wr_diff, rr).is_none());
+        assert!(case5b(wr_diff, rw).is_none());
+    }
+
+    #[test]
+    fn all_templates_respect_theorem1_bounds() {
+        let all: Vec<LitmusTest> = crate::suite::template_suite(true).tests;
+        for test in &all {
+            assert!(test.program().access_count() <= 6, "{}", test.name());
+            assert_eq!(test.program().threads.len(), 2, "{}", test.name());
+        }
+    }
+}

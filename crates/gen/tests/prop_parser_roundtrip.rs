@@ -1,0 +1,43 @@
+//! Property: every generated litmus test (template suites with and
+//! without dependency/control connectors, the §3.3 chain family) survives
+//! a round trip through the text format — print, reparse, compare
+//! structurally — and keeps its verdict-relevant shape.
+
+use mcm_core::parse::{parse_litmus, to_source};
+use mcm_gen::{local, template_suite_extended};
+use proptest::prelude::*;
+
+fn all_generated() -> Vec<mcm_core::LitmusTest> {
+    let mut tests = template_suite_extended(true, true).tests;
+    for n in 1..=3 {
+        tests.push(local::special_chain_contrast_test(n));
+    }
+    tests
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_tests_round_trip(index in 0usize..500) {
+        let tests = all_generated();
+        let test = &tests[index % tests.len()];
+        let source = to_source(test);
+        let reparsed = parse_litmus(&source)
+            .unwrap_or_else(|e| panic!("{}: {e}\n{source}", test.name()));
+        prop_assert_eq!(&reparsed, test, "round trip changed {}", test.name());
+    }
+}
+
+#[test]
+fn every_suite_test_round_trips() {
+    // Exhaustive version of the property (the suite is small enough).
+    for test in all_generated() {
+        let source = to_source(&test);
+        let reparsed = parse_litmus(&source)
+            .unwrap_or_else(|e| panic!("{}: {e}\n{source}", test.name()));
+        assert_eq!(reparsed, test, "round trip changed {}", test.name());
+        // The reparsed execution matches too (same events, same deps).
+        assert_eq!(reparsed.execution(), test.execution());
+    }
+}

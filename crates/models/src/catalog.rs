@@ -1,0 +1,401 @@
+//! The paper's litmus tests (Figures 1 and 3) plus the classic suite.
+//!
+//! Tests L1–L9 are transcribed exactly from Figure 3; §4.2 proves they
+//! suffice to contrast every pair of non-equivalent models in the explored
+//! space. Test A is Figure 1's TSO example. The classic tests (SB, MP, LB,
+//! CoRR, IRIW) are standard names for shapes the paper uses anonymously and
+//! serve to validate the checkers against community folklore.
+
+use mcm_core::{LitmusTest, Loc, Outcome, Program, Reg, RegExpr, ThreadId, Value};
+
+const T1: ThreadId = ThreadId(0);
+const T2: ThreadId = ThreadId(1);
+const T3: ThreadId = ThreadId(2);
+const T4: ThreadId = ThreadId(3);
+
+fn must(test: Result<LitmusTest, mcm_core::CoreError>) -> LitmusTest {
+    test.expect("catalog tests are well-formed by construction")
+}
+
+/// Figure 1's "Test A": allowed under TSO thanks to load forwarding,
+/// forbidden under SC.
+///
+/// ```text
+/// T1                | T2
+/// Write X <- 1      | Write Y <- 2
+/// Fence             | Read Y -> r2
+/// Read Y -> r1      | Read X -> r3
+/// Outcome: r1 = 0; r2 = 2; r3 = 0
+/// ```
+#[must_use]
+pub fn test_a() -> LitmusTest {
+    let program = Program::builder()
+        .thread()
+        .write(Loc::X, Value(1))
+        .fence()
+        .read(Loc::Y, Reg(1))
+        .thread()
+        .write(Loc::Y, Value(2))
+        .read(Loc::Y, Reg(2))
+        .read(Loc::X, Reg(3))
+        .build()
+        .expect("valid");
+    let outcome = Outcome::new()
+        .constrain(T1, Reg(1), Value(0))
+        .constrain(T2, Reg(2), Value(2))
+        .constrain(T2, Reg(3), Value(0));
+    must(LitmusTest::new("TestA", program, outcome))
+        .with_description("Figure 1: TSO load forwarding (allowed under TSO, forbidden under SC)")
+}
+
+/// L1 — write-write reordering, observed through a fenced reader.
+#[must_use]
+pub fn l1() -> LitmusTest {
+    let program = Program::builder()
+        .thread()
+        .write(Loc::X, Value(1))
+        .write(Loc::Y, Value(1))
+        .thread()
+        .read(Loc::Y, Reg(1))
+        .fence()
+        .read(Loc::X, Reg(2))
+        .build()
+        .expect("valid");
+    let outcome = Outcome::new()
+        .constrain(T2, Reg(1), Value(1))
+        .constrain(T2, Reg(2), Value(0));
+    must(LitmusTest::new("L1", program, outcome))
+        .with_description("write-write reordering to different addresses")
+}
+
+/// L2 — same-address read-read reordering (coherence of reads).
+#[must_use]
+pub fn l2() -> LitmusTest {
+    let program = Program::builder()
+        .thread()
+        .write(Loc::X, Value(1))
+        .write(Loc::X, Value(2))
+        .thread()
+        .read(Loc::X, Reg(1))
+        .read(Loc::X, Reg(2))
+        .build()
+        .expect("valid");
+    let outcome = Outcome::new()
+        .constrain(T2, Reg(1), Value(2))
+        .constrain(T2, Reg(2), Value(0));
+    must(LitmusTest::new("L2", program, outcome))
+        .with_description("read-read reordering to the same address")
+}
+
+/// L3 — independent read-read reordering (message passing with a fenced
+/// writer).
+#[must_use]
+pub fn l3() -> LitmusTest {
+    let program = Program::builder()
+        .thread()
+        .write(Loc::X, Value(1))
+        .fence()
+        .write(Loc::Y, Value(2))
+        .thread()
+        .read(Loc::Y, Reg(1))
+        .read(Loc::X, Reg(2))
+        .build()
+        .expect("valid");
+    let outcome = Outcome::new()
+        .constrain(T2, Reg(1), Value(2))
+        .constrain(T2, Reg(2), Value(0));
+    must(LitmusTest::new("L3", program, outcome))
+        .with_description("read-read reordering to different addresses")
+}
+
+/// L4 — *dependent* read-read reordering: the second read's address depends
+/// on the first (`t1 = r1 - r1 + X`).
+#[must_use]
+pub fn l4() -> LitmusTest {
+    let program = Program::builder()
+        .thread()
+        .write(Loc::X, Value(1))
+        .fence()
+        .write(Loc::Y, Value(2))
+        .thread()
+        .read(Loc::Y, Reg(1))
+        .dep_addr(Reg(2), Reg(1), Loc::X)
+        .read_indirect(Reg(2), Reg(3))
+        .build()
+        .expect("valid");
+    let outcome = Outcome::new()
+        .constrain(T2, Reg(1), Value(2))
+        .constrain(T2, Reg(3), Value(0));
+    must(LitmusTest::new("L4", program, outcome))
+        .with_description("dependent read-read reordering (address dependency)")
+}
+
+/// L5 — independent read-write reordering (load buffering).
+#[must_use]
+pub fn l5() -> LitmusTest {
+    let program = Program::builder()
+        .thread()
+        .read(Loc::X, Reg(1))
+        .write(Loc::Y, Value(1))
+        .thread()
+        .read(Loc::Y, Reg(2))
+        .write(Loc::X, Value(1))
+        .build()
+        .expect("valid");
+    let outcome = Outcome::new()
+        .constrain(T1, Reg(1), Value(1))
+        .constrain(T2, Reg(2), Value(1));
+    must(LitmusTest::new("L5", program, outcome))
+        .with_description("read-write reordering to different addresses")
+}
+
+/// L6 — *dependent* read-write reordering: each write's value depends on
+/// the preceding read (`t = r - r + 1`).
+#[must_use]
+pub fn l6() -> LitmusTest {
+    let program = Program::builder()
+        .thread()
+        .read(Loc::X, Reg(1))
+        .dep_const(Reg(3), Reg(1), Value(1))
+        .write_expr(Loc::Y, RegExpr::Reg(Reg(3)))
+        .thread()
+        .read(Loc::Y, Reg(2))
+        .dep_const(Reg(4), Reg(2), Value(1))
+        .write_expr(Loc::X, RegExpr::Reg(Reg(4)))
+        .build()
+        .expect("valid");
+    let outcome = Outcome::new()
+        .constrain(T1, Reg(1), Value(1))
+        .constrain(T2, Reg(2), Value(1));
+    must(LitmusTest::new("L6", program, outcome))
+        .with_description("dependent read-write reordering (data dependency)")
+}
+
+/// L7 — write-read reordering to different addresses (store buffering).
+#[must_use]
+pub fn l7() -> LitmusTest {
+    let program = Program::builder()
+        .thread()
+        .write(Loc::X, Value(1))
+        .read(Loc::Y, Reg(1))
+        .thread()
+        .write(Loc::Y, Value(1))
+        .read(Loc::X, Reg(2))
+        .build()
+        .expect("valid");
+    let outcome = Outcome::new()
+        .constrain(T1, Reg(1), Value(0))
+        .constrain(T2, Reg(2), Value(0));
+    must(LitmusTest::new("L7", program, outcome))
+        .with_description("write-read reordering to different addresses (store buffering)")
+}
+
+/// L8 — write-read reordering to the *same* address, witnessed through a
+/// dependent read chain (the Case 5.1 template of Theorem 1).
+#[must_use]
+pub fn l8() -> LitmusTest {
+    let program = Program::builder()
+        .thread()
+        .write(Loc::X, Value(1))
+        .read(Loc::X, Reg(1))
+        .dep_addr(Reg(2), Reg(1), Loc::Y)
+        .read_indirect(Reg(2), Reg(3))
+        .thread()
+        .write(Loc::Y, Value(1))
+        .read(Loc::Y, Reg(4))
+        .dep_addr(Reg(5), Reg(4), Loc::X)
+        .read_indirect(Reg(5), Reg(6))
+        .build()
+        .expect("valid");
+    let outcome = Outcome::new()
+        .constrain(T1, Reg(1), Value(1))
+        .constrain(T1, Reg(3), Value(0))
+        .constrain(T2, Reg(4), Value(1))
+        .constrain(T2, Reg(6), Value(0));
+    must(LitmusTest::new("L8", program, outcome))
+        .with_description("write-read reordering to the same address (read-read closing segment)")
+}
+
+/// L9 — write-read reordering to the *same* address, witnessed through a
+/// dependent write (the Case 5.2 template of Theorem 1).
+#[must_use]
+pub fn l9() -> LitmusTest {
+    let program = Program::builder()
+        .thread()
+        .write(Loc::X, Value(1))
+        .read(Loc::X, Reg(1))
+        .dep_const(Reg(2), Reg(1), Value(1))
+        .write_expr(Loc::Y, RegExpr::Reg(Reg(2)))
+        .thread()
+        .read(Loc::Y, Reg(3))
+        .dep_const(Reg(4), Reg(3), Value(2))
+        .write_expr(Loc::X, RegExpr::Reg(Reg(4)))
+        .read(Loc::X, Reg(5))
+        .build()
+        .expect("valid");
+    let outcome = Outcome::new()
+        .constrain(T1, Reg(1), Value(1))
+        .constrain(T2, Reg(3), Value(1))
+        .constrain(T2, Reg(5), Value(1));
+    must(LitmusTest::new("L9", program, outcome))
+        .with_description("write-read reordering to the same address (read-write closing segment)")
+}
+
+/// The nine contrasting litmus tests of Figure 3, in order.
+#[must_use]
+pub fn nine_tests() -> Vec<LitmusTest> {
+    vec![l1(), l2(), l3(), l4(), l5(), l6(), l7(), l8(), l9()]
+}
+
+// ---------------------------------------------------------------------------
+// Classic community tests, for checker validation.
+// ---------------------------------------------------------------------------
+
+/// Store buffering (identical shape to [`l7`], community name).
+#[must_use]
+pub fn sb() -> LitmusTest {
+    l7().renamed("SB").with_description("store buffering (SB)")
+}
+
+/// Message passing: is the reader guaranteed to see the data once it sees
+/// the flag?
+#[must_use]
+pub fn mp() -> LitmusTest {
+    let program = Program::builder()
+        .thread()
+        .write(Loc::X, Value(1))
+        .write(Loc::Y, Value(1))
+        .thread()
+        .read(Loc::Y, Reg(1))
+        .read(Loc::X, Reg(2))
+        .build()
+        .expect("valid");
+    let outcome = Outcome::new()
+        .constrain(T2, Reg(1), Value(1))
+        .constrain(T2, Reg(2), Value(0));
+    must(LitmusTest::new("MP", program, outcome)).with_description("message passing (MP)")
+}
+
+/// Load buffering (identical shape to [`l5`], community name).
+#[must_use]
+pub fn lb() -> LitmusTest {
+    l5().renamed("LB").with_description("load buffering (LB)")
+}
+
+/// Coherence of reads: two reads of the same location must not see writes
+/// in opposite orders (identical shape to [`l2`], community name).
+#[must_use]
+pub fn corr() -> LitmusTest {
+    l2().renamed("CoRR").with_description("coherence of read-read (CoRR)")
+}
+
+/// Independent reads of independent writes: do two readers agree on the
+/// order of two independent writes? Forbidden throughout the paper's class
+/// (writes are atomic — §2.2 excludes non-store-atomic models like
+/// PowerPC), even in the weakest model, once each reader's reads are
+/// fenced.
+#[must_use]
+pub fn iriw_fenced() -> LitmusTest {
+    let program = Program::builder()
+        .thread()
+        .write(Loc::X, Value(1))
+        .thread()
+        .write(Loc::Y, Value(1))
+        .thread()
+        .read(Loc::X, Reg(1))
+        .fence()
+        .read(Loc::Y, Reg(2))
+        .thread()
+        .read(Loc::Y, Reg(3))
+        .fence()
+        .read(Loc::X, Reg(4))
+        .build()
+        .expect("valid");
+    let outcome = Outcome::new()
+        .constrain(T3, Reg(1), Value(1))
+        .constrain(T3, Reg(2), Value(0))
+        .constrain(T4, Reg(3), Value(1))
+        .constrain(T4, Reg(4), Value(0));
+    must(LitmusTest::new("IRIW+fences", program, outcome))
+        .with_description("independent reads of independent writes, fenced readers")
+}
+
+/// Every catalog test (paper tests first, classics after).
+#[must_use]
+pub fn all_tests() -> Vec<LitmusTest> {
+    let mut tests = vec![test_a()];
+    tests.extend(nine_tests());
+    tests.extend([sb(), mp(), lb(), corr(), iriw_fenced()]);
+    tests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_access_counts_respect_theorem1() {
+        for test in nine_tests() {
+            assert!(
+                test.program().access_count() <= 6,
+                "{} has more than six accesses",
+                test.name()
+            );
+            assert_eq!(test.program().threads.len(), 2, "{}", test.name());
+        }
+    }
+
+    #[test]
+    fn catalog_names_are_unique() {
+        let mut names: Vec<String> = all_tests().iter().map(|t| t.name().to_string()).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn l4_and_l8_have_address_dependencies() {
+        for test in [l4(), l8()] {
+            let exec = test.execution();
+            let deps = exec
+                .events()
+                .iter()
+                .flat_map(|x| exec.events().iter().map(move |y| (x.id, y.id)))
+                .filter(|(x, y)| exec.addr_dep(*x, *y))
+                .count();
+            assert!(deps > 0, "{} should contain an address dependency", test.name());
+        }
+    }
+
+    #[test]
+    fn l6_and_l9_have_value_dependencies() {
+        for test in [l6(), l9()] {
+            let exec = test.execution();
+            let deps = exec
+                .events()
+                .iter()
+                .flat_map(|x| exec.events().iter().map(move |y| (x.id, y.id)))
+                .filter(|(x, y)| exec.value_dep(*x, *y))
+                .count();
+            assert!(deps > 0, "{} should contain a data dependency", test.name());
+        }
+    }
+
+    #[test]
+    fn outcomes_render_like_the_paper() {
+        assert_eq!(l7().outcome().to_string(), "T1:r1=0; T2:r2=0");
+        assert_eq!(
+            test_a().outcome().to_string(),
+            "T1:r1=0; T2:r2=2; T2:r3=0"
+        );
+    }
+
+    #[test]
+    fn executions_derive_for_all_catalog_tests() {
+        for test in all_tests() {
+            let exec = test.execution();
+            assert!(!exec.events().is_empty(), "{}", test.name());
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The per-pair reordering choices of §4.2.
+//!
+//! For each ordered pair of access kinds (write-write, write-read,
+//! read-write, read-read), a model in the explored space picks one of five
+//! options for when reordering is **allowed**:
+//!
+//! | digit | reordering allowed …                 | must-not-reorder condition |
+//! |-------|--------------------------------------|----------------------------|
+//! | 0     | always                               | `False`                    |
+//! | 1     | for accesses to different addresses  | `SameAddr(x,y)`            |
+//! | 2     | when there are no data dependencies  | `DataDep(x,y)`             |
+//! | 3     | different addresses **and** no deps  | `SameAddr ∨ DataDep`       |
+//! | 4     | never                                | `True`                     |
+
+use std::fmt;
+
+use mcm_core::{Atom, Formula};
+
+/// One of the five reordering options (digits 0–4 of a model name).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ReorderChoice {
+    /// 0 — reordering always allowed.
+    Always,
+    /// 1 — reordering allowed only for accesses to different addresses.
+    DiffAddr,
+    /// 2 — reordering allowed only when there is no data dependency.
+    NoDep,
+    /// 3 — reordering allowed only for different addresses with no deps.
+    DiffAddrNoDep,
+    /// 4 — reordering never allowed.
+    Never,
+}
+
+impl ReorderChoice {
+    /// All five choices, in digit order.
+    pub const ALL: [ReorderChoice; 5] = [
+        ReorderChoice::Always,
+        ReorderChoice::DiffAddr,
+        ReorderChoice::NoDep,
+        ReorderChoice::DiffAddrNoDep,
+        ReorderChoice::Never,
+    ];
+
+    /// The digit used in model names (`M4044` etc.).
+    #[must_use]
+    pub fn digit(self) -> u8 {
+        match self {
+            ReorderChoice::Always => 0,
+            ReorderChoice::DiffAddr => 1,
+            ReorderChoice::NoDep => 2,
+            ReorderChoice::DiffAddrNoDep => 3,
+            ReorderChoice::Never => 4,
+        }
+    }
+
+    /// Inverse of [`ReorderChoice::digit`].
+    #[must_use]
+    pub fn from_digit(digit: u8) -> Option<Self> {
+        Self::ALL.get(usize::from(digit)).copied()
+    }
+
+    /// The *must-not-reorder* condition this choice contributes for its
+    /// access-kind pair (see the module table).
+    #[must_use]
+    pub fn condition(self) -> Formula {
+        match self {
+            ReorderChoice::Always => Formula::never(),
+            ReorderChoice::DiffAddr => Formula::atom(Atom::SameAddr),
+            ReorderChoice::NoDep => Formula::atom(Atom::DataDep),
+            ReorderChoice::DiffAddrNoDep => Formula::or([
+                Formula::atom(Atom::SameAddr),
+                Formula::atom(Atom::DataDep),
+            ]),
+            ReorderChoice::Never => Formula::always(),
+        }
+    }
+
+    /// Whether the choice discriminates on data dependencies (digits 2, 3).
+    #[must_use]
+    pub fn uses_dependencies(self) -> bool {
+        matches!(self, ReorderChoice::NoDep | ReorderChoice::DiffAddrNoDep)
+    }
+}
+
+impl fmt::Display for ReorderChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            ReorderChoice::Always => "always",
+            ReorderChoice::DiffAddr => "different addresses",
+            ReorderChoice::NoDep => "no data dependencies",
+            ReorderChoice::DiffAddrNoDep => "different addresses and no data dependencies",
+            ReorderChoice::Never => "never",
+        };
+        write!(f, "{text}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digits_round_trip() {
+        for choice in ReorderChoice::ALL {
+            assert_eq!(ReorderChoice::from_digit(choice.digit()), Some(choice));
+        }
+        assert_eq!(ReorderChoice::from_digit(5), None);
+    }
+
+    #[test]
+    fn dependency_usage() {
+        assert!(!ReorderChoice::Always.uses_dependencies());
+        assert!(!ReorderChoice::DiffAddr.uses_dependencies());
+        assert!(ReorderChoice::NoDep.uses_dependencies());
+        assert!(ReorderChoice::DiffAddrNoDep.uses_dependencies());
+        assert!(!ReorderChoice::Never.uses_dependencies());
+    }
+
+    #[test]
+    fn conditions_have_expected_shape() {
+        assert_eq!(ReorderChoice::Always.condition(), Formula::never());
+        assert_eq!(ReorderChoice::Never.condition(), Formula::always());
+        assert!(ReorderChoice::NoDep.condition().uses_dependencies());
+        assert!(!ReorderChoice::DiffAddr.condition().uses_dependencies());
+    }
+}

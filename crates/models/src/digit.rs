@@ -1,0 +1,308 @@
+//! The digit model space `M{ww}{wr}{rw}{rr}` explored in §4.2.
+//!
+//! A digit model assigns one [`ReorderChoice`] to each of the four access
+//! pair kinds; its must-not-reorder function is
+//!
+//! ```text
+//! F(x,y) =  Fence(x) ∨ Fence(y)
+//!        ∨ (Write(x) ∧ Write(y) ∧ cond_ww)
+//!        ∨ (Write(x) ∧ Read(y)  ∧ cond_wr)
+//!        ∨ (Read(x)  ∧ Write(y) ∧ cond_rw)
+//!        ∨ (Read(x)  ∧ Read(y)  ∧ cond_rr)
+//! ```
+//!
+//! Not every digit combination is meaningful (§4.2): reordering same-address
+//! write-write or read-write pairs would violate single-thread consistency,
+//! and writes generate no dependencies, so the valid choices are
+//!
+//! * `ww ∈ {1, 4}` (2 choices),
+//! * `wr ∈ {0, 1, 4}` (3),
+//! * `rw ∈ {1, 3, 4}` (3),
+//! * `rr ∈ {0, 1, 2, 3, 4}` (5),
+//!
+//! for a total of **90 models**; restricting to dependency-free digits
+//! (`{0, 1, 4}`) leaves **36**.
+
+use std::fmt;
+use std::str::FromStr;
+
+use mcm_core::{ArgPos, Atom, Formula, MemoryModel};
+
+use crate::choice::ReorderChoice;
+
+/// A model in the §4.2 space, identified by its four reorder choices.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DigitModel {
+    /// Write-write choice (valid: `DiffAddr`, `Never`).
+    pub ww: ReorderChoice,
+    /// Write-read choice (valid: `Always`, `DiffAddr`, `Never`).
+    pub wr: ReorderChoice,
+    /// Read-write choice (valid: `DiffAddr`, `DiffAddrNoDep`, `Never`).
+    pub rw: ReorderChoice,
+    /// Read-read choice (all five valid).
+    pub rr: ReorderChoice,
+}
+
+/// Error for invalid digit-model names or digit combinations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvalidDigitModel(String);
+
+impl fmt::Display for InvalidDigitModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid digit model: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidDigitModel {}
+
+impl DigitModel {
+    /// The valid write-write choices.
+    pub const WW_CHOICES: [ReorderChoice; 2] = [ReorderChoice::DiffAddr, ReorderChoice::Never];
+    /// The valid write-read choices.
+    pub const WR_CHOICES: [ReorderChoice; 3] = [
+        ReorderChoice::Always,
+        ReorderChoice::DiffAddr,
+        ReorderChoice::Never,
+    ];
+    /// The valid read-write choices.
+    pub const RW_CHOICES: [ReorderChoice; 3] = [
+        ReorderChoice::DiffAddr,
+        ReorderChoice::DiffAddrNoDep,
+        ReorderChoice::Never,
+    ];
+    /// The valid read-read choices.
+    pub const RR_CHOICES: [ReorderChoice; 5] = ReorderChoice::ALL;
+
+    /// Creates a digit model, validating the §4.2 choice restrictions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidDigitModel`] if a choice is outside its valid set
+    /// (e.g. `ww = 0`, which would let same-address writes reorder and
+    /// break single-thread consistency).
+    pub fn new(
+        ww: ReorderChoice,
+        wr: ReorderChoice,
+        rw: ReorderChoice,
+        rr: ReorderChoice,
+    ) -> Result<Self, InvalidDigitModel> {
+        if !Self::WW_CHOICES.contains(&ww) {
+            return Err(InvalidDigitModel(format!("ww digit {} not in {{1,4}}", ww.digit())));
+        }
+        if !Self::WR_CHOICES.contains(&wr) {
+            return Err(InvalidDigitModel(format!("wr digit {} not in {{0,1,4}}", wr.digit())));
+        }
+        if !Self::RW_CHOICES.contains(&rw) {
+            return Err(InvalidDigitModel(format!("rw digit {} not in {{1,3,4}}", rw.digit())));
+        }
+        if !Self::RR_CHOICES.contains(&rr) {
+            return Err(InvalidDigitModel(format!("rr digit {} invalid", rr.digit())));
+        }
+        Ok(DigitModel { ww, wr, rw, rr })
+    }
+
+    /// The canonical name, e.g. `M4044`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!(
+            "M{}{}{}{}",
+            self.ww.digit(),
+            self.wr.digit(),
+            self.rw.digit(),
+            self.rr.digit()
+        )
+    }
+
+    /// The well-known name of this model, if it has one (paper Figure 4).
+    #[must_use]
+    pub fn conventional_name(&self) -> Option<&'static str> {
+        match self.name().as_str() {
+            "M4444" => Some("SC"),
+            "M4044" => Some("TSO/x86"),
+            "M1044" => Some("PSO"),
+            "M4144" => Some("IBM370"),
+            "M1010" => Some("RMO (no deps)"),
+            "M1032" => Some("RMO"),
+            "M1030" => Some("Alpha"),
+            _ => None,
+        }
+    }
+
+    /// Whether any choice discriminates on data dependencies.
+    #[must_use]
+    pub fn uses_dependencies(&self) -> bool {
+        [self.ww, self.wr, self.rw, self.rr]
+            .iter()
+            .any(|c| c.uses_dependencies())
+    }
+
+    /// Builds the must-not-reorder function (see the module docs).
+    #[must_use]
+    pub fn formula(&self) -> Formula {
+        use ArgPos::{First, Second};
+        let pair = |a: Atom, b: Atom, cond: Formula| Formula::pair(a, b, cond);
+        Formula::or([
+            Formula::fence_either(),
+            pair(
+                Atom::IsWrite(First),
+                Atom::IsWrite(Second),
+                self.ww.condition(),
+            ),
+            pair(
+                Atom::IsWrite(First),
+                Atom::IsRead(Second),
+                self.wr.condition(),
+            ),
+            pair(
+                Atom::IsRead(First),
+                Atom::IsWrite(Second),
+                self.rw.condition(),
+            ),
+            pair(
+                Atom::IsRead(First),
+                Atom::IsRead(Second),
+                self.rr.condition(),
+            ),
+        ])
+    }
+
+    /// Materialises the [`MemoryModel`] (named `M####`).
+    #[must_use]
+    pub fn to_model(&self) -> MemoryModel {
+        MemoryModel::new(self.name(), self.formula())
+    }
+
+    /// All 90 valid digit models, in lexicographic digit order.
+    #[must_use]
+    pub fn all() -> Vec<DigitModel> {
+        let mut out = Vec::with_capacity(90);
+        for ww in Self::WW_CHOICES {
+            for wr in Self::WR_CHOICES {
+                for rw in Self::RW_CHOICES {
+                    for rr in Self::RR_CHOICES {
+                        out.push(DigitModel { ww, wr, rw, rr });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The 36 dependency-free models (digits from `{0, 1, 4}` only) —
+    /// the space drawn in Figure 4.
+    #[must_use]
+    pub fn all_without_dependencies() -> Vec<DigitModel> {
+        Self::all()
+            .into_iter()
+            .filter(|m| !m.uses_dependencies())
+            .collect()
+    }
+}
+
+impl FromStr for DigitModel {
+    type Err = InvalidDigitModel;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s
+            .strip_prefix('M')
+            .ok_or_else(|| InvalidDigitModel(format!("`{s}` does not start with M")))?;
+        let ds: Vec<u8> = digits
+            .chars()
+            .map(|c| {
+                c.to_digit(10)
+                    .map(|d| d as u8)
+                    .ok_or_else(|| InvalidDigitModel(format!("`{s}` has a non-digit")))
+            })
+            .collect::<Result<_, _>>()?;
+        if ds.len() != 4 {
+            return Err(InvalidDigitModel(format!("`{s}` must have four digits")));
+        }
+        let choice = |d: u8| {
+            ReorderChoice::from_digit(d)
+                .ok_or_else(|| InvalidDigitModel(format!("digit {d} out of range")))
+        };
+        DigitModel::new(choice(ds[0])?, choice(ds[1])?, choice(ds[2])?, choice(ds[3])?)
+    }
+}
+
+impl fmt::Display for DigitModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())?;
+        if let Some(conventional) = self.conventional_name() {
+            write!(f, " ({conventional})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_ninety_models() {
+        let all = DigitModel::all();
+        assert_eq!(all.len(), 90);
+        let mut names: Vec<String> = all.iter().map(DigitModel::name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 90, "names are unique");
+    }
+
+    #[test]
+    fn thirty_six_without_dependencies() {
+        let nodep = DigitModel::all_without_dependencies();
+        assert_eq!(nodep.len(), 36);
+        assert!(nodep.iter().all(|m| !m.uses_dependencies()));
+        assert!(nodep.iter().all(|m| !m.formula().uses_dependencies()));
+    }
+
+    #[test]
+    fn names_parse_back() {
+        for model in DigitModel::all() {
+            let parsed: DigitModel = model.name().parse().unwrap();
+            assert_eq!(parsed, model);
+        }
+    }
+
+    #[test]
+    fn invalid_combinations_are_rejected() {
+        assert!("M0044".parse::<DigitModel>().is_err()); // ww=0
+        assert!("M4244".parse::<DigitModel>().is_err()); // wr=2
+        assert!("M4004".parse::<DigitModel>().is_err()); // rw=0
+        assert!("M4042".parse::<DigitModel>().is_ok()); // rr=2 is fine
+        assert!("M404".parse::<DigitModel>().is_err()); // too short
+        assert!("4044".parse::<DigitModel>().is_err()); // missing M
+        assert!("M40x4".parse::<DigitModel>().is_err()); // non-digit
+        assert!("M4054".parse::<DigitModel>().is_err()); // digit 5
+    }
+
+    #[test]
+    fn conventional_names_match_the_paper() {
+        let named: Vec<(String, &str)> = DigitModel::all()
+            .iter()
+            .filter_map(|m| m.conventional_name().map(|n| (m.name(), n)))
+            .collect();
+        assert!(named.contains(&("M4444".to_string(), "SC")));
+        assert!(named.contains(&("M4044".to_string(), "TSO/x86")));
+        assert!(named.contains(&("M1044".to_string(), "PSO")));
+        assert!(named.contains(&("M4144".to_string(), "IBM370")));
+        assert!(named.contains(&("M1010".to_string(), "RMO (no deps)")));
+    }
+
+    #[test]
+    fn formula_mentions_dependencies_only_when_digits_do() {
+        let tso: DigitModel = "M4044".parse().unwrap();
+        assert!(!tso.formula().uses_dependencies());
+        let rmo: DigitModel = "M1032".parse().unwrap();
+        assert!(rmo.formula().uses_dependencies());
+    }
+
+    #[test]
+    fn display_includes_conventional_name() {
+        let sc: DigitModel = "M4444".parse().unwrap();
+        assert_eq!(sc.to_string(), "M4444 (SC)");
+        let anon: DigitModel = "M1111".parse().unwrap();
+        assert_eq!(anon.to_string(), "M1111");
+    }
+}

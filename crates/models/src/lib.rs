@@ -1,0 +1,32 @@
+//! # mcm-models
+//!
+//! Concrete memory models and litmus tests:
+//!
+//! * [`named`] — SC, TSO, x86, PSO, IBM370, RMO and an Alpha-style model,
+//!   with must-not-reorder functions transcribed from the paper's §2.4;
+//! * [`choice`] / [`digit`] — the §4.2 exploration space: per-pair
+//!   reordering choices and the 90 valid `M{ww}{wr}{rw}{rr}` digit models
+//!   (36 without dependency discrimination);
+//! * [`catalog`] — Figure 1's Test A, the nine contrasting tests L1–L9 of
+//!   Figure 3, and the classic SB/MP/LB/CoRR/IRIW shapes.
+//!
+//! ## Example
+//!
+//! ```
+//! use mcm_models::digit::DigitModel;
+//!
+//! let tso: DigitModel = "M4044".parse().unwrap();
+//! assert_eq!(tso.conventional_name(), Some("TSO/x86"));
+//! assert_eq!(DigitModel::all().len(), 90);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod choice;
+pub mod digit;
+pub mod named;
+
+pub use choice::ReorderChoice;
+pub use digit::{DigitModel, InvalidDigitModel};

@@ -1,0 +1,197 @@
+//! The named hardware models of §2.4, written exactly as the paper writes
+//! their must-not-reorder functions.
+//!
+//! The integration suite verifies (with the comparison tool itself) that
+//! each of these coincides with its digit-model counterpart: TSO ≡ M4044,
+//! PSO ≡ M1044, IBM370 ≡ M4144, SC ≡ M4444, RMO (without control deps)
+//! ≡ M1032, Alpha-style ≡ M1030.
+
+use mcm_core::{ArgPos, Atom, Formula, MemoryModel};
+
+use ArgPos::{First, Second};
+
+fn write_x() -> Formula {
+    Formula::atom(Atom::IsWrite(First))
+}
+
+fn write_y() -> Formula {
+    Formula::atom(Atom::IsWrite(Second))
+}
+
+fn read_x() -> Formula {
+    Formula::atom(Atom::IsRead(First))
+}
+
+fn read_y() -> Formula {
+    Formula::atom(Atom::IsRead(Second))
+}
+
+fn same_addr() -> Formula {
+    Formula::atom(Atom::SameAddr)
+}
+
+fn data_dep() -> Formula {
+    Formula::atom(Atom::DataDep)
+}
+
+fn ctrl_dep() -> Formula {
+    Formula::atom(Atom::CtrlDep)
+}
+
+/// Sequential consistency: no reordering at all (`F = True`; see the note
+/// on the paper's `F_SC` typo in [`mcm_core::formula::Formula::Const`]).
+#[must_use]
+pub fn sc() -> MemoryModel {
+    MemoryModel::new("SC", Formula::always())
+}
+
+/// IBM 370: writes may pass later reads **except** reads of the same
+/// address; everything else stays ordered.
+///
+/// `F(x,y) = (Write(x) ∧ Read(y) ∧ SameAddr) ∨ (Write(x) ∧ Write(y)) ∨
+/// Read(x) ∨ Fence(x) ∨ Fence(y)`.
+#[must_use]
+pub fn ibm370() -> MemoryModel {
+    MemoryModel::new(
+        "IBM370",
+        Formula::or([
+            Formula::and([write_x(), read_y(), same_addr()]),
+            Formula::and([write_x(), write_y()]),
+            read_x(),
+            Formula::fence_either(),
+        ]),
+    )
+}
+
+/// SPARC TSO: writes may pass later reads even of the same address (load
+/// forwarding).
+///
+/// `F(x,y) = (Write(x) ∧ Write(y)) ∨ Read(x) ∨ Fence(x) ∨ Fence(y)`.
+#[must_use]
+pub fn tso() -> MemoryModel {
+    MemoryModel::new(
+        "TSO",
+        Formula::or([
+            Formula::and([write_x(), write_y()]),
+            read_x(),
+            Formula::fence_either(),
+        ]),
+    )
+}
+
+/// Intel x86 (the paper treats it as TSO).
+#[must_use]
+pub fn x86() -> MemoryModel {
+    tso().renamed("x86")
+}
+
+/// SPARC PSO: like TSO, but writes to *different* addresses may also
+/// reorder with each other.
+///
+/// `F(x,y) = (Write(x) ∧ Write(y) ∧ SameAddr) ∨ Read(x) ∨ Fence(x) ∨
+/// Fence(y)`.
+#[must_use]
+pub fn pso() -> MemoryModel {
+    MemoryModel::new(
+        "PSO",
+        Formula::or([
+            Formula::and([write_x(), write_y(), same_addr()]),
+            read_x(),
+            Formula::fence_either(),
+        ]),
+    )
+}
+
+/// SPARC RMO as the paper writes it: everything reorders except fences,
+/// dependent instructions and accesses before a same-address write.
+///
+/// `F(x,y) = (Write(y) ∧ SameAddr) ∨ Fence(x) ∨ Fence(y) ∨ DataDep ∨
+/// ControlDep`.
+#[must_use]
+pub fn rmo() -> MemoryModel {
+    MemoryModel::new(
+        "RMO",
+        Formula::or([
+            Formula::and([write_y(), same_addr()]),
+            Formula::fence_either(),
+            data_dep(),
+            ctrl_dep(),
+        ]),
+    )
+}
+
+/// RMO without its dependency clauses — the `M1010` point of Figure 4.
+#[must_use]
+pub fn rmo_without_dependencies() -> MemoryModel {
+    MemoryModel::new(
+        "RMO-nodep",
+        Formula::or([
+            Formula::and([write_y(), same_addr()]),
+            Formula::fence_either(),
+        ]),
+    )
+}
+
+/// An Alpha-style model: same-address coherence and read-to-write
+/// dependencies order execution, but dependent *reads* do not (the famous
+/// Alpha relaxation) — `M1030` in digit terms.
+///
+/// `F(x,y) = (Write(y) ∧ (SameAddr ∨ DataDep)) ∨ Fence(x) ∨ Fence(y)`.
+#[must_use]
+pub fn alpha() -> MemoryModel {
+    MemoryModel::new(
+        "Alpha",
+        Formula::or([
+            Formula::and([write_y(), Formula::or([same_addr(), data_dep()])]),
+            Formula::fence_either(),
+        ]),
+    )
+}
+
+/// Every named model, for catalog listings.
+#[must_use]
+pub fn all_named() -> Vec<MemoryModel> {
+    vec![
+        sc(),
+        tso(),
+        x86(),
+        pso(),
+        ibm370(),
+        rmo(),
+        rmo_without_dependencies(),
+        alpha(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_named_have_distinct_names() {
+        let models = all_named();
+        let names: Vec<&str> = models.iter().map(|m| m.name()).collect();
+        let mut deduped: Vec<&str> = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(names.len(), deduped.len());
+    }
+
+    #[test]
+    fn formulas_match_paper_text() {
+        assert_eq!(sc().formula().to_string(), "True");
+        assert_eq!(
+            tso().formula().to_string(),
+            "Write(x) ∧ Write(y) ∨ Read(x) ∨ Fence(x) ∨ Fence(y)"
+        );
+        assert!(ibm370().formula().to_string().contains("SameAddr"));
+        assert!(rmo().formula().uses_dependencies());
+        assert!(!rmo_without_dependencies().formula().uses_dependencies());
+    }
+
+    #[test]
+    fn x86_is_tso_renamed() {
+        assert_eq!(x86().formula(), tso().formula());
+        assert_eq!(x86().name(), "x86");
+    }
+}

@@ -1,0 +1,41 @@
+//! # mcm-operational
+//!
+//! Operational reference machines for cross-validating the axiomatic
+//! semantics of `mcm-axiomatic`:
+//!
+//! * [`sc`] — Lamport's interleaving machine: an outcome is allowed iff
+//!   some interleaving of the threads against a single memory reaches it;
+//! * [`tso`] — the store-buffer machine (x86-TSO style): FIFO write
+//!   buffers with forwarding, fences drain;
+//! * [`variants`] — the IBM370 machine (no forwarding: Figure 1's
+//!   discriminator) and the PSO machine (per-location buffers).
+//!
+//! Both explore their full state space (litmus programs are tiny), so they
+//! are *exact*. The integration suite checks the classic folklore
+//! theorems against our axiomatic models: `sc_allows ⟺ F = True` and
+//! `tso_allows ⟺ F_TSO` (digit model M4044) on every generated test —
+//! evidence for the axiomatic semantics that is completely independent of
+//! the happens-before construction.
+//!
+//! ## Example
+//!
+//! ```
+//! use mcm_operational::{sc, tso};
+//! use mcm_models::catalog;
+//!
+//! let sb = catalog::sb();
+//! assert!(!sc::sc_allows(&sb));   // SC forbids store buffering…
+//! assert!(tso::tso_allows(&sb));  // …TSO's store buffers allow it.
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod sc;
+pub mod tso;
+pub mod variants;
+
+pub use sc::sc_allows;
+pub use tso::tso_allows;
+pub use variants::{ibm370_allows, pso_allows};

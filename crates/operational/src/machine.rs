@@ -1,0 +1,151 @@
+//! A small-step machine shared by the operational models.
+//!
+//! Both reference machines explore every reachable terminal state of a
+//! litmus program by exhaustive DFS over nondeterministic steps
+//! (interleaving choices, store-buffer drains), memoising visited states.
+//! Litmus programs are loop-free and tiny, so the state space is small.
+
+use std::collections::BTreeMap;
+
+use mcm_core::{AddrExpr, Instruction, LitmusTest, Loc, Program, Reg, ThreadId, Value};
+
+/// The architectural state of one thread.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ThreadState {
+    /// Program counter: index of the next instruction.
+    pub pc: usize,
+    /// Register file.
+    pub regs: BTreeMap<Reg, Value>,
+    /// FIFO store buffer (oldest first) — unused by the SC machine.
+    pub buffer: Vec<(Loc, Value)>,
+}
+
+/// A whole-machine state.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct State {
+    /// Per-thread states.
+    pub threads: Vec<ThreadState>,
+    /// Shared memory (absent locations hold [`Value::INIT`]).
+    pub memory: BTreeMap<Loc, Value>,
+}
+
+impl State {
+    /// The initial state of `program`.
+    #[must_use]
+    pub fn initial(program: &Program) -> State {
+        State {
+            threads: vec![ThreadState::default(); program.threads.len()],
+            memory: BTreeMap::new(),
+        }
+    }
+
+    /// The value of `loc` in shared memory.
+    #[must_use]
+    pub fn read_memory(&self, loc: Loc) -> Value {
+        self.memory.get(&loc).copied().unwrap_or(Value::INIT)
+    }
+
+    /// Whether every thread has retired all its instructions and drained
+    /// its buffer.
+    #[must_use]
+    pub fn is_terminal(&self, program: &Program) -> bool {
+        self.threads.iter().enumerate().all(|(t, ts)| {
+            ts.pc == program.threads[t].instructions.len() && ts.buffer.is_empty()
+        })
+    }
+
+    /// Whether the terminal state satisfies a litmus outcome.
+    #[must_use]
+    pub fn satisfies(&self, test: &LitmusTest) -> bool {
+        test.outcome().constraints().iter().all(|&(tid, reg, want)| {
+            self.threads[tid.index()].regs.get(&reg) == Some(&want)
+        })
+    }
+}
+
+/// Resolves an address operand against a thread's registers.
+///
+/// Returns `None` for an unset register or a non-address value — such
+/// states are discarded (validated programs with complete outcomes never
+/// produce them on feasible paths, but the simulator explores *all* value
+/// outcomes, including ones no outcome constraint will accept).
+#[must_use]
+pub fn resolve_addr(addr: &AddrExpr, regs: &BTreeMap<Reg, Value>) -> Option<Loc> {
+    match addr {
+        AddrExpr::Loc(loc) => Some(*loc),
+        AddrExpr::Reg(r) => Loc::from_address(*regs.get(r)?),
+    }
+}
+
+/// Executes the *local* part of a non-memory instruction (ops, branches).
+/// Returns `false` if the instruction is a memory access or fence (which
+/// the machines handle themselves).
+#[must_use]
+pub fn step_local(instr: &Instruction, regs: &mut BTreeMap<Reg, Value>) -> bool {
+    match instr {
+        Instruction::Op { dst, expr } => {
+            let value = expr.eval(regs).expect("validated program");
+            regs.insert(*dst, value);
+            true
+        }
+        Instruction::Branch { cond } => {
+            let _ = cond.eval(regs).expect("validated program");
+            true
+        }
+        _ => false,
+    }
+}
+
+/// A convenient alias: which thread takes the next step.
+pub type Tid = ThreadId;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_core::RegExpr;
+
+    #[test]
+    fn initial_state_is_not_terminal_for_nonempty_programs() {
+        let program = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .build()
+            .unwrap();
+        let state = State::initial(&program);
+        assert!(!state.is_terminal(&program));
+        assert_eq!(state.read_memory(Loc::X), Value::INIT);
+    }
+
+    #[test]
+    fn local_steps_update_registers() {
+        let mut regs = BTreeMap::new();
+        regs.insert(Reg(1), Value(3));
+        let op = Instruction::Op {
+            dst: Reg(2),
+            expr: RegExpr::dep_const(Reg(1), Value(7)),
+        };
+        assert!(step_local(&op, &mut regs));
+        assert_eq!(regs.get(&Reg(2)), Some(&Value(7)));
+        let write = Instruction::Write {
+            addr: AddrExpr::Loc(Loc::X),
+            val: RegExpr::Const(Value(1)),
+        };
+        assert!(!step_local(&write, &mut regs));
+    }
+
+    #[test]
+    fn address_resolution() {
+        let mut regs = BTreeMap::new();
+        regs.insert(Reg(1), Loc::Y.base_address());
+        assert_eq!(
+            resolve_addr(&AddrExpr::Reg(Reg(1)), &regs),
+            Some(Loc::Y)
+        );
+        regs.insert(Reg(1), Value(3));
+        assert_eq!(resolve_addr(&AddrExpr::Reg(Reg(1)), &regs), None);
+        assert_eq!(
+            resolve_addr(&AddrExpr::Loc(Loc::X), &regs),
+            Some(Loc::X)
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! The store-buffer TSO reference machine (the x86-TSO operational model
+//! of Owens, Sarkar, Sewell — SPARC TSO in the paper's terms).
+//!
+//! Each thread owns a FIFO store buffer. A write enters the buffer; buffer
+//! entries drain to memory nondeterministically, in order. A read first
+//! forwards from the newest matching buffer entry, falling back to memory;
+//! a fence can only execute with an empty buffer. The axiomatic
+//! counterpart is `F_TSO` (digit model M4044) — the integration suite
+//! checks the two agree on every generated test.
+
+use std::collections::HashSet;
+
+use mcm_core::{Instruction, LitmusTest, Program, ThreadId};
+
+use crate::machine::{resolve_addr, step_local, State};
+
+/// Decides whether `test`'s outcome is reachable under the store-buffer
+/// TSO machine, by exhaustive exploration.
+#[must_use]
+pub fn tso_allows(test: &LitmusTest) -> bool {
+    let program = test.program();
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut stack = vec![State::initial(program)];
+    while let Some(state) = stack.pop() {
+        if !visited.insert(state.clone()) {
+            continue;
+        }
+        if state.is_terminal(program) {
+            if state.satisfies(test) {
+                return true;
+            }
+            continue;
+        }
+        for t in 0..program.threads.len() {
+            let tid = ThreadId(t as u8);
+            // Nondeterministic choice 1: the thread executes its next
+            // instruction.
+            if let Some(next) = step_instruction(program, &state, tid) {
+                if !visited.contains(&next) {
+                    stack.push(next);
+                }
+            }
+            // Nondeterministic choice 2: the thread's oldest buffered
+            // store drains to memory.
+            if let Some(next) = drain_one(&state, tid) {
+                if !visited.contains(&next) {
+                    stack.push(next);
+                }
+            }
+        }
+    }
+    false
+}
+
+fn step_instruction(program: &Program, state: &State, tid: ThreadId) -> Option<State> {
+    let thread = &program.threads[tid.index()];
+    let ts = &state.threads[tid.index()];
+    let instr = thread.instructions.get(ts.pc)?;
+    let mut next = state.clone();
+    {
+        let nts = &mut next.threads[tid.index()];
+        nts.pc += 1;
+    }
+    match instr {
+        Instruction::Read { addr, dst } => {
+            let loc = resolve_addr(addr, &state.threads[tid.index()].regs)?;
+            // Forward from the newest matching buffer entry, else memory.
+            let forwarded = state.threads[tid.index()]
+                .buffer
+                .iter()
+                .rev()
+                .find(|(l, _)| *l == loc)
+                .map(|(_, v)| *v);
+            let value = forwarded.unwrap_or_else(|| state.read_memory(loc));
+            next.threads[tid.index()].regs.insert(*dst, value);
+        }
+        Instruction::Write { addr, val } => {
+            let regs = &state.threads[tid.index()].regs;
+            let loc = resolve_addr(addr, regs)?;
+            let value = val.eval(regs).expect("validated program");
+            next.threads[tid.index()].buffer.push((loc, value));
+        }
+        Instruction::Fence(_) => {
+            // A full fence retires only once the buffer has drained.
+            if !state.threads[tid.index()].buffer.is_empty() {
+                return None;
+            }
+        }
+        other => {
+            let stepped = step_local(other, &mut next.threads[tid.index()].regs);
+            debug_assert!(stepped);
+        }
+    }
+    Some(next)
+}
+
+fn drain_one(state: &State, tid: ThreadId) -> Option<State> {
+    if state.threads[tid.index()].buffer.is_empty() {
+        return None;
+    }
+    let mut next = state.clone();
+    let (loc, value) = next.threads[tid.index()].buffer.remove(0);
+    next.memory.insert(loc, value);
+    Some(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_core::{Loc, Outcome, Reg, Value};
+
+    fn test_of(program: Program, outcome: Outcome) -> LitmusTest {
+        LitmusTest::new("t", program, outcome).unwrap()
+    }
+
+    fn sb(with_fences: bool) -> LitmusTest {
+        let mut builder = Program::builder().thread().write(Loc::X, Value(1));
+        if with_fences {
+            builder = builder.fence();
+        }
+        builder = builder.read(Loc::Y, Reg(1)).thread().write(Loc::Y, Value(1));
+        if with_fences {
+            builder = builder.fence();
+        }
+        let program = builder.read(Loc::X, Reg(2)).build().unwrap();
+        test_of(
+            program,
+            Outcome::new()
+                .constrain(ThreadId(0), Reg(1), Value(0))
+                .constrain(ThreadId(1), Reg(2), Value(0)),
+        )
+    }
+
+    #[test]
+    fn store_buffering_is_allowed_without_fences() {
+        assert!(tso_allows(&sb(false)));
+    }
+
+    #[test]
+    fn fences_restore_sc_for_store_buffering() {
+        assert!(!tso_allows(&sb(true)));
+    }
+
+    #[test]
+    fn forwarding_reads_own_buffered_write() {
+        // W X=1; R X -> r1 must see 1 even while the write is buffered,
+        // and can never see 0.
+        let program = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .read(Loc::X, Reg(1))
+            .build()
+            .unwrap();
+        let forwarded = test_of(
+            program.clone(),
+            Outcome::new().constrain(ThreadId(0), Reg(1), Value(1)),
+        );
+        assert!(tso_allows(&forwarded));
+        let stale = test_of(
+            program,
+            Outcome::new().constrain(ThreadId(0), Reg(1), Value(0)),
+        );
+        assert!(!tso_allows(&stale));
+    }
+
+    #[test]
+    fn message_passing_is_forbidden() {
+        // TSO keeps both write-write and read-read order.
+        let program = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .write(Loc::Y, Value(1))
+            .thread()
+            .read(Loc::Y, Reg(1))
+            .read(Loc::X, Reg(2))
+            .build()
+            .unwrap();
+        let mp = test_of(
+            program,
+            Outcome::new()
+                .constrain(ThreadId(1), Reg(1), Value(1))
+                .constrain(ThreadId(1), Reg(2), Value(0)),
+        );
+        assert!(!tso_allows(&mp));
+    }
+
+    #[test]
+    fn figure1_test_a_is_reachable() {
+        // The paper's flagship example: T2 forwards its own W Y=2 while
+        // the write is still buffered, then reads X=0; T1's fenced write
+        // to X retires before it reads Y=0.
+        let program = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .fence()
+            .read(Loc::Y, Reg(1))
+            .thread()
+            .write(Loc::Y, Value(2))
+            .read(Loc::Y, Reg(2))
+            .read(Loc::X, Reg(3))
+            .build()
+            .unwrap();
+        let test_a = test_of(
+            program,
+            Outcome::new()
+                .constrain(ThreadId(0), Reg(1), Value(0))
+                .constrain(ThreadId(1), Reg(2), Value(2))
+                .constrain(ThreadId(1), Reg(3), Value(0)),
+        );
+        assert!(tso_allows(&test_a));
+    }
+}

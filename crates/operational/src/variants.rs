@@ -1,0 +1,277 @@
+//! Operational machines for the other two classic buffered models:
+//!
+//! * **IBM370** — a store buffer *without* forwarding: a read whose
+//!   location has a buffered store must wait for it to drain (this is the
+//!   §2.4 difference to TSO, where the read forwards early);
+//! * **PSO** — one FIFO buffer *per location*: writes to different
+//!   locations drain independently (so write-write pairs to different
+//!   addresses reorder), reads forward per location, fences drain
+//!   everything.
+//!
+//! The integration suite checks `ibm370_allows ⟺ M4144` and
+//! `pso_allows ⟺ M1044` on every generated test.
+
+use std::collections::HashSet;
+
+use mcm_core::{Instruction, LitmusTest, Loc, Program, ThreadId, Value};
+
+use crate::machine::{resolve_addr, step_local, State};
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BufferPolicy {
+    /// Single FIFO per thread; reads of buffered locations stall (IBM370).
+    FifoNoForwarding,
+    /// Independent FIFO per location; reads forward (PSO).
+    PerLocationForwarding,
+}
+
+/// Decides reachability under the IBM370 machine (store buffer, no
+/// forwarding).
+#[must_use]
+pub fn ibm370_allows(test: &LitmusTest) -> bool {
+    explore(test, BufferPolicy::FifoNoForwarding)
+}
+
+/// Decides reachability under the PSO machine (per-location store
+/// buffers with forwarding).
+#[must_use]
+pub fn pso_allows(test: &LitmusTest) -> bool {
+    explore(test, BufferPolicy::PerLocationForwarding)
+}
+
+fn explore(test: &LitmusTest, policy: BufferPolicy) -> bool {
+    let program = test.program();
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut stack = vec![State::initial(program)];
+    while let Some(state) = stack.pop() {
+        if !visited.insert(state.clone()) {
+            continue;
+        }
+        if state.is_terminal(program) {
+            if state.satisfies(test) {
+                return true;
+            }
+            continue;
+        }
+        for t in 0..program.threads.len() {
+            let tid = ThreadId(t as u8);
+            if let Some(next) = step_instruction(program, &state, tid, policy) {
+                if !visited.contains(&next) {
+                    stack.push(next);
+                }
+            }
+            for next in drains(&state, tid, policy) {
+                if !visited.contains(&next) {
+                    stack.push(next);
+                }
+            }
+        }
+    }
+    false
+}
+
+fn step_instruction(
+    program: &Program,
+    state: &State,
+    tid: ThreadId,
+    policy: BufferPolicy,
+) -> Option<State> {
+    let thread = &program.threads[tid.index()];
+    let ts = &state.threads[tid.index()];
+    let instr = thread.instructions.get(ts.pc)?;
+    let mut next = state.clone();
+    next.threads[tid.index()].pc += 1;
+    match instr {
+        Instruction::Read { addr, dst } => {
+            let loc = resolve_addr(addr, &state.threads[tid.index()].regs)?;
+            let buffered: Option<Value> = state.threads[tid.index()]
+                .buffer
+                .iter()
+                .rev()
+                .find(|(l, _)| *l == loc)
+                .map(|(_, v)| *v);
+            let value = match (policy, buffered) {
+                // IBM370: no forwarding — the read must wait for the
+                // buffered same-address store to drain.
+                (BufferPolicy::FifoNoForwarding, Some(_)) => return None,
+                (BufferPolicy::PerLocationForwarding, Some(v)) => v,
+                (_, None) => state.read_memory(loc),
+            };
+            next.threads[tid.index()].regs.insert(*dst, value);
+        }
+        Instruction::Write { addr, val } => {
+            let regs = &state.threads[tid.index()].regs;
+            let loc = resolve_addr(addr, regs)?;
+            let value = val.eval(regs).expect("validated program");
+            next.threads[tid.index()].buffer.push((loc, value));
+        }
+        Instruction::Fence(_) => {
+            if !state.threads[tid.index()].buffer.is_empty() {
+                return None;
+            }
+        }
+        other => {
+            let stepped = step_local(other, &mut next.threads[tid.index()].regs);
+            debug_assert!(stepped);
+        }
+    }
+    Some(next)
+}
+
+/// The drain choices: IBM370 drains the single FIFO head; PSO may drain
+/// the oldest entry of *any* location's queue.
+fn drains(state: &State, tid: ThreadId, policy: BufferPolicy) -> Vec<State> {
+    let buffer = &state.threads[tid.index()].buffer;
+    if buffer.is_empty() {
+        return Vec::new();
+    }
+    match policy {
+        BufferPolicy::FifoNoForwarding => {
+            let mut next = state.clone();
+            let (loc, value) = next.threads[tid.index()].buffer.remove(0);
+            next.memory.insert(loc, value);
+            vec![next]
+        }
+        BufferPolicy::PerLocationForwarding => {
+            // The buffer vector stays FIFO overall, but any location's
+            // *first* entry may retire (per-location queues).
+            let mut firsts: Vec<Loc> = Vec::new();
+            let mut out = Vec::new();
+            for (i, (loc, value)) in buffer.iter().enumerate() {
+                if firsts.contains(loc) {
+                    continue; // not the oldest entry for this location
+                }
+                firsts.push(*loc);
+                let mut next = state.clone();
+                next.threads[tid.index()].buffer.remove(i);
+                next.memory.insert(*loc, *value);
+                out.push(next);
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_core::{Outcome, Program, Reg};
+
+    fn test_of(program: Program, outcome: Outcome) -> LitmusTest {
+        LitmusTest::new("t", program, outcome).unwrap()
+    }
+
+    /// Figure 1's Test A: allowed by TSO (forwarding), forbidden by
+    /// IBM370 (no forwarding).
+    fn test_a() -> LitmusTest {
+        let program = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .fence()
+            .read(Loc::Y, Reg(1))
+            .thread()
+            .write(Loc::Y, Value(2))
+            .read(Loc::Y, Reg(2))
+            .read(Loc::X, Reg(3))
+            .build()
+            .unwrap();
+        test_of(
+            program,
+            Outcome::new()
+                .constrain(ThreadId(0), Reg(1), Value(0))
+                .constrain(ThreadId(1), Reg(2), Value(2))
+                .constrain(ThreadId(1), Reg(3), Value(0)),
+        )
+    }
+
+    #[test]
+    fn ibm370_forbids_test_a_but_allows_sb() {
+        assert!(!ibm370_allows(&test_a()));
+        let sb = {
+            let program = Program::builder()
+                .thread()
+                .write(Loc::X, Value(1))
+                .read(Loc::Y, Reg(1))
+                .thread()
+                .write(Loc::Y, Value(1))
+                .read(Loc::X, Reg(2))
+                .build()
+                .unwrap();
+            test_of(
+                program,
+                Outcome::new()
+                    .constrain(ThreadId(0), Reg(1), Value(0))
+                    .constrain(ThreadId(1), Reg(2), Value(0)),
+            )
+        };
+        assert!(ibm370_allows(&sb));
+    }
+
+    #[test]
+    fn pso_allows_write_write_reordering() {
+        // Message passing is reachable on PSO (the Y write may drain
+        // before the X write), not on IBM370.
+        let program = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .write(Loc::Y, Value(1))
+            .thread()
+            .read(Loc::Y, Reg(1))
+            .read(Loc::X, Reg(2))
+            .build()
+            .unwrap();
+        let mp = test_of(
+            program,
+            Outcome::new()
+                .constrain(ThreadId(1), Reg(1), Value(1))
+                .constrain(ThreadId(1), Reg(2), Value(0)),
+        );
+        assert!(pso_allows(&mp));
+        assert!(!ibm370_allows(&mp));
+    }
+
+    #[test]
+    fn pso_keeps_same_location_writes_ordered() {
+        // Coherence: two writes to X retire in order, so a remote reader
+        // can never see them inverted (read X=2 then X=1 … encoded as the
+        // CoRR shape).
+        let program = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .write(Loc::X, Value(2))
+            .thread()
+            .read(Loc::X, Reg(1))
+            .read(Loc::X, Reg(2))
+            .build()
+            .unwrap();
+        let corr = test_of(
+            program,
+            Outcome::new()
+                .constrain(ThreadId(1), Reg(1), Value(2))
+                .constrain(ThreadId(1), Reg(2), Value(1)),
+        );
+        assert!(!pso_allows(&corr));
+    }
+
+    #[test]
+    fn pso_fence_drains_every_location() {
+        let program = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .fence()
+            .write(Loc::Y, Value(1))
+            .thread()
+            .read(Loc::Y, Reg(1))
+            .fence()
+            .read(Loc::X, Reg(2))
+            .build()
+            .unwrap();
+        let mp_fenced = test_of(
+            program,
+            Outcome::new()
+                .constrain(ThreadId(1), Reg(1), Value(1))
+                .constrain(ThreadId(1), Reg(2), Value(0)),
+        );
+        assert!(!pso_allows(&mp_fenced));
+    }
+}

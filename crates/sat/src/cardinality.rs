@@ -1,0 +1,161 @@
+//! Cardinality constraint encodings.
+//!
+//! Used by the exploration layer to prove *minimality* of distinguishing
+//! test sets: "no 8 litmus tests cover every distinguishable model pair" is
+//! an at-most-8 selection constraint plus coverage clauses, decided by the
+//! CDCL solver (paper §4.2 reports a sufficient set of nine tests; the
+//! minimality certificate is our extension).
+
+use crate::lit::Lit;
+use crate::solver::Solver;
+
+/// Adds clauses enforcing that at most `k` of `lits` are true, using the
+/// Sinz sequential-counter encoding (auxiliary variables `s[i][j]` meaning
+/// "at least `j+1` of the first `i+1` literals are true").
+///
+/// With `k == 0` this simply asserts every literal false. The encoding adds
+/// `O(n·k)` auxiliary variables and clauses.
+pub fn add_at_most_k(solver: &mut Solver, lits: &[Lit], k: usize) {
+    let n = lits.len();
+    if n <= k {
+        return; // trivially satisfied
+    }
+    if k == 0 {
+        for &lit in lits {
+            solver.add_clause(&[!lit]);
+        }
+        return;
+    }
+    // s[i][j]: among lits[0..=i], at least j+1 are true. i in 0..n, j in 0..k.
+    let s: Vec<Vec<Lit>> = (0..n)
+        .map(|_| (0..k).map(|_| solver.new_var().positive()).collect())
+        .collect();
+    // lits[0] -> s[0][0]
+    solver.add_clause(&[!lits[0], s[0][0]]);
+    // !s[0][j] for j >= 1
+    for j in 1..k {
+        solver.add_clause(&[!s[0][j]]);
+    }
+    for i in 1..n {
+        // lits[i] -> s[i][0]
+        solver.add_clause(&[!lits[i], s[i][0]]);
+        // s[i-1][j] -> s[i][j]
+        for j in 0..k {
+            solver.add_clause(&[!s[i - 1][j], s[i][j]]);
+        }
+        // lits[i] & s[i-1][j-1] -> s[i][j]
+        for j in 1..k {
+            solver.add_clause(&[!lits[i], !s[i - 1][j - 1], s[i][j]]);
+        }
+        // lits[i] & s[i-1][k-1] -> conflict (would be the (k+1)-th true lit)
+        solver.add_clause(&[!lits[i], !s[i - 1][k - 1]]);
+    }
+}
+
+/// Adds clauses enforcing that at least `k` of `lits` are true.
+///
+/// Encoded as "at most `n - k` of the negations are true".
+pub fn add_at_least_k(solver: &mut Solver, lits: &[Lit], k: usize) {
+    let n = lits.len();
+    if k == 0 {
+        return;
+    }
+    if k > n {
+        // Unsatisfiable: force a contradiction.
+        solver.add_clause(&[]);
+        return;
+    }
+    if k == 1 {
+        solver.add_clause(lits);
+        return;
+    }
+    let negated: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+    add_at_most_k(solver, &negated, n - k);
+}
+
+/// Adds clauses enforcing that exactly `k` of `lits` are true.
+pub fn add_exactly_k(solver: &mut Solver, lits: &[Lit], k: usize) {
+    add_at_most_k(solver, lits, k);
+    add_at_least_k(solver, lits, k);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+    use crate::solver::SatResult;
+
+    fn fresh(n: usize) -> (Solver, Vec<Lit>) {
+        let mut solver = Solver::new();
+        let lits = (0..n).map(|_| solver.new_var().positive()).collect();
+        (solver, lits)
+    }
+
+    fn count_true(solver: &Solver, lits: &[Lit]) -> usize {
+        lits.iter()
+            .filter(|l| solver.lit_value_opt(**l) == Some(true))
+            .count()
+    }
+
+    #[test]
+    fn at_most_k_blocks_k_plus_one() {
+        for n in 1..6usize {
+            for k in 0..n {
+                let (mut solver, lits) = fresh(n);
+                add_at_most_k(&mut solver, &lits, k);
+                // Forcing k literals true is fine.
+                let assume: Vec<Lit> = lits.iter().take(k).copied().collect();
+                assert_eq!(
+                    solver.solve_with_assumptions(&assume),
+                    SatResult::Sat,
+                    "n={n} k={k} k-true should be sat"
+                );
+                // Forcing k+1 literals true must fail.
+                let assume: Vec<Lit> = lits.iter().take(k + 1).copied().collect();
+                assert_eq!(
+                    solver.solve_with_assumptions(&assume),
+                    SatResult::Unsat,
+                    "n={n} k={k} (k+1)-true should be unsat"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn at_least_k_requires_k() {
+        for n in 1..6usize {
+            for k in 1..=n {
+                let (mut solver, lits) = fresh(n);
+                add_at_least_k(&mut solver, &lits, k);
+                assert_eq!(solver.solve(), SatResult::Sat);
+                assert!(count_true(&solver, &lits) >= k, "n={n} k={k}");
+                // Forcing n-k+1 literals false must fail.
+                let assume: Vec<Lit> = lits.iter().take(n - k + 1).map(|&l| !l).collect();
+                assert_eq!(
+                    solver.solve_with_assumptions(&assume),
+                    SatResult::Unsat,
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_k_pins_the_count() {
+        for n in 1..5usize {
+            for k in 0..=n {
+                let (mut solver, lits) = fresh(n);
+                add_exactly_k(&mut solver, &lits, k);
+                assert_eq!(solver.solve(), SatResult::Sat, "n={n} k={k}");
+                assert_eq!(count_true(&solver, &lits), k, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn at_least_more_than_n_is_unsat() {
+        let (mut solver, lits) = fresh(3);
+        add_at_least_k(&mut solver, &lits, 4);
+        assert_eq!(solver.solve(), SatResult::Unsat);
+    }
+}

@@ -1,0 +1,215 @@
+//! DIMACS CNF parsing and printing.
+//!
+//! Supports the classic `p cnf <vars> <clauses>` header, `c` comment lines,
+//! and clauses terminated by `0`. Useful for debugging the solver against
+//! external tools and for exporting the litmus admissibility encodings.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::lit::{Lit, Var};
+use crate::solver::Solver;
+
+/// A CNF formula as parsed from DIMACS text.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables declared (or inferred).
+    pub num_vars: usize,
+    /// The clauses, each a disjunction of literals.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Loads this formula into a fresh [`Solver`].
+    #[must_use]
+    pub fn into_solver(&self) -> Solver {
+        let mut solver = Solver::new();
+        for _ in 0..self.num_vars {
+            solver.new_var();
+        }
+        for clause in &self.clauses {
+            solver.add_clause(clause);
+        }
+        solver
+    }
+
+    /// Renders the formula in DIMACS format.
+    #[must_use]
+    pub fn to_dimacs(&self) -> String {
+        let mut out = format!("p cnf {} {}\n", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for lit in clause {
+                let n = lit.var().index() as i64 + 1;
+                let signed = if lit.is_positive() { n } else { -n };
+                out.push_str(&signed.to_string());
+                out.push(' ');
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+}
+
+/// Error from [`parse_dimacs`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed headers, non-integer tokens,
+/// literals out of the declared range, or a clause missing its `0`
+/// terminator.
+pub fn parse_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut num_vars: Option<usize> = None;
+    let mut declared_clauses: Option<usize> = None;
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    let mut max_var = 0usize;
+
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let err = |message: &str| ParseDimacsError {
+            line: lineno,
+            message: message.to_string(),
+        };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if num_vars.is_some() {
+                return Err(err("duplicate problem line"));
+            }
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("cnf") {
+                return Err(err("problem line must be `p cnf <vars> <clauses>`"));
+            }
+            let vars: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err("missing or invalid variable count"))?;
+            let ncl: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err("missing or invalid clause count"))?;
+            num_vars = Some(vars);
+            declared_clauses = Some(ncl);
+            continue;
+        }
+        for token in line.split_whitespace() {
+            let value: i64 = token
+                .parse()
+                .map_err(|_| err(&format!("invalid literal `{token}`")))?;
+            if value == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let var_index = usize::try_from(value.unsigned_abs()).expect("fits") - 1;
+                if let Some(nv) = num_vars {
+                    if var_index >= nv {
+                        return Err(err(&format!(
+                            "literal {value} exceeds declared variable count {nv}"
+                        )));
+                    }
+                }
+                max_var = max_var.max(var_index + 1);
+                let var = Var::from_index(var_index);
+                current.push(if value > 0 { var.positive() } else { var.negative() });
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError {
+            line: text.lines().count(),
+            message: "last clause is missing its terminating 0".to_string(),
+        });
+    }
+    if let Some(declared) = declared_clauses {
+        if declared != clauses.len() {
+            // Tolerated by most solvers; we accept but could warn. Keep data.
+        }
+    }
+    Ok(Cnf {
+        num_vars: num_vars.unwrap_or(max_var),
+        clauses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SatResult;
+
+    #[test]
+    fn parses_simple_formula() {
+        let text = "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(cnf.clauses[0].len(), 2);
+        assert!(cnf.clauses[0][0].is_positive());
+        assert!(!cnf.clauses[0][1].is_positive());
+    }
+
+    #[test]
+    fn round_trips_through_printer() {
+        let text = "p cnf 2 2\n1 2 0\n-1 -2 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        let reparsed = parse_dimacs(&cnf.to_dimacs()).unwrap();
+        assert_eq!(cnf, reparsed);
+    }
+
+    #[test]
+    fn clause_split_across_lines() {
+        let text = "p cnf 3 1\n1 2\n3 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        assert_eq!(cnf.clauses.len(), 1);
+        assert_eq!(cnf.clauses[0].len(), 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_clause() {
+        let text = "p cnf 2 1\n1 2\n";
+        assert!(parse_dimacs(text).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_literal() {
+        let text = "p cnf 1 1\n2 0\n";
+        let e = parse_dimacs(text).unwrap_err();
+        assert!(e.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn infers_vars_without_header() {
+        let text = "1 -3 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+    }
+
+    #[test]
+    fn parsed_formula_solves() {
+        let text = "p cnf 2 3\n1 2 0\n-1 2 0\n1 -2 0\n";
+        let mut solver = parse_dimacs(text).unwrap().into_solver();
+        assert_eq!(solver.solve(), SatResult::Sat);
+        let model = solver.model();
+        assert!(model[0] && model[1]);
+    }
+
+    #[test]
+    fn rejects_garbage_token() {
+        assert!(parse_dimacs("p cnf 1 1\nfoo 0\n").is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Indexed max-heap over variables, ordered by VSIDS activity.
+//!
+//! The solver needs a priority queue supporting `increase-key` (when a
+//! variable's activity is bumped) and membership tests (a variable leaves the
+//! queue when assigned and re-enters on backtracking), which the standard
+//! library's `BinaryHeap` does not provide.
+
+use crate::lit::Var;
+
+/// A binary max-heap of variables keyed by an external activity array.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VarHeap {
+    /// Heap array of variable indices.
+    heap: Vec<u32>,
+    /// Position of each variable in `heap`, or `NOT_IN_HEAP`.
+    position: Vec<u32>,
+}
+
+const NOT_IN_HEAP: u32 = u32::MAX;
+
+impl VarHeap {
+    /// Registers a new variable (initially outside the heap).
+    pub(crate) fn grow(&mut self) {
+        self.position.push(NOT_IN_HEAP);
+    }
+
+    pub(crate) fn contains(&self, var: Var) -> bool {
+        self.position[var.index()] != NOT_IN_HEAP
+    }
+
+    /// Inserts `var` if absent.
+    pub(crate) fn insert(&mut self, var: Var, activity: &[f64]) {
+        if self.contains(var) {
+            return;
+        }
+        let pos = self.heap.len();
+        self.heap.push(var.0);
+        self.position[var.index()] = pos as u32;
+        self.sift_up(pos, activity);
+    }
+
+    /// Removes and returns the most active variable.
+    pub(crate) fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty heap");
+        self.position[top as usize] = NOT_IN_HEAP;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(Var(top))
+    }
+
+    /// Restores the heap property after `var`'s activity increased.
+    pub(crate) fn update(&mut self, var: Var, activity: &[f64]) {
+        let pos = self.position[var.index()];
+        if pos != NOT_IN_HEAP {
+            self.sift_up(pos as usize, activity);
+        }
+    }
+
+    /// Rebuilds the heap after all activities were rescaled.
+    ///
+    /// Rescaling divides every activity by the same constant so the relative
+    /// order is untouched; nothing to do, but kept for clarity at call sites.
+    pub(crate) fn rescaled(&mut self) {}
+
+    fn less(&self, a: usize, b: usize, activity: &[f64]) -> bool {
+        // Max-heap: parent must have the *greater* activity.
+        activity[self.heap[a] as usize] < activity[self.heap[b] as usize]
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.position[self.heap[a] as usize] = a as u32;
+        self.position[self.heap[b] as usize] = b as u32;
+    }
+
+    fn sift_up(&mut self, mut pos: usize, activity: &[f64]) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.less(parent, pos, activity) {
+                self.swap(parent, pos);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * pos + 1;
+            let right = 2 * pos + 2;
+            let mut best = pos;
+            if left < self.heap.len() && self.less(best, left, activity) {
+                best = left;
+            }
+            if right < self.heap.len() && self.less(best, right, activity) {
+                best = right;
+            }
+            if best == pos {
+                return;
+            }
+            self.swap(pos, best);
+            pos = best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(i: usize) -> Var {
+        Var::from_index(i)
+    }
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0];
+        let mut heap = VarHeap::default();
+        for _ in 0..4 {
+            heap.grow();
+        }
+        for i in 0..4 {
+            heap.insert(var(i), &activity);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| heap.pop(&activity).map(Var::index))
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn duplicate_insert_is_ignored() {
+        let activity = vec![1.0, 2.0];
+        let mut heap = VarHeap::default();
+        heap.grow();
+        heap.grow();
+        heap.insert(var(0), &activity);
+        heap.insert(var(0), &activity);
+        heap.insert(var(1), &activity);
+        assert_eq!(heap.pop(&activity), Some(var(1)));
+        assert_eq!(heap.pop(&activity), Some(var(0)));
+        assert_eq!(heap.pop(&activity), None);
+    }
+
+    #[test]
+    fn update_reorders_after_bump() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut heap = VarHeap::default();
+        for _ in 0..3 {
+            heap.grow();
+        }
+        for i in 0..3 {
+            heap.insert(var(i), &activity);
+        }
+        activity[0] = 10.0;
+        heap.update(var(0), &activity);
+        assert_eq!(heap.pop(&activity), Some(var(0)));
+    }
+
+    #[test]
+    fn membership_tracks_pop_and_reinsert() {
+        let activity = vec![1.0];
+        let mut heap = VarHeap::default();
+        heap.grow();
+        heap.insert(var(0), &activity);
+        assert!(heap.contains(var(0)));
+        heap.pop(&activity);
+        assert!(!heap.contains(var(0)));
+        heap.insert(var(0), &activity);
+        assert!(heap.contains(var(0)));
+    }
+}

@@ -1,0 +1,39 @@
+//! # mcm-sat
+//!
+//! A from-scratch CDCL SAT solver, the workspace's substitute for the
+//! MiniSat oracle used by the paper's tool (§4.1): the admissibility of a
+//! litmus test under a memory model is decided by encoding the
+//! happens-before axioms into CNF and calling [`Solver::solve`].
+//!
+//! Features: two-watched-literal propagation, VSIDS with phase saving,
+//! first-UIP learning with clause minimisation, Luby restarts, learnt-clause
+//! garbage collection, incremental solving under assumptions, DIMACS I/O
+//! ([`dimacs`]), cardinality encodings ([`cardinality`]) and a brute-force
+//! reference oracle ([`naive`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use mcm_sat::{SatResult, Solver};
+//!
+//! let mut solver = Solver::new();
+//! let x = solver.new_var();
+//! let y = solver.new_var();
+//! solver.add_clause(&[x.positive(), y.positive()]);
+//! solver.add_clause(&[x.negative(), y.negative()]);
+//! assert_eq!(solver.solve(), SatResult::Sat);
+//! assert_ne!(solver.value(x), solver.value(y));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cardinality;
+pub mod dimacs;
+mod heap;
+mod lit;
+pub mod naive;
+mod solver;
+
+pub use lit::{LBool, Lit, Var};
+pub use solver::{luby, SatResult, Solver, SolverStats};

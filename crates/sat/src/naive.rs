@@ -1,0 +1,63 @@
+//! Brute-force reference solver.
+//!
+//! Enumerates all assignments; exponential, but exact. Exists so the CDCL
+//! solver can be property-tested against an implementation too simple to be
+//! wrong.
+
+use crate::lit::Lit;
+
+/// Decides satisfiability of `clauses` over `num_vars` variables by
+/// exhaustive enumeration, returning a model if one exists.
+///
+/// # Panics
+///
+/// Panics if `num_vars > 24` (the search is exponential; this is a test
+/// oracle, not a solver).
+#[must_use]
+pub fn solve_brute_force(num_vars: usize, clauses: &[Vec<Lit>]) -> Option<Vec<bool>> {
+    assert!(num_vars <= 24, "brute force limited to 24 variables");
+    let n = num_vars as u32;
+    for bits in 0..(1u64 << n) {
+        let model: Vec<bool> = (0..num_vars).map(|i| bits >> i & 1 == 1).collect();
+        if clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.apply(model[l.var().index()])))
+        {
+            return Some(model);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    #[test]
+    fn finds_model_for_satisfiable() {
+        let a = Var::from_index(0);
+        let b = Var::from_index(1);
+        let clauses = vec![vec![a.positive(), b.positive()], vec![a.negative()]];
+        let model = solve_brute_force(2, &clauses).unwrap();
+        assert!(!model[0]);
+        assert!(model[1]);
+    }
+
+    #[test]
+    fn reports_unsat() {
+        let a = Var::from_index(0);
+        let clauses = vec![vec![a.positive()], vec![a.negative()]];
+        assert!(solve_brute_force(1, &clauses).is_none());
+    }
+
+    #[test]
+    fn empty_clause_set_is_sat() {
+        assert!(solve_brute_force(0, &[]).is_some());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        assert!(solve_brute_force(1, &[vec![]]).is_none());
+    }
+}

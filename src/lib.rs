@@ -1,0 +1,47 @@
+//! # litmus-mcm
+//!
+//! A reproduction of *"Litmus Tests for Comparing Memory Consistency Models:
+//! How Long Do They Need to Be?"* (Mador-Haim, Alur, Martin — DAC 2011).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — litmus programs, instruction executions, predicates and the
+//!   *must-not-reorder* formula DSL (paper §2.1–2.3).
+//! * [`axiomatic`] — the happens-before semantics and three independent
+//!   admissibility checkers (paper §2.2, §4.1).
+//! * [`models`] — named hardware models (SC, TSO, PSO, RMO, IBM370, …), the
+//!   90-model digit space `M{ww}{wr}{rw}{rr}`, and the L1–L9 test catalog
+//!   (paper §2.4, §4.2, Figures 1 and 3).
+//! * [`gen`] — local segments, the seven litmus-test templates of Theorem 1,
+//!   Corollary 1 counting, and the naive enumeration baseline (paper §3).
+//! * [`explore`] — model comparison, equivalence, the Figure 4 lattice, and
+//!   minimal distinguishing test sets (paper §4.2).
+//! * [`sat`] — the CDCL SAT solver used as the admissibility oracle
+//!   (substitute for MiniSat, paper §4.1).
+//! * [`operational`] — interleaving-SC and store-buffer-TSO reference
+//!   machines that cross-validate the axiomatic semantics (extension).
+//!
+//! ## Quickstart
+//!
+//! Check the paper's Figure 1 test against TSO and SC:
+//!
+//! ```
+//! use litmus_mcm::axiomatic::{Checker, ExplicitChecker};
+//! use litmus_mcm::models::{catalog, named};
+//!
+//! let test = catalog::test_a();
+//! let checker = ExplicitChecker::new();
+//! assert!(checker.is_allowed(&named::tso(), &test));
+//! assert!(!checker.is_allowed(&named::sc(), &test));
+//! ```
+
+pub use mcm_axiomatic as axiomatic;
+pub use mcm_core as core;
+pub use mcm_explore as explore;
+pub use mcm_gen as gen;
+pub use mcm_models as models;
+pub use mcm_operational as operational;
+pub use mcm_sat as sat;
+
+/// Crate version, re-exported for tooling.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
