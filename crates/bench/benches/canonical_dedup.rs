@@ -1,0 +1,159 @@
+//! Canonicalization + memoization on the Figure 4 exploration: how much
+//! checker work the symmetry quotient and the verdict cache remove.
+//!
+//! Reported alongside the timings (one line each, printed before the
+//! benches run):
+//!
+//! * the dedup ratio of the canonicalization pass on the raw naive
+//!   enumeration (the paper's §3.4 baseline), on the catalog + template
+//!   comparison suite, and on the pure template suite (already
+//!   symmetry-irredundant — the generator emits one test per orbit);
+//! * the sweep statistics of the §4.2 exploration with canonicalization,
+//!   and the zero-checker-call warm sweep through the verdict cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcm_axiomatic::{Checker, ExplicitChecker};
+use mcm_explore::{paper, EngineConfig, Exploration, VerdictCache};
+use mcm_gen::{canon, naive, template_suite};
+use std::hint::black_box;
+
+fn factory() -> Box<dyn Checker> {
+    Box::new(ExplicitChecker::new())
+}
+
+fn report_dedup_ratios() {
+    let raw_bounds = naive::NaiveBounds {
+        max_accesses_per_thread: 2,
+        max_locs: 3,
+        ..Default::default()
+    };
+    let raw = naive::enumerate_tests_raw(&raw_bounds, usize::MAX);
+    let raw_orbits = canon::dedup(&raw);
+    println!(
+        "dedup: naive raw enumeration     {:>6} tests -> {:>5} orbits ({:.2}x)",
+        raw_orbits.original_len,
+        raw_orbits.len(),
+        raw_orbits.dedup_ratio()
+    );
+    assert!(raw_orbits.dedup_ratio() > 3.0);
+
+    let comparison = paper::comparison_tests(true);
+    let comparison_orbits = canon::dedup(&comparison);
+    println!(
+        "dedup: catalog + template suite  {:>6} tests -> {:>5} orbits ({:.2}x)",
+        comparison_orbits.original_len,
+        comparison_orbits.len(),
+        comparison_orbits.dedup_ratio()
+    );
+    assert!(comparison_orbits.dedup_ratio() > 1.0);
+
+    let template = template_suite(true);
+    let template_orbits = canon::dedup(&template.tests);
+    println!(
+        "dedup: template suite alone      {:>6} tests -> {:>5} orbits ({:.2}x, symmetry-irredundant)",
+        template_orbits.original_len,
+        template_orbits.len(),
+        template_orbits.dedup_ratio()
+    );
+}
+
+fn report_sweep_stats() {
+    let cache = VerdictCache::new();
+    let config = EngineConfig::canonicalizing();
+    let (_, cold) = Exploration::run_engine(
+        paper::digit_space_models(true),
+        paper::comparison_tests(true),
+        factory,
+        &config,
+        Some(&cache),
+    );
+    println!(
+        "sweep (cold): {} pairs -> {} unique, {} checker calls ({:.2}x reduction)",
+        cold.total_pairs,
+        cold.unique_pairs,
+        cold.checker_calls,
+        cold.reduction_factor()
+    );
+    let (_, warm) = Exploration::run_engine(
+        paper::digit_space_models(true),
+        paper::comparison_tests(true),
+        factory,
+        &config,
+        Some(&cache),
+    );
+    println!(
+        "sweep (warm): {} pairs, {} cache hits, {} checker calls",
+        warm.total_pairs, warm.cache_hits, warm.checker_calls
+    );
+    assert_eq!(warm.checker_calls, 0, "warm sweep must be checker-free");
+}
+
+fn bench_canonical_dedup(c: &mut Criterion) {
+    report_dedup_ratios();
+    report_sweep_stats();
+
+    let models = paper::digit_space_models(true);
+    let tests = paper::comparison_tests(true);
+
+    let mut group = c.benchmark_group("canonical_dedup");
+    group.sample_size(10);
+
+    group.bench_function("canonicalize/comparison-suite", |b| {
+        b.iter(|| black_box(canon::dedup(black_box(&tests)).len()));
+    });
+
+    group.bench_function("sweep/90-models/baseline", |b| {
+        b.iter(|| {
+            let (expl, _) = Exploration::run_engine(
+                models.clone(),
+                tests.clone(),
+                factory,
+                &EngineConfig::default(),
+                None,
+            );
+            black_box(expl.verdicts.len())
+        });
+    });
+
+    group.bench_function("sweep/90-models/canonicalized", |b| {
+        b.iter(|| {
+            let (expl, _) = Exploration::run_engine(
+                models.clone(),
+                tests.clone(),
+                factory,
+                &EngineConfig::canonicalizing(),
+                None,
+            );
+            black_box(expl.verdicts.len())
+        });
+    });
+
+    group.bench_function("sweep/90-models/warm-cache", |b| {
+        let cache = VerdictCache::new();
+        let config = EngineConfig::canonicalizing();
+        // Prime once; every iteration is then a pure cache replay.
+        let _ = Exploration::run_engine(
+            models.clone(),
+            tests.clone(),
+            factory,
+            &config,
+            Some(&cache),
+        );
+        b.iter(|| {
+            let (expl, stats) = Exploration::run_engine(
+                models.clone(),
+                tests.clone(),
+                factory,
+                &config,
+                Some(&cache),
+            );
+            assert_eq!(stats.checker_calls, 0);
+            black_box(expl.verdicts.len())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_canonical_dedup);
+criterion_main!(benches);

@@ -16,9 +16,9 @@ fn pigeonhole(n: usize, m: usize) -> Solver {
         solver.add_clause(&clause);
     }
     for j in 0..m {
-        for i in 0..n {
-            for k in (i + 1)..n {
-                solver.add_clause(&[vars[i][j].negative(), vars[k][j].negative()]);
+        for (i, row) in vars.iter().enumerate() {
+            for other in vars.iter().skip(i + 1) {
+                solver.add_clause(&[row[j].negative(), other[j].negative()]);
             }
         }
     }

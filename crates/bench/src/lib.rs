@@ -1,1 +1,17 @@
-//! Benchmark-only crate; see the `benches/` directory.
+//! Benchmark-only crate; see the `benches/` directory for the paper's
+//! experiments (E-numbers refer to the evaluation section):
+//!
+//! * `fig1_test_a` — checking Figure 1's Test A under TSO/SC/IBM370;
+//! * `fig2_templates` — materialising single templates and whole suites;
+//! * `fig3_nine_tests` — the nine contrasting tests under each model;
+//! * `fig4_exploration` — the §4.2 model-space exploration and lattice;
+//! * `canonical_dedup` — the symmetry quotient + verdict-cache engine:
+//!   dedup ratios and cold/warm sweep timings;
+//! * `pair_comparison` — single model-pair comparisons ("a few seconds"
+//!   in the paper);
+//! * `checkers` — explicit vs SAT vs monolithic-SAT checker ablation;
+//! * `sat_solver` — the CDCL solver on pigeonhole/chain instances;
+//! * `tab_corollary1` — Corollary 1 counting vs naive enumeration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

@@ -6,8 +6,8 @@ use std::time::Instant;
 use mcm_axiomatic::{Checker, ExplicitChecker, MonolithicSatChecker, SatChecker};
 use mcm_core::parse::parse_litmus_file;
 use mcm_explore::dot::{render_dot, DotOptions};
-use mcm_explore::paper;
-use mcm_explore::{Exploration, Relation};
+use mcm_explore::{distinguish, paper};
+use mcm_explore::{EngineConfig, Exploration, Relation, SweepStats, VerdictCache};
 use mcm_gen::{count, naive, template_suite, Segment, SegmentType};
 use mcm_models::catalog;
 
@@ -32,7 +32,7 @@ fn positional(args: &[String]) -> Vec<&String> {
             skip_next = false;
             continue;
         }
-        if a == "--dot" || a == "--checker" || a == "--csv" {
+        if a == "--dot" || a == "--checker" || a == "--csv" || a == "--jobs" {
             skip_next = true;
             continue;
         }
@@ -43,6 +43,40 @@ fn positional(args: &[String]) -> Vec<&String> {
         out.push(a);
     }
     out
+}
+
+/// Parses the sweep-engine flags shared by `explore` and `distinguish`:
+/// `--canonicalize`, `--cache`, `--jobs N`.
+fn engine_options(args: &[String]) -> Result<(EngineConfig, bool), String> {
+    let jobs = match option_value(args, "--jobs") {
+        None => None,
+        Some(n) => Some(
+            n.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("--jobs needs a positive integer, got `{n}`"))?,
+        ),
+    };
+    let config = EngineConfig {
+        canonicalize: flag(args, "--canonicalize"),
+        jobs,
+        ..EngineConfig::default()
+    };
+    Ok((config, flag(args, "--cache")))
+}
+
+fn print_sweep_stats(stats: &SweepStats) {
+    println!(
+        "sweep: {} pairs -> {} unique ({} models x {} canonical tests), \
+         {} cache hits, {} checker calls ({:.1}x reduction)",
+        stats.total_pairs,
+        stats.unique_pairs,
+        stats.distinct_models,
+        stats.canonical_tests,
+        stats.cache_hits,
+        stats.checker_calls,
+        stats.reduction_factor(),
+    );
 }
 
 fn checker_from(args: &[String]) -> Result<Box<dyn Checker>, String> {
@@ -117,17 +151,58 @@ pub fn compare(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `mcm explore [--no-deps] [--dot FILE]`.
+/// `mcm explore [--no-deps] [--canonicalize] [--cache] [--jobs N]
+/// [--csv FILE] [--dot FILE]`.
 pub fn explore(args: &[String]) -> Result<(), String> {
     let with_deps = !flag(args, "--no-deps");
+    let (config, use_cache) = engine_options(args)?;
+    let cache = use_cache.then(VerdictCache::new);
     let start = Instant::now();
-    let report = paper::explore_digit_space(with_deps);
+    let models = paper::digit_space_models(with_deps);
+    let tests = paper::comparison_tests(with_deps);
+    let (exploration, stats) = Exploration::run_engine(
+        models,
+        tests,
+        || Box::new(ExplicitChecker::new()),
+        &config,
+        cache.as_ref(),
+    );
+    let report = paper::report_from(exploration);
     let elapsed = start.elapsed();
     println!(
         "explored {} models against {} tests in {elapsed:.2?}",
         report.exploration.models.len(),
         report.exploration.tests.len(),
     );
+    print_sweep_stats(&stats);
+    if let Some(cache) = &cache {
+        // Demonstrate cross-sweep memoization: the Figure 4 dependency-free
+        // subspace re-checks for free, because its 36 models and their
+        // canonical tests were all covered by the sweep above.
+        if with_deps {
+            let warm_start = Instant::now();
+            let (_, warm) = Exploration::run_engine(
+                paper::digit_space_models(false),
+                paper::comparison_tests(false),
+                || Box::new(ExplicitChecker::new()),
+                &config,
+                Some(cache),
+            );
+            println!(
+                "warm re-sweep of the dependency-free subspace in {:.2?}: \
+                 {} cache hits, {} checker calls",
+                warm_start.elapsed(),
+                warm.cache_hits,
+                warm.checker_calls,
+            );
+        }
+        println!(
+            "cache: {} entries, {} hits, {} misses",
+            cache.len(),
+            cache.hits(),
+            cache.misses(),
+        );
+    }
     println!(
         "equivalence classes: {}",
         report.lattice.classes.len()
@@ -168,6 +243,66 @@ pub fn explore(args: &[String]) -> Result<(), String> {
         );
         fs::write(path, dot).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `mcm distinguish [MODEL...] [--no-deps] [--canonicalize] [--cache]
+/// [--jobs N]`.
+///
+/// Computes a minimum distinguishing test set for the given models (two
+/// or more), or for the whole digit space when no models are named — the
+/// paper's "nine tests" experiment as a standalone command.
+pub fn distinguish_cmd(args: &[String]) -> Result<(), String> {
+    let with_deps = !flag(args, "--no-deps");
+    let (config, use_cache) = engine_options(args)?;
+    let cache = use_cache.then(VerdictCache::new);
+    let names = positional(args);
+    let models = if names.is_empty() {
+        paper::digit_space_models(with_deps)
+    } else if names.len() == 1 {
+        return Err("distinguish needs zero or at least two models".to_string());
+    } else {
+        names
+            .iter()
+            .map(|n| resolve::model(n))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    let tests = paper::comparison_tests(with_deps);
+    let start = Instant::now();
+    let (exploration, stats) = Exploration::run_engine(
+        models,
+        tests,
+        || Box::new(ExplicitChecker::new()),
+        &config,
+        cache.as_ref(),
+    );
+    println!(
+        "swept {} models x {} tests in {:.2?}",
+        exploration.models.len(),
+        exploration.tests.len(),
+        start.elapsed(),
+    );
+    print_sweep_stats(&stats);
+    let classes = exploration.equivalence_classes();
+    println!("equivalence classes: {}", classes.len());
+    let minimal = distinguish::minimal_distinguishing_set(&exploration);
+    println!(
+        "minimum distinguishing set: {} tests (SAT-certified minimum: {})",
+        minimal.tests.len(),
+        minimal.proved_minimum,
+    );
+    for &t in &minimal.tests {
+        let test = &exploration.tests[t];
+        println!("  {:44} {}", test.name(), test.description());
+    }
+    if let Some(cache) = &cache {
+        println!(
+            "cache: {} entries, {} hits, {} misses",
+            cache.len(),
+            cache.hits(),
+            cache.misses(),
+        );
     }
     Ok(())
 }

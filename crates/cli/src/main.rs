@@ -22,7 +22,12 @@ COMMANDS:
     compare <MODEL> <MODEL>   relation between two models over the
                               complete template suite [--no-deps]
     explore                   the §4.2 exploration of the digit space
-                              [--no-deps] [--dot FILE]
+                              [--no-deps] [--canonicalize] [--cache]
+                              [--jobs N] [--csv FILE] [--dot FILE]
+    distinguish [MODEL...]    minimum distinguishing test set for the
+                              given models (or the whole digit space)
+                              [--no-deps] [--canonicalize] [--cache]
+                              [--jobs N]
     suite                     generate the Theorem 1 template suite
                               [--no-deps] [--print]
     catalog                   print Test A, L1–L9 and the classic tests
@@ -43,6 +48,7 @@ fn main() -> ExitCode {
         Some("check") => commands::check(&args[1..]),
         Some("compare") => commands::compare(&args[1..]),
         Some("explore") => commands::explore(&args[1..]),
+        Some("distinguish") => commands::distinguish_cmd(&args[1..]),
         Some("suite") => commands::suite(&args[1..]),
         Some("catalog") => commands::catalog(&args[1..]),
         Some("figures") => commands::figures(&args[1..]),

@@ -1,0 +1,201 @@
+//! # criterion-shim
+//!
+//! A minimal, dependency-free stand-in for the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) API the `mcm-bench`
+//! crate uses. The build environment has no network access, so the real
+//! crate cannot be fetched; bench files written against `criterion` compile
+//! and run unchanged against this shim (mapped to the `criterion` name via
+//! a Cargo dependency rename).
+//!
+//! Each `bench_function` runs a short warm-up, then collects `sample_size`
+//! timed samples (each amortised over enough iterations to exceed a minimum
+//! measurable window) and prints `min / mean / max` per-iteration times in
+//! a criterion-like one-line format:
+//!
+//! ```text
+//! group/name            time: [1.2345 ms 1.2501 ms 1.2702 ms]  (20 samples)
+//! ```
+//!
+//! There is no statistical analysis, no plotting and no baseline
+//! comparison — just honest wall-clock numbers suitable for before/after
+//! comparisons in CI logs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to `criterion_group!` functions.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_benchmark(&id.into(), sample_size, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measures `f` under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (printing is already done per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure of `bench_function`; call [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iterations` calls of `f` (the measured region).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_once<F: FnMut(&mut Bencher)>(f: &mut F, iterations: u64) -> Duration {
+    let mut bencher = Bencher {
+        iterations,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    bencher.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    // Calibrate: grow the iteration count until one sample takes >= 2 ms,
+    // so fast benchmarks are amortised over many iterations.
+    let mut iterations: u64 = 1;
+    let mut once = time_once(&mut f, iterations);
+    while once < Duration::from_millis(2) && iterations < 1 << 20 {
+        iterations = iterations.saturating_mul(4).max(iterations + 1);
+        once = time_once(&mut f, iterations);
+    }
+
+    let samples: Vec<Duration> = (0..sample_size)
+        .map(|_| time_once(&mut f, iterations))
+        .collect();
+    let per_iter = |d: Duration| d.as_secs_f64() / iterations as f64;
+    let min = samples.iter().copied().map(per_iter).fold(f64::MAX, f64::min);
+    let max = samples.iter().copied().map(per_iter).fold(0.0, f64::max);
+    let mean = samples.iter().copied().map(per_iter).sum::<f64>() / samples.len() as f64;
+    println!(
+        "{label:<48} time: [{} {} {}]  ({sample_size} samples x {iterations} iters)",
+        format_seconds(min),
+        format_seconds(mean),
+        format_seconds(max),
+    );
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.4} s")
+    } else if s >= 1e-3 {
+        format!("{:.4} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.4} us", s * 1e6)
+    } else {
+        format!("{:.4} ns", s * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags like `--bench`; nothing to parse.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_formats() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        let mut counter = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                counter = counter.wrapping_add(1);
+                counter
+            })
+        });
+        group.finish();
+        assert!(counter > 0);
+        assert_eq!(format_seconds(0.5), "500.0000 ms");
+        assert_eq!(format_seconds(2.0), "2.0000 s");
+    }
+}

@@ -1,0 +1,191 @@
+//! Fingerprint-keyed memoization of (model, test) verdicts.
+//!
+//! The §4.2 experiment (and any sweep over a model space) asks the same
+//! admissibility question many times: lattice construction, distinguishing-
+//! set search and repeated explorations all revisit (model, test) pairs.
+//! A [`VerdictCache`] memoizes the boolean verdict keyed by
+//!
+//! * the **model fingerprint** — a hash of the must-not-reorder formula
+//!   only (not the display name), so `TSO` and its digit alias `M4044`
+//!   share entries; and
+//! * the **test fingerprint** — [`mcm_gen::canon::fingerprint`], the hash
+//!   of the test's canonical symmetry-orbit representative, so all
+//!   symmetric variants of a test share entries.
+//!
+//! The cache is sharded (a fixed array of mutex-protected maps indexed by
+//! key hash) so concurrent sweep workers do not serialise on one lock, and
+//! the parallel engine additionally batches its insertions: workers record
+//! newly computed verdicts locally and merge them shard-by-shard when the
+//! sweep finishes (see [`crate::space`]).
+//!
+//! Keys are 128 bits of hash; a collision would silently reuse a verdict.
+//! With 64-bit fingerprints on each side the collision probability across
+//! even millions of distinct pairs is negligible (~`n²/2⁶⁵` per side).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use mcm_core::MemoryModel;
+
+/// Number of independent shards; a power of two so the shard index is a
+/// mask of the key hash.
+const SHARDS: usize = 16;
+
+/// A cache key: (model fingerprint, canonical-test fingerprint).
+pub type Key = (u64, u64);
+
+/// A sharded, thread-safe memo table for (model, test) verdicts.
+#[derive(Debug, Default)]
+pub struct VerdictCache {
+    shards: [Mutex<HashMap<Key, bool>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl VerdictCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        VerdictCache::default()
+    }
+
+    /// Fingerprint of a model: a hash of its formula, ignoring the name.
+    #[must_use]
+    pub fn model_fingerprint(model: &MemoryModel) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        model.formula().hash(&mut hasher);
+        hasher.finish()
+    }
+
+    fn shard(key: Key) -> usize {
+        // Mix both halves so shard load stays balanced even when one
+        // fingerprint is constant (single-model sweeps).
+        ((key.0 ^ key.1.rotate_left(32)) as usize) & (SHARDS - 1)
+    }
+
+    /// Looks a verdict up, recording a hit or miss.
+    #[must_use]
+    pub fn get(&self, key: Key) -> Option<bool> {
+        let found = self.shards[Self::shard(key)]
+            .lock()
+            .expect("cache shard poisoned")
+            .get(&key)
+            .copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Records a verdict.
+    pub fn insert(&self, key: Key, allowed: bool) {
+        self.shards[Self::shard(key)]
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, allowed);
+    }
+
+    /// Merges a batch of verdicts (one worker's sweep-local results),
+    /// grouping by shard so each lock is taken at most once.
+    pub fn merge(&self, batch: impl IntoIterator<Item = (Key, bool)>) {
+        let mut by_shard: [Vec<(Key, bool)>; SHARDS] = Default::default();
+        for (key, allowed) in batch {
+            by_shard[Self::shard(key)].push((key, allowed));
+        }
+        for (i, entries) in by_shard.into_iter().enumerate() {
+            if entries.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[i].lock().expect("cache shard poisoned");
+            shard.extend(entries);
+        }
+    }
+
+    /// Number of memoized pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total lookup hits since construction.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total lookup misses since construction.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops all entries and statistics.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_core::Formula;
+
+    #[test]
+    fn get_insert_roundtrip_and_stats() {
+        let cache = VerdictCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get((1, 2)), None);
+        cache.insert((1, 2), true);
+        cache.insert((1, 3), false);
+        assert_eq!(cache.get((1, 2)), Some(true));
+        assert_eq!(cache.get((1, 3)), Some(false));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn merge_batches_by_shard() {
+        let cache = VerdictCache::new();
+        let batch: Vec<(Key, bool)> = (0..100).map(|i| ((i, i * 7), i % 2 == 0)).collect();
+        cache.merge(batch);
+        assert_eq!(cache.len(), 100);
+        assert_eq!(cache.get((4, 28)), Some(true));
+        assert_eq!(cache.get((5, 35)), Some(false));
+    }
+
+    #[test]
+    fn model_fingerprint_ignores_the_name() {
+        let a = MemoryModel::new("TSO", Formula::always());
+        let b = MemoryModel::new("M4044", Formula::always());
+        let c = MemoryModel::new("weak", Formula::never());
+        assert_eq!(
+            VerdictCache::model_fingerprint(&a),
+            VerdictCache::model_fingerprint(&b)
+        );
+        assert_ne!(
+            VerdictCache::model_fingerprint(&a),
+            VerdictCache::model_fingerprint(&c)
+        );
+    }
+}

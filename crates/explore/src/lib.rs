@@ -4,8 +4,11 @@
 //!
 //! * [`verdict`] — per-model verdict vectors over a suite and the
 //!   equivalent / stronger / weaker / incomparable classification;
-//! * [`space`] — running a model space against a suite (sequentially or
-//!   fanned out over cores with crossbeam);
+//! * [`space`] — the sweep engine: running a model space against a suite
+//!   sequentially, or work-stealing across cores with symmetry
+//!   canonicalization and verdict memoization;
+//! * [`cache`] — the fingerprint-keyed verdict cache shared across
+//!   sweeps;
 //! * [`lattice`] — equivalence classes and the transitively reduced
 //!   strictly-weaker order (the Figure 4 Hasse diagram);
 //! * [`distinguish`] — greedy and SAT-certified minimum distinguishing
@@ -33,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod distinguish;
 pub mod dot;
 pub mod lattice;
@@ -41,6 +45,7 @@ pub mod report;
 pub mod space;
 pub mod verdict;
 
+pub use cache::VerdictCache;
 pub use lattice::{Lattice, LatticeEdge, ModelClass};
-pub use space::Exploration;
+pub use space::{EngineConfig, Exploration, SweepStats};
 pub use verdict::{Relation, VerdictVector};

@@ -1,9 +1,90 @@
 //! Exploring a space of memory models over a litmus suite (§4.2).
+//!
+//! Three entry points, in increasing order of machinery:
+//!
+//! * [`Exploration::run`] — sequential, any [`Checker`], no deduplication;
+//! * [`Exploration::run_parallel`] — the explicit checker fanned out over
+//!   all cores (a thin wrapper over the engine with default settings);
+//! * [`Exploration::run_engine`] — the full sweep engine: optional
+//!   symmetry canonicalization (checking one representative per orbit),
+//!   optional cross-sweep verdict memoization through a
+//!   [`VerdictCache`], and a work-stealing parallel schedule where idle
+//!   workers claim fixed-size batches of (model, test) work items from a
+//!   shared cursor. Returns [`SweepStats`] describing how much work the
+//!   dedup and cache layers removed.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
 use mcm_axiomatic::{Checker, ExplicitChecker};
 use mcm_core::{Execution, LitmusTest, MemoryModel};
+use mcm_gen::canon;
 
+use crate::cache::VerdictCache;
 use crate::verdict::{Relation, VerdictVector};
+
+/// Tuning knobs for [`Exploration::run_engine`].
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Collapse the suite to canonical symmetry-orbit representatives
+    /// before checking (verdict-preserving, see [`mcm_gen::canon`]).
+    pub canonicalize: bool,
+    /// Worker threads; `None` uses all available cores, `Some(1)` runs
+    /// the whole sweep on the calling thread.
+    pub jobs: Option<usize>,
+    /// Work items claimed per scheduling step. Small batches steal well
+    /// when per-item cost is uneven; large batches lower contention.
+    pub batch_size: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            canonicalize: false,
+            jobs: None,
+            batch_size: 32,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Canonicalization on, all cores — the configuration the CLI uses
+    /// when `--canonicalize` is passed.
+    #[must_use]
+    pub fn canonicalizing() -> Self {
+        EngineConfig {
+            canonicalize: true,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// What a sweep actually did, layer by layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// `models × tests`: the naive cost before any engine layer.
+    pub total_pairs: u64,
+    /// Work items after formula dedup and canonicalization:
+    /// `distinct formulas × orbit representatives`.
+    pub unique_pairs: u64,
+    /// Verdicts answered by the [`VerdictCache`] instead of a checker.
+    pub cache_hits: u64,
+    /// Actual checker invocations (`unique_pairs - cache_hits`).
+    pub checker_calls: u64,
+    /// Orbit representatives actually checked.
+    pub canonical_tests: usize,
+    /// Distinct must-not-reorder formulas actually checked.
+    pub distinct_models: usize,
+}
+
+impl SweepStats {
+    /// `total_pairs / checker_calls`: the end-to-end work reduction
+    /// delivered by dedup plus memoization (∞-free: 0 calls reports the
+    /// reduction against 1).
+    #[must_use]
+    pub fn reduction_factor(&self) -> f64 {
+        self.total_pairs as f64 / (self.checker_calls.max(1)) as f64
+    }
+}
 
 /// The result of checking every model against every test.
 #[derive(Clone, Debug)]
@@ -32,42 +113,216 @@ impl Exploration {
         }
     }
 
-    /// Runs the exploration with the explicit checker, fanning the models
-    /// out over all available cores (crossbeam scoped threads).
+    /// Runs the exploration with the explicit checker fanned out over all
+    /// available cores.
     #[must_use]
     pub fn run_parallel(models: Vec<MemoryModel>, tests: Vec<LitmusTest>) -> Self {
-        let executions: Vec<Execution> = tests.iter().map(LitmusTest::execution).collect();
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(models.len().max(1));
-        let chunk_size = models.len().div_ceil(workers.max(1)).max(1);
-        let mut verdicts: Vec<Option<VerdictVector>> = vec![None; models.len()];
-        crossbeam::thread::scope(|scope| {
-            for (chunk_index, (model_chunk, verdict_chunk)) in models
-                .chunks(chunk_size)
-                .zip(verdicts.chunks_mut(chunk_size))
-                .enumerate()
-            {
-                let executions = &executions;
-                let _ = chunk_index;
-                scope.spawn(move |_| {
-                    let checker = ExplicitChecker::new();
-                    for (model, slot) in model_chunk.iter().zip(verdict_chunk.iter_mut()) {
-                        *slot = Some(verdict_vector(model, executions, &checker));
-                    }
-                });
-            }
-        })
-        .expect("exploration workers do not panic");
-        Exploration {
+        Exploration::run_engine(
             models,
             tests,
-            verdicts: verdicts
-                .into_iter()
-                .map(|v| v.expect("all chunks computed"))
-                .collect(),
+            || Box::new(ExplicitChecker::new()),
+            &EngineConfig::default(),
+            None,
+        )
+        .0
+    }
+
+    /// The full sweep engine.
+    ///
+    /// Work items are (distinct-formula, canonical-test) pairs:
+    ///
+    /// 1. models with structurally identical must-not-reorder formulas are
+    ///    checked once (`TSO` and `x86` share a row);
+    /// 2. with [`EngineConfig::canonicalize`], tests are collapsed to one
+    ///    representative per symmetry orbit;
+    /// 3. with a [`VerdictCache`], pairs answered in an earlier sweep are
+    ///    never re-checked — workers look up before checking and merge
+    ///    their newly computed verdicts into the cache shard-by-shard when
+    ///    the sweep completes.
+    ///
+    /// `make_checker` is called once per worker thread, so checkers need
+    /// not be `Sync` (the SAT checkers carry per-instance solver state).
+    #[must_use]
+    pub fn run_engine<F>(
+        models: Vec<MemoryModel>,
+        tests: Vec<LitmusTest>,
+        make_checker: F,
+        config: &EngineConfig,
+        cache: Option<&VerdictCache>,
+    ) -> (Self, SweepStats)
+    where
+        F: Fn() -> Box<dyn Checker> + Sync,
+    {
+        // Layer 1: formula dedup. `row_of[m]` maps a model to its row in
+        // the deduplicated verdict matrix.
+        let mut row_of: Vec<usize> = Vec::with_capacity(models.len());
+        let mut row_models: Vec<usize> = Vec::new(); // row -> first model index
+        for (m, model) in models.iter().enumerate() {
+            let row = row_models
+                .iter()
+                .position(|&first| models[first].formula() == model.formula());
+            match row {
+                Some(r) => row_of.push(r),
+                None => {
+                    row_of.push(row_models.len());
+                    row_models.push(m);
+                }
+            }
         }
+
+        let jobs = config
+            .jobs
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .max(1);
+
+        // Layer 2: symmetry canonicalization (or per-test fingerprints
+        // when only the cache needs keys), fanned over the same worker
+        // budget as the sweep — each test canonicalizes independently.
+        let (rep_execs, rep_fps, rep_of): (Vec<Execution>, Vec<u64>, Vec<usize>) =
+            if config.canonicalize || cache.is_some() {
+                let canonical = canon::dedup_parallel(&tests, jobs);
+                if config.canonicalize {
+                    (
+                        canonical.tests.iter().map(LitmusTest::execution).collect(),
+                        canonical.fingerprints,
+                        canonical.class_of,
+                    )
+                } else {
+                    // Cache keys only: keep every test as its own work
+                    // item but key it by its orbit fingerprint.
+                    let fps = canonical
+                        .class_of
+                        .iter()
+                        .map(|&c| canonical.fingerprints[c])
+                        .collect();
+                    (
+                        tests.iter().map(LitmusTest::execution).collect(),
+                        fps,
+                        (0..tests.len()).collect(),
+                    )
+                }
+            } else {
+                (
+                    tests.iter().map(LitmusTest::execution).collect(),
+                    vec![0; tests.len()],
+                    (0..tests.len()).collect(),
+                )
+            };
+
+        let model_fps: Vec<u64> = row_models
+            .iter()
+            .map(|&m| VerdictCache::model_fingerprint(&models[m]))
+            .collect();
+
+        let rows = row_models.len();
+        let reps = rep_execs.len();
+        let items = rows * reps;
+        let batch = config.batch_size.max(1);
+        let workers = jobs.min(items.div_ceil(batch)).max(1);
+
+        // Shared state: a claim cursor, one result cell per work item
+        // (0 = unset, 1 = forbidden, 2 = allowed), and counters.
+        let cursor = AtomicUsize::new(0);
+        let results: Vec<AtomicU8> = (0..items).map(|_| AtomicU8::new(0)).collect();
+        let cache_hits = AtomicU64::new(0);
+        let checker_calls = AtomicU64::new(0);
+
+        let sweep = |local_batch: &mut Vec<((u64, u64), bool)>, checker: &dyn Checker| {
+            let mut hits = 0u64;
+            let mut calls = 0u64;
+            loop {
+                let start = cursor.fetch_add(batch, Ordering::Relaxed);
+                if start >= items {
+                    break;
+                }
+                let end = (start + batch).min(items);
+                for (idx, slot) in results[start..end].iter().enumerate() {
+                    let idx = start + idx;
+                    let (row, rep) = (idx / reps, idx % reps);
+                    let key = (model_fps[row], rep_fps[rep]);
+                    let allowed = match cache.and_then(|c| c.get(key)) {
+                        Some(memoized) => {
+                            hits += 1;
+                            memoized
+                        }
+                        None => {
+                            calls += 1;
+                            let verdict = checker
+                                .check_execution(&models[row_models[row]], &rep_execs[rep])
+                                .allowed;
+                            if cache.is_some() {
+                                local_batch.push((key, verdict));
+                            }
+                            verdict
+                        }
+                    };
+                    slot.store(if allowed { 2 } else { 1 }, Ordering::Relaxed);
+                }
+            }
+            cache_hits.fetch_add(hits, Ordering::Relaxed);
+            checker_calls.fetch_add(calls, Ordering::Relaxed);
+        };
+
+        if workers <= 1 {
+            let checker = make_checker();
+            let mut local = Vec::new();
+            sweep(&mut local, checker.as_ref());
+            if let Some(cache) = cache {
+                cache.merge(local);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let checker = make_checker();
+                            let mut local = Vec::new();
+                            sweep(&mut local, checker.as_ref());
+                            local
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    let local = handle.join().expect("sweep workers do not panic");
+                    if let Some(cache) = cache {
+                        cache.merge(local);
+                    }
+                }
+            });
+        }
+
+        // Expand the deduplicated matrix back to (model, test) verdicts.
+        let verdicts: Vec<VerdictVector> = row_of
+            .iter()
+            .map(|&row| {
+                let mut vector = VerdictVector::new(tests.len());
+                for (t, &rep) in rep_of.iter().enumerate() {
+                    vector.set(t, results[row * reps + rep].load(Ordering::Relaxed) == 2);
+                }
+                vector
+            })
+            .collect();
+
+        let stats = SweepStats {
+            total_pairs: (models.len() * tests.len()) as u64,
+            unique_pairs: items as u64,
+            cache_hits: cache_hits.load(Ordering::Relaxed),
+            checker_calls: checker_calls.load(Ordering::Relaxed),
+            canonical_tests: reps,
+            distinct_models: rows,
+        };
+        (
+            Exploration {
+                models,
+                tests,
+                verdicts,
+            },
+            stats,
+        )
     }
 
     /// Number of models.
@@ -184,5 +439,48 @@ mod tests {
         );
         let par = Exploration::run_parallel(models, tests);
         assert_eq!(seq.verdicts, par.verdicts);
+    }
+
+    #[test]
+    fn canonicalizing_engine_matches_sequential() {
+        let models = vec![named::sc(), named::tso(), named::x86(), named::pso(), named::rmo()];
+        // The comparison suite contains the paper's catalog tests, which
+        // are symmetric variants of template instances — so the orbit
+        // quotient is strictly smaller than the suite.
+        let tests = crate::paper::comparison_tests(true);
+        let seq = Exploration::run(models.clone(), tests.clone(), &ExplicitChecker::new());
+        let (engine, stats) = Exploration::run_engine(
+            models,
+            tests,
+            || Box::new(ExplicitChecker::new()),
+            &EngineConfig::canonicalizing(),
+            None,
+        );
+        assert_eq!(seq.verdicts, engine.verdicts);
+        // TSO and x86 share a formula row; the suite has symmetric orbits.
+        assert_eq!(stats.distinct_models, 4);
+        assert!(stats.canonical_tests < engine.tests.len());
+        assert!(stats.unique_pairs < stats.total_pairs);
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.checker_calls, stats.unique_pairs);
+    }
+
+    #[test]
+    fn single_job_engine_runs_on_the_calling_thread() {
+        let models = vec![named::sc(), named::tso()];
+        let tests = catalog::all_tests();
+        let seq = Exploration::run(models.clone(), tests.clone(), &ExplicitChecker::new());
+        let (engine, stats) = Exploration::run_engine(
+            models,
+            tests,
+            || Box::new(ExplicitChecker::new()),
+            &EngineConfig {
+                jobs: Some(1),
+                ..EngineConfig::default()
+            },
+            None,
+        );
+        assert_eq!(seq.verdicts, engine.verdicts);
+        assert_eq!(stats.checker_calls, stats.unique_pairs);
     }
 }

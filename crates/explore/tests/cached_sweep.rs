@@ -1,0 +1,128 @@
+//! The verdict cache must make a repeated sweep free: the second
+//! `Exploration::run_engine` over the same (model space, suite) performs
+//! **zero** checker invocations, and still produces identical verdicts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mcm_axiomatic::{Checker, ExplicitChecker, Verdict};
+use mcm_core::{Execution, MemoryModel};
+use mcm_explore::{cache::VerdictCache, EngineConfig, Exploration};
+use mcm_models::{catalog, named};
+
+/// An explicit checker that counts its invocations.
+struct CountingChecker {
+    inner: ExplicitChecker,
+    calls: Arc<AtomicU64>,
+}
+
+impl Checker for CountingChecker {
+    fn name(&self) -> &'static str {
+        "counting-explicit"
+    }
+
+    fn check_execution(&self, model: &MemoryModel, exec: &Execution) -> Verdict {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.check_execution(model, exec)
+    }
+}
+
+fn space() -> (Vec<MemoryModel>, Vec<mcm_core::LitmusTest>) {
+    (
+        vec![
+            named::sc(),
+            named::tso(),
+            named::x86(),
+            named::pso(),
+            named::ibm370(),
+            named::rmo(),
+        ],
+        catalog::all_tests(),
+    )
+}
+
+#[test]
+fn second_sweep_hits_the_cache_for_every_pair() {
+    let (models, tests) = space();
+    let cache = VerdictCache::new();
+    let calls = Arc::new(AtomicU64::new(0));
+    let factory = || {
+        Box::new(CountingChecker {
+            inner: ExplicitChecker::new(),
+            calls: Arc::clone(&calls),
+        }) as Box<dyn Checker>
+    };
+    let config = EngineConfig::canonicalizing();
+
+    let (first, first_stats) =
+        Exploration::run_engine(models.clone(), tests.clone(), factory, &config, Some(&cache));
+    let first_calls = calls.load(Ordering::Relaxed);
+    assert!(first_calls > 0, "cold sweep must invoke the checker");
+    assert_eq!(first_stats.checker_calls, first_calls);
+    assert_eq!(first_stats.cache_hits, 0, "cold cache cannot hit");
+    assert_eq!(cache.len() as u64, first_stats.checker_calls);
+
+    let (second, second_stats) =
+        Exploration::run_engine(models, tests, factory, &config, Some(&cache));
+    let second_calls = calls.load(Ordering::Relaxed) - first_calls;
+    assert_eq!(
+        second_stats.checker_calls, 0,
+        "warm sweep must answer everything from the cache"
+    );
+    assert_eq!(second_calls, 0, "checker was invoked despite a warm cache");
+    assert_eq!(second_stats.cache_hits, second_stats.unique_pairs);
+    assert_eq!(first.verdicts, second.verdicts);
+}
+
+#[test]
+fn cache_is_shared_across_different_model_subsets() {
+    // TSO and x86 have identical formulas: sweeping one then the other
+    // must be free, even without canonicalization.
+    let tests = catalog::all_tests();
+    let cache = VerdictCache::new();
+    let config = EngineConfig::default();
+    let factory = || Box::new(ExplicitChecker::new()) as Box<dyn Checker>;
+
+    let (_, cold) = Exploration::run_engine(
+        vec![named::tso()],
+        tests.clone(),
+        factory,
+        &config,
+        Some(&cache),
+    );
+    assert_eq!(cold.checker_calls, tests.len() as u64);
+
+    let (warm_expl, warm) = Exploration::run_engine(
+        vec![named::x86()],
+        tests.clone(),
+        factory,
+        &config,
+        Some(&cache),
+    );
+    assert_eq!(warm.checker_calls, 0, "x86 shares TSO's formula");
+    assert_eq!(warm.cache_hits, tests.len() as u64);
+
+    // And the verdicts are the real TSO verdicts.
+    let direct = Exploration::run(vec![named::x86()], tests, &ExplicitChecker::new());
+    assert_eq!(warm_expl.verdicts, direct.verdicts);
+}
+
+#[test]
+fn canonicalization_reduces_unique_pairs_on_the_paper_suite() {
+    let models = vec![named::sc(), named::tso()];
+    let tests = mcm_explore::paper::comparison_tests(true);
+    let total = (models.len() * tests.len()) as u64;
+    let (_, stats) = Exploration::run_engine(
+        models,
+        tests,
+        || Box::new(ExplicitChecker::new()),
+        &EngineConfig::canonicalizing(),
+        None,
+    );
+    assert_eq!(stats.total_pairs, total);
+    assert!(
+        stats.unique_pairs < total,
+        "canonicalization found no symmetric duplicates: {stats:?}"
+    );
+    assert!(stats.reduction_factor() > 1.0);
+}

@@ -12,7 +12,10 @@
 //! * [`naive`] — the bounded-enumeration baseline (≈ a million tests) the
 //!   paper improves on by orders of magnitude;
 //! * [`local`] — the §3.3 bound on non-memory instructions and the special
-//!   fence-chain family showing the bound is predicate-dependent.
+//!   fence-chain family showing the bound is predicate-dependent;
+//! * [`canon`] — canonical forms, fingerprints and suite deduplication
+//!   under the §2.3 symmetries (thread permutation, location/register/
+//!   value renaming).
 //!
 //! ## Example
 //!
@@ -29,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod count;
 pub mod emit;
 pub mod local;
@@ -37,5 +41,6 @@ pub mod segment;
 pub mod suite;
 pub mod template;
 
+pub use canon::{canonicalize, fingerprint, CanonicalSuite};
 pub use segment::{AccessKind, AddrRel, Connector, Segment, SegmentType};
 pub use suite::{template_suite, template_suite_extended, TestSuite};

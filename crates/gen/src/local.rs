@@ -103,11 +103,7 @@ pub fn local_segment_bound(formula: &Formula) -> usize {
     for atom in formula.atoms() {
         match atom {
             Atom::IsFence(_) => full_fence = true,
-            Atom::IsSpecialFence(f, _) => {
-                if !flavours.contains(&f) {
-                    flavours.push(f);
-                }
-            }
+            Atom::IsSpecialFence(f, _) if !flavours.contains(&f) => flavours.push(f),
             _ => {}
         }
     }

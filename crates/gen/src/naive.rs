@@ -200,7 +200,22 @@ pub fn enumerate_tests(bounds: &NaiveBounds, limit: usize) -> Vec<LitmusTest> {
     let threads = thread_shapes(bounds);
     let mut tests = Vec::new();
     let mut stack: Shape = Vec::new();
-    enumerate_rec(&threads, bounds.threads, &mut stack, &mut tests, limit);
+    enumerate_rec(&threads, bounds.threads, &mut stack, &mut tests, limit, true);
+    tests
+}
+
+/// Like [`enumerate_tests`] but **without** the built-in shape-level
+/// symmetry filter: every location labelling and thread ordering is
+/// materialised. This is the truly naive baseline ([`count_tests_raw`]);
+/// `mcm_gen::canon::dedup` recovers (and sharpens) the reduction the
+/// filtered enumeration performs, which the `canonical_dedup` benchmark
+/// demonstrates.
+#[must_use]
+pub fn enumerate_tests_raw(bounds: &NaiveBounds, limit: usize) -> Vec<LitmusTest> {
+    let threads = thread_shapes(bounds);
+    let mut tests = Vec::new();
+    let mut stack: Shape = Vec::new();
+    enumerate_rec(&threads, bounds.threads, &mut stack, &mut tests, limit, false);
     tests
 }
 
@@ -210,19 +225,20 @@ fn enumerate_rec(
     stack: &mut Shape,
     tests: &mut Vec<LitmusTest>,
     limit: usize,
+    filter_canonical: bool,
 ) {
     if tests.len() >= limit {
         return;
     }
     if remaining == 0 {
-        if is_canonical(stack) {
+        if !filter_canonical || is_canonical(stack) {
             materialise(stack, tests, limit);
         }
         return;
     }
     for t in threads {
         stack.push(t.clone());
-        enumerate_rec(threads, remaining - 1, stack, tests, limit);
+        enumerate_rec(threads, remaining - 1, stack, tests, limit, filter_canonical);
         stack.pop();
         if tests.len() >= limit {
             return;

@@ -33,19 +33,19 @@ pub fn add_at_most_k(solver: &mut Solver, lits: &[Lit], k: usize) {
     // lits[0] -> s[0][0]
     solver.add_clause(&[!lits[0], s[0][0]]);
     // !s[0][j] for j >= 1
-    for j in 1..k {
-        solver.add_clause(&[!s[0][j]]);
+    for &sj in s[0].iter().skip(1) {
+        solver.add_clause(&[!sj]);
     }
     for i in 1..n {
         // lits[i] -> s[i][0]
         solver.add_clause(&[!lits[i], s[i][0]]);
         // s[i-1][j] -> s[i][j]
-        for j in 0..k {
-            solver.add_clause(&[!s[i - 1][j], s[i][j]]);
+        for (&prev, &cur) in s[i - 1].iter().zip(&s[i]) {
+            solver.add_clause(&[!prev, cur]);
         }
         // lits[i] & s[i-1][j-1] -> s[i][j]
-        for j in 1..k {
-            solver.add_clause(&[!lits[i], !s[i - 1][j - 1], s[i][j]]);
+        for (&prev, &cur) in s[i - 1].iter().zip(s[i].iter().skip(1)) {
+            solver.add_clause(&[!lits[i], !prev, cur]);
         }
         // lits[i] & s[i-1][k-1] -> conflict (would be the (k+1)-th true lit)
         solver.add_clause(&[!lits[i], !s[i - 1][k - 1]]);
@@ -82,7 +82,6 @@ pub fn add_exactly_k(solver: &mut Solver, lits: &[Lit], k: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lit::Var;
     use crate::solver::SatResult;
 
     fn fresh(n: usize) -> (Solver, Vec<Lit>) {

@@ -640,7 +640,7 @@ impl Solver {
                 .expect("activities are finite")
         });
         let locked: Vec<Option<ClauseRef>> = self.reason.clone();
-        let is_locked = |cref: ClauseRef| locked.iter().any(|r| *r == Some(cref));
+        let is_locked = |cref: ClauseRef| locked.contains(&Some(cref));
         let half = learnt_refs.len() / 2;
         for &cref in learnt_refs.iter().take(half) {
             if self.clauses[cref].lits.len() > 2 && !is_locked(cref) {
@@ -669,8 +669,6 @@ pub fn luby(i: u64) -> u64 {
         size = 2 * size + 1;
     }
     let mut i = i;
-    let mut size = size;
-    let mut seq = seq;
     while size - 1 != i {
         size = (size - 1) / 2;
         seq -= 1;
@@ -755,9 +753,9 @@ mod tests {
             s.add_clause(&[row[0].positive(), row[1].positive()]);
         }
         for j in 0..2 {
-            for i in 0..3 {
-                for k in (i + 1)..3 {
-                    s.add_clause(&[p[i][j].negative(), p[k][j].negative()]);
+            for (i, row) in p.iter().enumerate() {
+                for other in p.iter().skip(i + 1) {
+                    s.add_clause(&[row[j].negative(), other[j].negative()]);
                 }
             }
         }
@@ -777,9 +775,9 @@ mod tests {
             s.add_clause(&clause);
         }
         for j in 0..m {
-            for i in 0..n {
-                for k in (i + 1)..n {
-                    s.add_clause(&[vars[i][j].negative(), vars[k][j].negative()]);
+            for (i, row) in vars.iter().enumerate() {
+                for other in vars.iter().skip(i + 1) {
+                    s.add_clause(&[row[j].negative(), other[j].negative()]);
                 }
             }
         }

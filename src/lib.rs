@@ -35,6 +35,9 @@
 //! assert!(!checker.is_allowed(&named::sc(), &test));
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use mcm_axiomatic as axiomatic;
 pub use mcm_core as core;
 pub use mcm_explore as explore;

@@ -8,7 +8,7 @@
 //! unbounded universe; the bounded check catches implementation bugs in
 //! either the suite or the semantics.
 
-use litmus_mcm::axiomatic::{Checker, ExplicitChecker};
+use litmus_mcm::axiomatic::ExplicitChecker;
 use litmus_mcm::explore::paper::comparison_tests;
 use litmus_mcm::explore::Exploration;
 use litmus_mcm::gen::naive::{enumerate_tests, NaiveBounds};
