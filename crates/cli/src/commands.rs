@@ -32,7 +32,11 @@ fn positional(args: &[String]) -> Vec<&String> {
             skip_next = false;
             continue;
         }
-        if a == "--dot" || a == "--checker" || a == "--csv" || a == "--jobs" {
+        if matches!(
+            a.as_str(),
+            "--dot" | "--checker" | "--csv" | "--jobs" | "--max-accesses" | "--max-locs"
+                | "--limit"
+        ) {
             skip_next = true;
             continue;
         }
@@ -151,9 +155,113 @@ pub fn compare(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the streamed-enumeration bounds: `--max-accesses N`,
+/// `--max-locs N`, `--fences`, `--deps`.
+fn stream_bounds(args: &[String]) -> Result<mcm_gen::StreamBounds, String> {
+    let mut bounds = mcm_gen::StreamBounds::default();
+    if let Some(n) = option_value(args, "--max-accesses") {
+        bounds.max_accesses_per_thread = n
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| (1..=4).contains(&n))
+            .ok_or_else(|| format!("--max-accesses needs 1..=4, got `{n}`"))?;
+    }
+    if let Some(n) = option_value(args, "--max-locs") {
+        bounds.max_locs = n
+            .parse::<u8>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("--max-locs needs 1..=255, got `{n}`"))?;
+    }
+    bounds.include_fences = flag(args, "--fences");
+    bounds.include_deps = flag(args, "--deps");
+    Ok(bounds)
+}
+
+/// `mcm explore --stream`: sweep the streamed leader enumeration instead
+/// of the materialized template suite. The raw bounded space is never
+/// stored — tests flow from the canonical-first iterator straight into
+/// the chunked engine.
+fn explore_stream(args: &[String]) -> Result<(), String> {
+    let with_deps = !flag(args, "--no-deps");
+    let (config, use_cache) = engine_options(args)?;
+    let cache = use_cache.then(VerdictCache::new);
+    let bounds = stream_bounds(args)?;
+    let limit = match option_value(args, "--limit") {
+        None => usize::MAX,
+        Some(n) => n
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("--limit needs a positive integer, got `{n}`"))?,
+    };
+    let models = paper::digit_space_models(with_deps);
+    let raw = match mcm_gen::stream::try_count_raw(&bounds, 20_000_000) {
+        Some(count) => format!("{count} tests"),
+        None => "too many tests to even count by shape".to_string(),
+    };
+    println!(
+        "streaming leaders: <= {} accesses/thread x {} threads, {} locs{}{} \
+         (raw space: {raw}, never materialized) against {} models ...",
+        bounds.max_accesses_per_thread,
+        bounds.threads,
+        bounds.max_locs,
+        if bounds.include_fences { ", fences" } else { "" },
+        if bounds.include_deps { ", deps" } else { "" },
+        models.len(),
+    );
+    let start = Instant::now();
+    let stream = mcm_gen::stream::leaders(&bounds).take(limit);
+    let (exploration, stats) = Exploration::run_engine_streaming(
+        models,
+        stream,
+        || Box::new(ExplicitChecker::new()),
+        &config,
+        cache.as_ref(),
+    );
+    println!(
+        "swept {} models x {} streamed leaders in {:.2?}",
+        exploration.models.len(),
+        exploration.tests.len(),
+        start.elapsed(),
+    );
+    println!("{}", mcm_explore::report::streaming_summary(&stats));
+    let lattice = mcm_explore::Lattice::build(&exploration);
+    println!(
+        "lattice: {} equivalence classes, {} covering edges",
+        lattice.classes.len(),
+        lattice.edges.len(),
+    );
+    let pairs = exploration.equivalent_pairs();
+    println!("equivalent pairs: {}", pairs.len());
+    for (i, j) in pairs.iter().take(12) {
+        println!(
+            "  {} == {}",
+            exploration.models[*i].name(),
+            exploration.models[*j].name()
+        );
+    }
+    if pairs.len() > 12 {
+        println!("  ... and {} more", pairs.len() - 12);
+    }
+    if let Some(cache) = &cache {
+        println!(
+            "cache: {} entries, {} hits, {} misses",
+            cache.len(),
+            cache.hits(),
+            cache.misses(),
+        );
+    }
+    Ok(())
+}
+
 /// `mcm explore [--no-deps] [--canonicalize] [--cache] [--jobs N]
-/// [--csv FILE] [--dot FILE]`.
+/// [--csv FILE] [--dot FILE] [--stream [--max-accesses N] [--max-locs N]
+/// [--fences] [--deps] [--limit N]]`.
 pub fn explore(args: &[String]) -> Result<(), String> {
+    if flag(args, "--stream") {
+        return explore_stream(args);
+    }
     let with_deps = !flag(args, "--no-deps");
     let (config, use_cache) = engine_options(args)?;
     let cache = use_cache.then(VerdictCache::new);

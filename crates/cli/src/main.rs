@@ -24,6 +24,11 @@ COMMANDS:
     explore                   the §4.2 exploration of the digit space
                               [--no-deps] [--canonicalize] [--cache]
                               [--jobs N] [--csv FILE] [--dot FILE]
+                              [--stream] sweep the streamed leader
+                              enumeration instead of the template suite,
+                              never materializing the raw space:
+                              [--max-accesses 1..4] [--max-locs N]
+                              [--fences] [--deps] [--limit N]
     distinguish [MODEL...]    minimum distinguishing test set for the
                               given models (or the whole digit space)
                               [--no-deps] [--canonicalize] [--cache]

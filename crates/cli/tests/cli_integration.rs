@@ -122,6 +122,43 @@ fn explore_nodep_writes_dot() {
 }
 
 #[test]
+fn explore_stream_sweeps_tiny_bounds() {
+    let (ok, stdout, _) = mcm(&[
+        "explore",
+        "--stream",
+        "--max-accesses",
+        "2",
+        "--max-locs",
+        "2",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("never materialized"), "{stdout}");
+    assert!(stdout.contains("streamed 276 tests"), "{stdout}");
+    assert!(stdout.contains("lattice:"), "{stdout}");
+}
+
+#[test]
+fn explore_stream_honours_fences_deps_and_limit() {
+    let (ok, stdout, _) = mcm(&[
+        "explore", "--stream", "--max-accesses", "2", "--max-locs", "2", "--fences", "--deps",
+        "--limit", "100",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("fences, deps"), "{stdout}");
+    assert!(stdout.contains("streamed 100 tests"), "{stdout}");
+}
+
+#[test]
+fn explore_stream_rejects_bad_bounds() {
+    let (ok, _, stderr) = mcm(&["explore", "--stream", "--max-accesses", "9"]);
+    assert!(!ok);
+    assert!(stderr.contains("--max-accesses"), "{stderr}");
+    let (ok, _, stderr) = mcm(&["explore", "--stream", "--limit", "zero"]);
+    assert!(!ok);
+    assert!(stderr.contains("--limit"), "{stderr}");
+}
+
+#[test]
 fn parse_validates_files() {
     let dir = std::env::temp_dir().join("mcm-cli-test");
     std::fs::create_dir_all(&dir).unwrap();

@@ -118,7 +118,20 @@ fn time_once<F: FnMut(&mut Bencher)>(f: &mut F, iterations: u64) -> Duration {
     bencher.elapsed
 }
 
+/// Whether the bench binary was invoked in test mode (`--test`, as the
+/// real criterion accepts and `cargo bench -- --test` forwards): each
+/// benchmark then runs exactly once, untimed, so CI can assert benches
+/// still *work* without paying for samples.
+pub fn is_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    if is_test_mode() {
+        let elapsed = time_once(&mut f, 1);
+        println!("{label:<48} ran once in {} (test mode)", format_seconds(elapsed.as_secs_f64()));
+        return;
+    }
     // Calibrate: grow the iteration count until one sample takes >= 2 ms,
     // so fast benchmarks are amortised over many iterations.
     let mut iterations: u64 = 1;

@@ -3,7 +3,7 @@
 use std::fmt::Write as _;
 
 use crate::paper::SpaceReport;
-use crate::space::Exploration;
+use crate::space::{Exploration, SweepStats};
 
 /// Renders the full §4.2 report as human-readable text: space size,
 /// equivalence classes, equivalent pairs, the minimum distinguishing set
@@ -69,6 +69,24 @@ fn class_label(expl: &Exploration, members: &[usize]) -> String {
         .join("/")
 }
 
+/// One-line summary of a streaming sweep: how much was pulled from the
+/// stream, how many orbit leaders were kept, and the memory high-water
+/// mark (the largest chunk ever materialized at once).
+#[must_use]
+pub fn streaming_summary(stats: &SweepStats) -> String {
+    format!(
+        "streamed {} tests -> {} kept ({} distinct models, peak {} tests in memory), \
+         {} cache hits, {} checker calls ({:.1}x reduction)",
+        stats.tests_streamed,
+        stats.canonical_tests,
+        stats.distinct_models,
+        stats.peak_batch,
+        stats.cache_hits,
+        stats.checker_calls,
+        stats.reduction_factor(),
+    )
+}
+
 /// Renders the verdict matrix as CSV: one row per model, one column per
 /// test, cells `allowed` / `forbidden`.
 #[must_use]
@@ -116,6 +134,25 @@ mod tests {
         assert!(text.contains("equivalence classes: 30"));
         assert!(text.contains("equivalent pairs: 6"));
         assert!(text.contains("-->"));
+    }
+
+    #[test]
+    fn streaming_summary_reads_like_a_sentence() {
+        let stats = crate::space::SweepStats {
+            total_pairs: 200,
+            unique_pairs: 100,
+            cache_hits: 40,
+            checker_calls: 60,
+            canonical_tests: 50,
+            distinct_models: 2,
+            tests_streamed: 100,
+            peak_batch: 8,
+        };
+        let line = streaming_summary(&stats);
+        assert!(line.contains("streamed 100 tests"));
+        assert!(line.contains("50 kept"));
+        assert!(line.contains("peak 8 tests in memory"));
+        assert!(line.contains("60 checker calls"));
     }
 
     #[test]

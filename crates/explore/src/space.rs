@@ -1,18 +1,28 @@
 //! Exploring a space of memory models over a litmus suite (§4.2).
 //!
-//! Three entry points, in increasing order of machinery:
+//! Four entry points, in increasing order of machinery:
 //!
 //! * [`Exploration::run`] — sequential, any [`Checker`], no deduplication;
 //! * [`Exploration::run_parallel`] — the explicit checker fanned out over
 //!   all cores (a thin wrapper over the engine with default settings);
-//! * [`Exploration::run_engine`] — the full sweep engine: optional
-//!   symmetry canonicalization (checking one representative per orbit),
-//!   optional cross-sweep verdict memoization through a
-//!   [`VerdictCache`], and a work-stealing parallel schedule where idle
-//!   workers claim fixed-size batches of (model, test) work items from a
-//!   shared cursor. Returns [`SweepStats`] describing how much work the
-//!   dedup and cache layers removed.
+//! * [`Exploration::run_engine`] — the materialized sweep engine:
+//!   optional symmetry canonicalization (checking one representative per
+//!   orbit), optional cross-sweep verdict memoization through a
+//!   [`VerdictCache`], and a work-stealing parallel schedule. Since the
+//!   streaming engine landed this is a thin front-end: it runs the same
+//!   layers, pushes the deduplicated suite through the shared
+//!   `sweep_grid` core in one batch, and expands the verdicts back to
+//!   the input order.
+//! * [`Exploration::run_engine_streaming`] — the bounded-memory sweep:
+//!   consumes **any** test iterator (typically
+//!   `mcm_gen::stream::leaders`, which yields one canonical
+//!   representative per symmetry orbit without materialising the raw
+//!   space) in fixed-size chunks, runs each chunk through the same
+//!   formula-dedup + cache + work-stealing layers, and grows the verdict
+//!   vectors incrementally. Peak memory is one chunk of tests plus the
+//!   verdict bits, never the whole space.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
 use mcm_axiomatic::{Checker, ExplicitChecker};
@@ -22,11 +32,15 @@ use mcm_gen::canon;
 use crate::cache::VerdictCache;
 use crate::verdict::{Relation, VerdictVector};
 
-/// Tuning knobs for [`Exploration::run_engine`].
+/// Tuning knobs for [`Exploration::run_engine`] and
+/// [`Exploration::run_engine_streaming`].
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Collapse the suite to canonical symmetry-orbit representatives
-    /// before checking (verdict-preserving, see [`mcm_gen::canon`]).
+    /// before checking (verdict-preserving, see [`mcm_gen::canon`]). The
+    /// streaming engine applies this per chunk (plus a cross-chunk
+    /// fingerprint set), so feeding it an already-canonical leader stream
+    /// makes this a no-op.
     pub canonicalize: bool,
     /// Worker threads; `None` uses all available cores, `Some(1)` runs
     /// the whole sweep on the calling thread.
@@ -34,6 +48,9 @@ pub struct EngineConfig {
     /// Work items claimed per scheduling step. Small batches steal well
     /// when per-item cost is uneven; large batches lower contention.
     pub batch_size: usize,
+    /// Tests materialized per chunk by the streaming engine — the memory
+    /// high-water mark of a streamed sweep.
+    pub stream_chunk: usize,
 }
 
 impl Default for EngineConfig {
@@ -42,6 +59,7 @@ impl Default for EngineConfig {
             canonicalize: false,
             jobs: None,
             batch_size: 32,
+            stream_chunk: 4096,
         }
     }
 }
@@ -74,6 +92,12 @@ pub struct SweepStats {
     pub canonical_tests: usize,
     /// Distinct must-not-reorder formulas actually checked.
     pub distinct_models: usize,
+    /// Tests pulled from the input suite or stream (equals the input
+    /// length for materialized sweeps).
+    pub tests_streamed: u64,
+    /// Largest number of input tests materialized at once: one chunk for
+    /// the streaming engine, the whole deduplicated suite otherwise.
+    pub peak_batch: usize,
 }
 
 impl SweepStats {
@@ -95,6 +119,158 @@ pub struct Exploration {
     pub tests: Vec<LitmusTest>,
     /// `verdicts[m]` is model `m`'s vector over `tests`.
     pub verdicts: Vec<VerdictVector>,
+}
+
+/// Layer 1 of every engine sweep: models with structurally identical
+/// must-not-reorder formulas share a verdict row.
+struct FormulaRows {
+    /// Model index -> row index.
+    row_of: Vec<usize>,
+    /// Row index -> first model index with that formula.
+    row_models: Vec<usize>,
+    /// Cache fingerprints, parallel to `row_models`.
+    model_fps: Vec<u64>,
+}
+
+fn formula_rows(models: &[MemoryModel]) -> FormulaRows {
+    let mut row_of: Vec<usize> = Vec::with_capacity(models.len());
+    let mut row_models: Vec<usize> = Vec::new();
+    for (m, model) in models.iter().enumerate() {
+        let row = row_models
+            .iter()
+            .position(|&first| models[first].formula() == model.formula());
+        match row {
+            Some(r) => row_of.push(r),
+            None => {
+                row_of.push(row_models.len());
+                row_models.push(m);
+            }
+        }
+    }
+    let model_fps = row_models
+        .iter()
+        .map(|&m| VerdictCache::model_fingerprint(&models[m]))
+        .collect();
+    FormulaRows {
+        row_of,
+        row_models,
+        model_fps,
+    }
+}
+
+fn resolve_jobs(config: &EngineConfig) -> usize {
+    config
+        .jobs
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+/// The shared sweep core: checks every (formula row, execution) pair of
+/// one grid under a work-stealing schedule, consulting and batching into
+/// the cache when present. Returns the row-major allowed bits plus
+/// `(cache hits, checker calls)`.
+fn sweep_grid<F>(
+    models: &[MemoryModel],
+    rows: &FormulaRows,
+    execs: &[Execution],
+    fps: &[u64],
+    make_checker: &F,
+    config: &EngineConfig,
+    cache: Option<&VerdictCache>,
+) -> (Vec<bool>, u64, u64)
+where
+    F: Fn() -> Box<dyn Checker> + Sync,
+{
+    let jobs = resolve_jobs(config);
+    let reps = execs.len();
+    let items = rows.row_models.len() * reps;
+    let batch = config.batch_size.max(1);
+    let workers = jobs.min(items.div_ceil(batch)).max(1);
+
+    // Shared state: a claim cursor, one result cell per work item
+    // (0 = unset, 1 = forbidden, 2 = allowed), and counters.
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<AtomicU8> = (0..items).map(|_| AtomicU8::new(0)).collect();
+    let cache_hits = AtomicU64::new(0);
+    let checker_calls = AtomicU64::new(0);
+
+    let sweep = |local_batch: &mut Vec<((u64, u64), bool)>, checker: &dyn Checker| {
+        let mut hits = 0u64;
+        let mut calls = 0u64;
+        loop {
+            let start = cursor.fetch_add(batch, Ordering::Relaxed);
+            if start >= items {
+                break;
+            }
+            let end = (start + batch).min(items);
+            for (idx, slot) in results[start..end].iter().enumerate() {
+                let idx = start + idx;
+                let (row, rep) = (idx / reps, idx % reps);
+                let key = (rows.model_fps[row], fps[rep]);
+                let allowed = match cache.and_then(|c| c.get(key)) {
+                    Some(memoized) => {
+                        hits += 1;
+                        memoized
+                    }
+                    None => {
+                        calls += 1;
+                        let verdict = checker
+                            .check_execution(&models[rows.row_models[row]], &execs[rep])
+                            .allowed;
+                        if cache.is_some() {
+                            local_batch.push((key, verdict));
+                        }
+                        verdict
+                    }
+                };
+                slot.store(if allowed { 2 } else { 1 }, Ordering::Relaxed);
+            }
+        }
+        cache_hits.fetch_add(hits, Ordering::Relaxed);
+        checker_calls.fetch_add(calls, Ordering::Relaxed);
+    };
+
+    if workers <= 1 {
+        let checker = make_checker();
+        let mut local = Vec::new();
+        sweep(&mut local, checker.as_ref());
+        if let Some(cache) = cache {
+            cache.merge(local);
+        }
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let checker = make_checker();
+                        let mut local = Vec::new();
+                        sweep(&mut local, checker.as_ref());
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let local = handle.join().expect("sweep workers do not panic");
+                if let Some(cache) = cache {
+                    cache.merge(local);
+                }
+            }
+        });
+    }
+
+    let bits = results
+        .into_iter()
+        .map(|slot| slot.into_inner() == 2)
+        .collect();
+    (
+        bits,
+        cache_hits.load(Ordering::Relaxed),
+        checker_calls.load(Ordering::Relaxed),
+    )
 }
 
 impl Exploration {
@@ -127,7 +303,7 @@ impl Exploration {
         .0
     }
 
-    /// The full sweep engine.
+    /// The materialized sweep engine.
     ///
     /// Work items are (distinct-formula, canonical-test) pairs:
     ///
@@ -142,6 +318,11 @@ impl Exploration {
     ///
     /// `make_checker` is called once per worker thread, so checkers need
     /// not be `Sync` (the SAT checkers carry per-instance solver state).
+    ///
+    /// This is the materialized front-end of the streaming core: the
+    /// deduplicated suite goes through the same `sweep_grid` the
+    /// streaming engine chunks over, and the verdict matrix is expanded
+    /// back over the input suite at the end.
     #[must_use]
     pub fn run_engine<F>(
         models: Vec<MemoryModel>,
@@ -153,31 +334,8 @@ impl Exploration {
     where
         F: Fn() -> Box<dyn Checker> + Sync,
     {
-        // Layer 1: formula dedup. `row_of[m]` maps a model to its row in
-        // the deduplicated verdict matrix.
-        let mut row_of: Vec<usize> = Vec::with_capacity(models.len());
-        let mut row_models: Vec<usize> = Vec::new(); // row -> first model index
-        for (m, model) in models.iter().enumerate() {
-            let row = row_models
-                .iter()
-                .position(|&first| models[first].formula() == model.formula());
-            match row {
-                Some(r) => row_of.push(r),
-                None => {
-                    row_of.push(row_models.len());
-                    row_models.push(m);
-                }
-            }
-        }
-
-        let jobs = config
-            .jobs
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-            })
-            .max(1);
+        let rows = formula_rows(&models);
+        let jobs = resolve_jobs(config);
 
         // Layer 2: symmetry canonicalization (or per-test fingerprints
         // when only the cache needs keys), fanned over the same worker
@@ -213,95 +371,25 @@ impl Exploration {
                 )
             };
 
-        let model_fps: Vec<u64> = row_models
-            .iter()
-            .map(|&m| VerdictCache::model_fingerprint(&models[m]))
-            .collect();
-
-        let rows = row_models.len();
         let reps = rep_execs.len();
-        let items = rows * reps;
-        let batch = config.batch_size.max(1);
-        let workers = jobs.min(items.div_ceil(batch)).max(1);
-
-        // Shared state: a claim cursor, one result cell per work item
-        // (0 = unset, 1 = forbidden, 2 = allowed), and counters.
-        let cursor = AtomicUsize::new(0);
-        let results: Vec<AtomicU8> = (0..items).map(|_| AtomicU8::new(0)).collect();
-        let cache_hits = AtomicU64::new(0);
-        let checker_calls = AtomicU64::new(0);
-
-        let sweep = |local_batch: &mut Vec<((u64, u64), bool)>, checker: &dyn Checker| {
-            let mut hits = 0u64;
-            let mut calls = 0u64;
-            loop {
-                let start = cursor.fetch_add(batch, Ordering::Relaxed);
-                if start >= items {
-                    break;
-                }
-                let end = (start + batch).min(items);
-                for (idx, slot) in results[start..end].iter().enumerate() {
-                    let idx = start + idx;
-                    let (row, rep) = (idx / reps, idx % reps);
-                    let key = (model_fps[row], rep_fps[rep]);
-                    let allowed = match cache.and_then(|c| c.get(key)) {
-                        Some(memoized) => {
-                            hits += 1;
-                            memoized
-                        }
-                        None => {
-                            calls += 1;
-                            let verdict = checker
-                                .check_execution(&models[row_models[row]], &rep_execs[rep])
-                                .allowed;
-                            if cache.is_some() {
-                                local_batch.push((key, verdict));
-                            }
-                            verdict
-                        }
-                    };
-                    slot.store(if allowed { 2 } else { 1 }, Ordering::Relaxed);
-                }
-            }
-            cache_hits.fetch_add(hits, Ordering::Relaxed);
-            checker_calls.fetch_add(calls, Ordering::Relaxed);
-        };
-
-        if workers <= 1 {
-            let checker = make_checker();
-            let mut local = Vec::new();
-            sweep(&mut local, checker.as_ref());
-            if let Some(cache) = cache {
-                cache.merge(local);
-            }
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            let checker = make_checker();
-                            let mut local = Vec::new();
-                            sweep(&mut local, checker.as_ref());
-                            local
-                        })
-                    })
-                    .collect();
-                for handle in handles {
-                    let local = handle.join().expect("sweep workers do not panic");
-                    if let Some(cache) = cache {
-                        cache.merge(local);
-                    }
-                }
-            });
-        }
+        let (bits, cache_hits, checker_calls) = sweep_grid(
+            &models,
+            &rows,
+            &rep_execs,
+            &rep_fps,
+            &make_checker,
+            config,
+            cache,
+        );
 
         // Expand the deduplicated matrix back to (model, test) verdicts.
-        let verdicts: Vec<VerdictVector> = row_of
+        let verdicts: Vec<VerdictVector> = rows
+            .row_of
             .iter()
             .map(|&row| {
                 let mut vector = VerdictVector::new(tests.len());
                 for (t, &rep) in rep_of.iter().enumerate() {
-                    vector.set(t, results[row * reps + rep].load(Ordering::Relaxed) == 2);
+                    vector.set(t, bits[row * reps + rep]);
                 }
                 vector
             })
@@ -309,16 +397,131 @@ impl Exploration {
 
         let stats = SweepStats {
             total_pairs: (models.len() * tests.len()) as u64,
-            unique_pairs: items as u64,
-            cache_hits: cache_hits.load(Ordering::Relaxed),
-            checker_calls: checker_calls.load(Ordering::Relaxed),
+            unique_pairs: (rows.row_models.len() * reps) as u64,
+            cache_hits,
+            checker_calls,
             canonical_tests: reps,
-            distinct_models: rows,
+            distinct_models: rows.row_models.len(),
+            tests_streamed: tests.len() as u64,
+            peak_batch: reps,
         };
         (
             Exploration {
                 models,
                 tests,
+                verdicts,
+            },
+            stats,
+        )
+    }
+
+    /// The bounded-memory streaming sweep engine.
+    ///
+    /// Consumes any test iterator — typically
+    /// `mcm_gen::stream::leaders(..)`, which yields exactly one canonical
+    /// representative per symmetry orbit of a bounded space — in chunks of
+    /// [`EngineConfig::stream_chunk`] tests, runs each chunk through the
+    /// shared formula-dedup + [`VerdictCache`] + work-stealing core, and
+    /// grows per-model [`VerdictVector`]s incrementally. The raw space
+    /// behind the iterator is never materialized; peak memory is one
+    /// chunk plus the kept tests and their verdict bits.
+    ///
+    /// With [`EngineConfig::canonicalize`], each chunk is additionally
+    /// collapsed to orbit representatives and representatives already seen
+    /// in *earlier* chunks are dropped (a cross-chunk fingerprint set), so
+    /// non-canonical streams are deduplicated on the fly. Duplicates are
+    /// dropped from the returned [`Exploration`], whose `tests` are the
+    /// kept representatives in stream order.
+    #[must_use]
+    pub fn run_engine_streaming<I, F>(
+        models: Vec<MemoryModel>,
+        tests: I,
+        make_checker: F,
+        config: &EngineConfig,
+        cache: Option<&VerdictCache>,
+    ) -> (Self, SweepStats)
+    where
+        I: IntoIterator<Item = LitmusTest>,
+        F: Fn() -> Box<dyn Checker> + Sync,
+    {
+        let rows = formula_rows(&models);
+        let jobs = resolve_jobs(config);
+        let chunk_size = config.stream_chunk.max(1);
+        let mut iter = tests.into_iter();
+        let mut kept: Vec<LitmusTest> = Vec::new();
+        let mut row_verdicts: Vec<VerdictVector> =
+            (0..rows.row_models.len()).map(|_| VerdictVector::new(0)).collect();
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut streamed = 0u64;
+        let mut peak_batch = 0usize;
+        let mut cache_hits = 0u64;
+        let mut checker_calls = 0u64;
+        loop {
+            let chunk: Vec<LitmusTest> = iter.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            streamed += chunk.len() as u64;
+            peak_batch = peak_batch.max(chunk.len());
+            let (batch, fps): (Vec<LitmusTest>, Vec<u64>) = if config.canonicalize {
+                let canonical = canon::dedup_parallel(&chunk, jobs);
+                let mut batch = Vec::with_capacity(canonical.tests.len());
+                let mut fps = Vec::with_capacity(canonical.tests.len());
+                for (test, fp) in canonical.tests.into_iter().zip(canonical.fingerprints) {
+                    if seen.insert(fp) {
+                        batch.push(test);
+                        fps.push(fp);
+                    }
+                }
+                (batch, fps)
+            } else if cache.is_some() {
+                let fps = chunk.iter().map(canon::fingerprint).collect();
+                (chunk, fps)
+            } else {
+                let fps = vec![0u64; chunk.len()];
+                (chunk, fps)
+            };
+            if batch.is_empty() {
+                continue;
+            }
+            let execs: Vec<Execution> = batch.iter().map(LitmusTest::execution).collect();
+            let (bits, hits, calls) = sweep_grid(
+                &models,
+                &rows,
+                &execs,
+                &fps,
+                &make_checker,
+                config,
+                cache,
+            );
+            cache_hits += hits;
+            checker_calls += calls;
+            for (r, vector) in row_verdicts.iter_mut().enumerate() {
+                for t in 0..batch.len() {
+                    vector.push(bits[r * batch.len() + t]);
+                }
+            }
+            kept.extend(batch);
+        }
+        let verdicts: Vec<VerdictVector> = rows
+            .row_of
+            .iter()
+            .map(|&row| row_verdicts[row].clone())
+            .collect();
+        let stats = SweepStats {
+            total_pairs: models.len() as u64 * streamed,
+            unique_pairs: (rows.row_models.len() * kept.len()) as u64,
+            cache_hits,
+            checker_calls,
+            canonical_tests: kept.len(),
+            distinct_models: rows.row_models.len(),
+            tests_streamed: streamed,
+            peak_batch,
+        };
+        (
+            Exploration {
+                models,
+                tests: kept,
                 verdicts,
             },
             stats,
@@ -463,6 +666,8 @@ mod tests {
         assert!(stats.unique_pairs < stats.total_pairs);
         assert_eq!(stats.cache_hits, 0);
         assert_eq!(stats.checker_calls, stats.unique_pairs);
+        assert_eq!(stats.tests_streamed, engine.tests.len() as u64);
+        assert_eq!(stats.peak_batch, stats.canonical_tests);
     }
 
     #[test]
@@ -482,5 +687,98 @@ mod tests {
         );
         assert_eq!(seq.verdicts, engine.verdicts);
         assert_eq!(stats.checker_calls, stats.unique_pairs);
+    }
+
+    #[test]
+    fn streaming_engine_matches_materialized_on_a_fixed_suite() {
+        let models = vec![named::sc(), named::tso(), named::x86(), named::pso()];
+        let tests = catalog::all_tests();
+        let seq = Exploration::run(models.clone(), tests.clone(), &ExplicitChecker::new());
+        // Tiny chunks force many grid sweeps and verdict growth.
+        let (streamed, stats) = Exploration::run_engine_streaming(
+            models,
+            tests.clone(),
+            || Box::new(ExplicitChecker::new()),
+            &EngineConfig {
+                stream_chunk: 3,
+                ..EngineConfig::default()
+            },
+            None,
+        );
+        assert_eq!(seq.verdicts, streamed.verdicts);
+        assert_eq!(streamed.tests.len(), tests.len());
+        assert_eq!(stats.tests_streamed, tests.len() as u64);
+        assert!(stats.peak_batch <= 3);
+        assert_eq!(stats.checker_calls, stats.unique_pairs);
+    }
+
+    #[test]
+    fn streaming_engine_dedups_non_canonical_streams() {
+        // Feed every test twice: with canonicalization on, the second
+        // copies must be dropped across chunks and the verdicts unchanged.
+        let models = vec![named::sc(), named::tso()];
+        let tests = catalog::all_tests();
+        let doubled: Vec<LitmusTest> =
+            tests.iter().chain(tests.iter()).cloned().collect();
+        let (streamed, stats) = Exploration::run_engine_streaming(
+            models.clone(),
+            doubled,
+            || Box::new(ExplicitChecker::new()),
+            &EngineConfig {
+                canonicalize: true,
+                stream_chunk: 4,
+                ..EngineConfig::default()
+            },
+            None,
+        );
+        assert_eq!(stats.tests_streamed, 2 * tests.len() as u64);
+        assert!(streamed.tests.len() <= tests.len());
+        // Relations over the deduplicated suite agree with the plain run.
+        let seq = Exploration::run(models, tests, &ExplicitChecker::new());
+        assert_eq!(seq.relation(0, 1), streamed.relation(0, 1));
+    }
+
+    #[test]
+    fn streaming_engine_uses_the_cache() {
+        let models = vec![named::sc(), named::tso(), named::pso()];
+        let tests = catalog::all_tests();
+        let cache = VerdictCache::new();
+        let config = EngineConfig {
+            stream_chunk: 5,
+            ..EngineConfig::default()
+        };
+        let (_, cold) = Exploration::run_engine_streaming(
+            models.clone(),
+            tests.clone(),
+            || Box::new(ExplicitChecker::new()),
+            &config,
+            Some(&cache),
+        );
+        assert!(cold.checker_calls > 0);
+        let (warm_expl, warm) = Exploration::run_engine_streaming(
+            models,
+            tests,
+            || Box::new(ExplicitChecker::new()),
+            &config,
+            Some(&cache),
+        );
+        assert_eq!(warm.checker_calls, 0, "warm streamed sweep must be checker-free");
+        assert_eq!(warm.cache_hits, warm.unique_pairs);
+        assert!(!warm_expl.tests.is_empty());
+    }
+
+    #[test]
+    fn streaming_an_empty_iterator_is_empty() {
+        let (expl, stats) = Exploration::run_engine_streaming(
+            vec![named::sc()],
+            std::iter::empty(),
+            || Box::new(ExplicitChecker::new()),
+            &EngineConfig::default(),
+            None,
+        );
+        assert!(expl.tests.is_empty());
+        assert_eq!(expl.verdicts[0].len(), 0);
+        assert_eq!(stats.tests_streamed, 0);
+        assert_eq!(stats.peak_batch, 0);
     }
 }

@@ -1,0 +1,169 @@
+//! The streaming sweep must be indistinguishable from the materialized
+//! path: same verdict per (model, orbit), same lattice.
+//!
+//! The CI streaming-smoke job runs this file on tiny bounds; the
+//! `streaming_sweep` bench re-asserts the same identity on larger bounds
+//! before timing the two pipelines.
+
+use std::collections::HashMap;
+
+use mcm_axiomatic::{Checker, ExplicitChecker};
+use mcm_core::MemoryModel;
+use mcm_explore::{paper, EngineConfig, Exploration};
+use mcm_gen::stream::{self, StreamBounds};
+use mcm_gen::{canon, naive};
+use proptest::prelude::*;
+
+fn factory() -> Box<dyn Checker> {
+    Box::new(ExplicitChecker::new())
+}
+
+fn tiny_bounds() -> StreamBounds {
+    StreamBounds {
+        max_accesses_per_thread: 2,
+        threads: 2,
+        max_locs: 2,
+        include_fences: false,
+        include_deps: false,
+    }
+}
+
+/// Sweeps the materialized raw space with canonicalization and returns
+/// each model's verdict keyed by orbit fingerprint.
+fn materialized_verdicts(models: &[MemoryModel]) -> Vec<HashMap<u64, bool>> {
+    let raw = naive::enumerate_tests_raw(
+        &naive::NaiveBounds {
+            max_accesses_per_thread: 2,
+            threads: 2,
+            max_locs: 2,
+            include_fences: false,
+        },
+        usize::MAX,
+    );
+    let (expl, _) = Exploration::run_engine(
+        models.to_vec(),
+        raw,
+        factory,
+        &EngineConfig::canonicalizing(),
+        None,
+    );
+    expl.verdicts
+        .iter()
+        .map(|vector| {
+            expl.tests
+                .iter()
+                .enumerate()
+                .map(|(t, test)| (canon::fingerprint(test), vector.allowed(t)))
+                .collect()
+        })
+        .collect()
+}
+
+fn streamed(models: Vec<MemoryModel>, chunk: usize) -> (Exploration, mcm_explore::SweepStats) {
+    Exploration::run_engine_streaming(
+        models,
+        stream::leaders(&tiny_bounds()),
+        factory,
+        &EngineConfig {
+            stream_chunk: chunk,
+            ..EngineConfig::default()
+        },
+        None,
+    )
+}
+
+#[test]
+fn streamed_lattice_equals_materialized_lattice() {
+    let models = paper::digit_space_models(false);
+    let materialized = materialized_verdicts(&models);
+    let (stream_expl, stats) = streamed(models.clone(), 64);
+    // Orbit-for-orbit: every streamed leader's verdict matches the verdict
+    // of its orbit in the materialized sweep, for every model.
+    assert_eq!(stream_expl.tests.len() as u64, stats.tests_streamed);
+    for (m, verdicts) in materialized.iter().enumerate() {
+        assert_eq!(
+            verdicts.len(),
+            stream_expl.tests.len(),
+            "orbit counts diverge for {}",
+            models[m].name()
+        );
+        for (t, test) in stream_expl.tests.iter().enumerate() {
+            let fp = canon::fingerprint(test);
+            assert_eq!(
+                verdicts.get(&fp).copied(),
+                Some(stream_expl.verdicts[m].allowed(t)),
+                "verdict diverges for {} on {}",
+                models[m].name(),
+                test.name()
+            );
+        }
+    }
+    // The lattice (pairwise relations) is therefore identical too; check
+    // it directly as the CI smoke assertion.
+    let raw = naive::enumerate_tests_raw(
+        &naive::NaiveBounds {
+            max_accesses_per_thread: 2,
+            threads: 2,
+            max_locs: 2,
+            include_fences: false,
+        },
+        usize::MAX,
+    );
+    let (mat_expl, _) = Exploration::run_engine(
+        models,
+        raw,
+        factory,
+        &EngineConfig::canonicalizing(),
+        None,
+    );
+    for i in 0..mat_expl.models.len() {
+        for j in 0..mat_expl.models.len() {
+            assert_eq!(
+                mat_expl.relation(i, j),
+                stream_expl.relation(i, j),
+                "lattice relation {i},{j} diverges"
+            );
+        }
+    }
+    // Streaming in small chunks really did bound memory below the raw
+    // space.
+    assert!(stats.peak_batch <= 64);
+}
+
+#[test]
+fn chunk_size_does_not_change_the_outcome() {
+    let models = vec![
+        mcm_models::named::sc(),
+        mcm_models::named::tso(),
+        mcm_models::named::pso(),
+        mcm_models::named::rmo(),
+    ];
+    let (a, _) = streamed(models.clone(), 1);
+    let (b, _) = streamed(models.clone(), 7);
+    let (c, _) = streamed(models, usize::MAX);
+    assert_eq!(a.verdicts, b.verdicts);
+    assert_eq!(a.verdicts, c.verdicts);
+    assert_eq!(a.tests.len(), b.tests.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    fn streamed_verdicts_match_materialized_for_sampled_models(
+        digit in 0usize..36,
+        chunk in 1usize..48,
+    ) {
+        let models = vec![paper::digit_space_models(false)[digit].clone()];
+        let materialized = materialized_verdicts(&models);
+        let (stream_expl, _) = streamed(models, chunk);
+        for (t, test) in stream_expl.tests.iter().enumerate() {
+            let fp = canon::fingerprint(test);
+            prop_assert_eq!(
+                materialized[0].get(&fp).copied(),
+                Some(stream_expl.verdicts[0].allowed(t)),
+                "verdict diverges on {}",
+                test.name()
+            );
+        }
+    }
+}

@@ -121,6 +121,19 @@ pub fn fingerprint(test: &LitmusTest) -> u64 {
     canonical(test).fingerprint
 }
 
+/// Whether `test` is the **leader** (canonical representative) of its own
+/// symmetry orbit: canonicalizing it is structurally a no-op.
+///
+/// This is the emission predicate of the streaming enumeration
+/// ([`crate::stream`]): a bounded space can be swept one orbit
+/// representative at a time, without ever storing the raw space, by
+/// yielding exactly the tests for which `is_leader` holds.
+#[must_use]
+pub fn is_leader(test: &LitmusTest) -> bool {
+    let canonical = canonical(test);
+    canonical.test.program() == test.program() && canonical.test.outcome() == test.outcome()
+}
+
 /// The result of deduplicating a suite modulo symmetry.
 #[derive(Clone, Debug)]
 pub struct CanonicalSuite {
@@ -215,7 +228,7 @@ fn merge(canonicals: Vec<Canonical>, original_len: usize) -> CanonicalSuite {
 }
 
 /// All permutations of `0..n` (identity only above [`MAX_PERMUTED_THREADS`]).
-fn thread_permutations(n: usize) -> Vec<Vec<usize>> {
+pub(crate) fn thread_permutations(n: usize) -> Vec<Vec<usize>> {
     if n > MAX_PERMUTED_THREADS {
         return vec![(0..n).collect()];
     }
@@ -299,7 +312,7 @@ enum Abs {
 
 /// Where each literal constant must be renamed: a bucket (location) per
 /// instruction site plus a bucket per outcome constraint.
-struct ValuePlan {
+pub(crate) struct ValuePlan {
     mode: ValueMode,
     /// `site_bucket[thread][instr]`: the location bucket for that
     /// instruction's (unique) constant leaf, when [`ValueMode::PerLocation`].
@@ -361,7 +374,7 @@ fn resolve_addr(addr: &AddrExpr, regs: &BTreeMap<u8, Abs>) -> Option<Loc> {
 /// a read from one statically known location, and no dynamic value is
 /// forwarded from a read into a write (which would link two locations'
 /// value namespaces). Anything unprovable degrades to the global mode.
-fn value_plan(test: &LitmusTest) -> ValuePlan {
+pub(crate) fn value_plan(test: &LitmusTest) -> ValuePlan {
     let program = test.program();
     let mut plan = ValuePlan {
         mode: ValueMode::PerLocation,
@@ -628,7 +641,11 @@ impl<'a> Renaming<'a> {
 
 /// Applies thread permutation `perm` (new index -> old index) and derives
 /// first-use renamings of locations, registers and values.
-fn apply_renaming(test: &LitmusTest, perm: &[usize], plan: &ValuePlan) -> (Program, Outcome) {
+pub(crate) fn apply_renaming(
+    test: &LitmusTest,
+    perm: &[usize],
+    plan: &ValuePlan,
+) -> (Program, Outcome) {
     let old_threads = &test.program().threads;
     let mut renaming = Renaming::new(perm.len(), plan);
     let threads: Vec<Thread> = perm
@@ -675,14 +692,29 @@ fn apply_renaming(test: &LitmusTest, perm: &[usize], plan: &ValuePlan) -> (Progr
 }
 
 /// A compact, total byte encoding of a (program, outcome) pair: the
-/// comparison key selecting the canonical permutation.
-fn encode(program: &Program, outcome: &Outcome) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64);
-    fn push_i64(out: &mut Vec<u8>, v: i64) {
-        // Order-preserving encoding (offset binary, big endian) so byte
-        // comparison matches numeric comparison.
-        out.extend_from_slice(&(v as u64 ^ (1 << 63)).to_be_bytes());
+/// comparison key selecting the canonical permutation. The program bytes
+/// come first, so comparing [`encode_program`] prefixes decides any
+/// permutation contest that the programs alone settle.
+pub(crate) fn encode(program: &Program, outcome: &Outcome) -> Vec<u8> {
+    let mut out = encode_program(program);
+    out.push(0xFF); // outcome separator
+    for &(t, r, v) in outcome.constraints() {
+        out.push(t.0);
+        out.push(r.0);
+        push_i64(&mut out, v.0);
     }
+    out
+}
+
+fn push_i64(out: &mut Vec<u8>, v: i64) {
+    // Order-preserving encoding (offset binary, big endian) so byte
+    // comparison matches numeric comparison.
+    out.extend_from_slice(&(v as u64 ^ (1 << 63)).to_be_bytes());
+}
+
+/// The program prefix of [`encode`].
+pub(crate) fn encode_program(program: &Program) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
     fn push_expr(out: &mut Vec<u8>, expr: &RegExpr) {
         match expr {
             RegExpr::Const(v) => {
@@ -751,12 +783,6 @@ fn encode(program: &Program, outcome: &Outcome) -> Vec<u8> {
                 }
             }
         }
-    }
-    out.push(0xFF); // outcome separator
-    for &(t, r, v) in outcome.constraints() {
-        out.push(t.0);
-        out.push(r.0);
-        push_i64(&mut out, v.0);
     }
     out
 }

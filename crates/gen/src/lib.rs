@@ -11,6 +11,10 @@
 //! * [`count`] — Corollary 1 (230 tests with dependencies, 124 without);
 //! * [`naive`] — the bounded-enumeration baseline (≈ a million tests) the
 //!   paper improves on by orders of magnitude;
+//! * [`stream`] — streaming canonical-first enumeration: an iterator
+//!   yielding only symmetry-orbit leaders, over bounds generalized past
+//!   Theorem 1 (four accesses per thread, fences, dependency idioms),
+//!   without ever materialising the raw space;
 //! * [`local`] — the §3.3 bound on non-memory instructions and the special
 //!   fence-chain family showing the bound is predicate-dependent;
 //! * [`canon`] — canonical forms, fingerprints and suite deduplication
@@ -38,9 +42,11 @@ pub mod emit;
 pub mod local;
 pub mod naive;
 pub mod segment;
+pub mod stream;
 pub mod suite;
 pub mod template;
 
 pub use canon::{canonicalize, fingerprint, CanonicalSuite};
+pub use stream::{LeaderStream, StreamBounds};
 pub use segment::{AccessKind, AddrRel, Connector, Segment, SegmentType};
 pub use suite::{template_suite, template_suite_extended, TestSuite};

@@ -3,13 +3,21 @@
 //!
 //! Enumerates every two-thread program within the Theorem 1 bounds (up to
 //! three memory accesses per thread) together with every value-shape
-//! outcome, after quotienting by the §2.3 symmetries (location renaming,
-//! thread permutation, write-value renaming). The paper reports
-//! "approximately a million tests even without dependencies" for this
-//! strategy versus 124/230 template instantiations — this module
-//! reproduces that comparison.
+//! outcome. The paper reports "approximately a million tests even without
+//! dependencies" for this strategy versus 124/230 template instantiations
+//! — this module reproduces that comparison.
+//!
+//! The symmetry quotient is delegated to [`crate::stream`]: the canonical
+//! counts and enumerations here are defined as **orbit leaders** of the
+//! full §2.3 group (thread permutation, location/register renaming and
+//! per-location value renaming), not the looser shape-level filter earlier
+//! revisions used — that filter was blind to fences and value symmetry
+//! and therefore under-deduplicated, disagreeing with
+//! [`crate::canon::canonical`].
 
 use mcm_core::{LitmusTest, Loc, Outcome, Program, Reg, ThreadId, Value};
+
+use crate::stream::{self, StreamBounds};
 
 /// Bounds for the naive enumeration.
 #[derive(Clone, Copy, Debug)]
@@ -80,25 +88,6 @@ fn thread_shapes(bounds: &NaiveBounds) -> Vec<Vec<(bool, u8, bool)>> {
     all
 }
 
-/// Is the program shape canonical under location renaming and thread
-/// permutation?
-fn is_canonical(shape: &Shape) -> bool {
-    // Locations must appear in first-use order 0, 1, 2, …
-    let mut next = 0u8;
-    for thread in shape {
-        for &(_, loc, _) in thread {
-            if loc > next {
-                return false;
-            }
-            if loc == next {
-                next += 1;
-            }
-        }
-    }
-    // Threads must be sorted.
-    shape.windows(2).all(|w| w[0] <= w[1])
-}
-
 /// Number of outcome choices: every read may expect the initial value or
 /// the value of any write to its location.
 fn outcome_count(shape: &Shape) -> u64 {
@@ -122,62 +111,23 @@ fn outcome_count(shape: &Shape) -> u64 {
 }
 
 /// Counts the canonical naive tests within `bounds` without materialising
-/// them (location renaming and thread permutation quotiented away).
+/// the raw space: one count per **orbit leader** of the full §2.3
+/// symmetry group, exactly the tests [`enumerate_tests`] yields.
 #[must_use]
 pub fn count_tests(bounds: &NaiveBounds) -> u64 {
-    count_impl(bounds, true)
+    stream::count_leaders(&StreamBounds::from(bounds))
 }
 
 /// Counts the naive tests *without* any symmetry reduction — the paper's
 /// "approximately million tests even without dependencies" figure.
 #[must_use]
 pub fn count_tests_raw(bounds: &NaiveBounds) -> u64 {
-    count_impl(bounds, false)
-}
-
-fn count_impl(bounds: &NaiveBounds, canonical_only: bool) -> u64 {
     let threads = thread_shapes(bounds);
     let mut total = 0u64;
     let mut stack: Shape = Vec::new();
-    fn recurse(
-        threads: &[Vec<(bool, u8, bool)>],
-        remaining: usize,
-        stack: &mut Shape,
-        total: &mut u64,
-        canonical_only: bool,
-    ) {
+    fn recurse(threads: &[Vec<(bool, u8, bool)>], remaining: usize, stack: &mut Shape, total: &mut u64) {
         if remaining == 0 {
-            if !canonical_only || is_canonical(stack) {
-                *total += outcome_count(stack);
-            }
-            return;
-        }
-        for t in threads {
-            stack.push(t.clone());
-            recurse(threads, remaining - 1, stack, total, canonical_only);
-            stack.pop();
-        }
-    }
-    recurse(&threads, bounds.threads, &mut stack, &mut total, canonical_only);
-    total
-}
-
-/// Counts only the canonical program shapes (ignoring outcomes).
-#[must_use]
-pub fn count_programs(bounds: &NaiveBounds) -> u64 {
-    let threads = thread_shapes(bounds);
-    let mut total = 0u64;
-    let mut stack: Shape = Vec::new();
-    fn recurse(
-        threads: &[Vec<(bool, u8, bool)>],
-        remaining: usize,
-        stack: &mut Shape,
-        total: &mut u64,
-    ) {
-        if remaining == 0 {
-            if is_canonical(stack) {
-                *total += 1;
-            }
+            *total += outcome_count(stack);
             return;
         }
         for t in threads {
@@ -190,32 +140,32 @@ pub fn count_programs(bounds: &NaiveBounds) -> u64 {
     total
 }
 
-/// Materialises the naive tests. Only sensible for small bounds — the
-/// default bounds produce on the order of a million tests.
-///
-/// Writes store distinct values `1, 2, …` per location in program order;
-/// each read's expectation ranges over those values plus the initial zero.
+/// Counts only the canonical program shapes (ignoring outcomes), i.e. one
+/// per program orbit under the §2.3 symmetries.
 #[must_use]
-pub fn enumerate_tests(bounds: &NaiveBounds, limit: usize) -> Vec<LitmusTest> {
-    let threads = thread_shapes(bounds);
-    let mut tests = Vec::new();
-    let mut stack: Shape = Vec::new();
-    enumerate_rec(&threads, bounds.threads, &mut stack, &mut tests, limit, true);
-    tests
+pub fn count_programs(bounds: &NaiveBounds) -> u64 {
+    stream::count_leader_programs(&StreamBounds::from(bounds))
 }
 
-/// Like [`enumerate_tests`] but **without** the built-in shape-level
-/// symmetry filter: every location labelling and thread ordering is
-/// materialised. This is the truly naive baseline ([`count_tests_raw`]);
-/// `mcm_gen::canon::dedup` recovers (and sharpens) the reduction the
-/// filtered enumeration performs, which the `canonical_dedup` benchmark
-/// demonstrates.
+/// Materialises the canonical naive tests: the orbit leaders of the
+/// bounded space, in the deterministic order of [`stream::leaders`]. Only
+/// sensible for small bounds or small `limit`s.
+#[must_use]
+pub fn enumerate_tests(bounds: &NaiveBounds, limit: usize) -> Vec<LitmusTest> {
+    stream::leaders(&StreamBounds::from(bounds)).take(limit).collect()
+}
+
+/// Like [`enumerate_tests`] but **without** any symmetry reduction: every
+/// location labelling and thread ordering is materialised. This is the
+/// truly naive baseline ([`count_tests_raw`]); `mcm_gen::canon::dedup`
+/// recovers the reduction lazily performed by the leader stream, which the
+/// `canonical_dedup` benchmark demonstrates.
 #[must_use]
 pub fn enumerate_tests_raw(bounds: &NaiveBounds, limit: usize) -> Vec<LitmusTest> {
     let threads = thread_shapes(bounds);
     let mut tests = Vec::new();
     let mut stack: Shape = Vec::new();
-    enumerate_rec(&threads, bounds.threads, &mut stack, &mut tests, limit, false);
+    enumerate_rec(&threads, bounds.threads, &mut stack, &mut tests, limit);
     tests
 }
 
@@ -225,20 +175,17 @@ fn enumerate_rec(
     stack: &mut Shape,
     tests: &mut Vec<LitmusTest>,
     limit: usize,
-    filter_canonical: bool,
 ) {
     if tests.len() >= limit {
         return;
     }
     if remaining == 0 {
-        if !filter_canonical || is_canonical(stack) {
-            materialise(stack, tests, limit);
-        }
+        materialise(stack, tests, limit);
         return;
     }
     for t in threads {
         stack.push(t.clone());
-        enumerate_rec(threads, remaining - 1, stack, tests, limit, filter_canonical);
+        enumerate_rec(threads, remaining - 1, stack, tests, limit);
         stack.pop();
         if tests.len() >= limit {
             return;
@@ -335,10 +282,12 @@ fn build_test(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::canon;
 
     #[test]
     fn tiny_bounds_count_by_hand() {
-        // 1 thread, 1 access, 1 location: shapes are R0 (canonical) and W0.
+        // 1 thread, 1 access, 1 location: orbits are R0 (read the initial
+        // value) and W0.
         let bounds = NaiveBounds {
             max_accesses_per_thread: 1,
             threads: 1,
@@ -368,18 +317,38 @@ mod tests {
     }
 
     #[test]
-    fn canonicalisation_rejects_renamable_shapes() {
-        // A single-thread program touching location 1 before 0 is not
-        // canonical.
-        let shape: Shape = vec![vec![(true, 1, false), (true, 0, false)]];
-        assert!(!is_canonical(&shape));
-        let sorted: Shape = vec![vec![(true, 0, false), (true, 1, false)]];
-        assert!(is_canonical(&sorted));
-        // Threads must be in sorted order: `(read, …) < (write, …)`.
-        let read_first: Shape = vec![vec![(false, 0, false)], vec![(true, 0, false)]];
-        assert!(is_canonical(&read_first));
-        let write_first: Shape = vec![vec![(true, 0, false)], vec![(false, 0, false)]];
-        assert!(!is_canonical(&write_first));
+    fn enumerated_tests_are_orbit_leaders() {
+        // The canonical enumeration is exactly the leader set: dedup finds
+        // nothing left to collapse, and every test is a canon fixed point.
+        let bounds = NaiveBounds {
+            max_accesses_per_thread: 2,
+            threads: 2,
+            max_locs: 2,
+            include_fences: true,
+        };
+        let tests = enumerate_tests(&bounds, usize::MAX);
+        let orbits = canon::dedup(&tests);
+        assert_eq!(orbits.len(), tests.len(), "leader set must be dedup-free");
+        for test in &tests {
+            assert!(canon::is_leader(test), "{}", test.name());
+        }
+    }
+
+    #[test]
+    fn leader_quotient_is_sharper_than_the_old_shape_filter() {
+        // The retired shape-level filter (location renaming + fence-blind
+        // thread sort) kept 41 tests on these bounds; the true §2.3
+        // quotient — which also sees value symmetry and fences — keeps
+        // fewer, and exactly matches dedup of the raw space.
+        let bounds = NaiveBounds {
+            max_accesses_per_thread: 2,
+            threads: 2,
+            max_locs: 2,
+            include_fences: false,
+        };
+        let raw = enumerate_tests_raw(&bounds, usize::MAX);
+        let orbits = canon::dedup(&raw);
+        assert_eq!(count_tests(&bounds), orbits.len() as u64);
     }
 
     #[test]
@@ -389,19 +358,20 @@ mod tests {
         let raw = count_tests_raw(&NaiveBounds::default());
         assert!(raw > 100_000, "got {raw}");
         assert!(raw < 100_000_000, "got {raw}");
-        // Symmetry reduction shrinks it substantially but stays orders of
-        // magnitude above the 124 template instantiations.
-        let canonical = count_tests(&NaiveBounds::default());
-        assert!(canonical < raw);
-        assert!(canonical > 10_000, "got {canonical}");
     }
 
     #[test]
     fn fences_increase_the_count() {
-        let without = count_tests(&NaiveBounds::default());
+        let bounds = NaiveBounds {
+            max_accesses_per_thread: 2,
+            threads: 2,
+            max_locs: 2,
+            include_fences: false,
+        };
+        let without = count_tests(&bounds);
         let with = count_tests(&NaiveBounds {
             include_fences: true,
-            ..NaiveBounds::default()
+            ..bounds
         });
         assert!(with > without);
     }

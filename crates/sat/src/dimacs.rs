@@ -116,7 +116,18 @@ pub fn parse_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
             if value == 0 {
                 clauses.push(std::mem::take(&mut current));
             } else {
-                let var_index = usize::try_from(value.unsigned_abs()).expect("fits") - 1;
+                // Guard the conversion chain end to end: a token like
+                // `99999999999` parses as i64 but fits neither a declared
+                // range nor the 32-bit variable space, and must be a parse
+                // error rather than a downstream panic — headerless input
+                // has no declared range to catch it first.
+                let var_index = usize::try_from(value.unsigned_abs())
+                    .ok()
+                    .map(|v| v - 1)
+                    .filter(|&v| Var::try_from_index(v).is_some())
+                    .ok_or_else(|| {
+                        err(&format!("literal {value} exceeds the supported variable range"))
+                    })?;
                 if let Some(nv) = num_vars {
                     if var_index >= nv {
                         return Err(err(&format!(
@@ -125,7 +136,7 @@ pub fn parse_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
                     }
                 }
                 max_var = max_var.max(var_index + 1);
-                let var = Var::from_index(var_index);
+                let var = Var::try_from_index(var_index).expect("range checked above");
                 current.push(if value > 0 { var.positive() } else { var.negative() });
             }
         }
@@ -211,5 +222,45 @@ mod tests {
     #[test]
     fn rejects_garbage_token() {
         assert!(parse_dimacs("p cnf 1 1\nfoo 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_literal_without_header() {
+        // Regression: with no `p cnf` header bounding the variable range,
+        // an oversized literal used to pass the i64 parse and panic in
+        // `Var::from_index` instead of erroring.
+        let e = parse_dimacs("99999999999 0\n").unwrap_err();
+        assert!(e.to_string().contains("supported variable range"), "{e}");
+        let e = parse_dimacs("-99999999999 0\n").unwrap_err();
+        assert!(e.to_string().contains("supported variable range"), "{e}");
+    }
+
+    #[test]
+    fn rejects_oversized_literal_with_header() {
+        // The declared-range check never gets a chance on a literal that
+        // does not even fit the variable space; it must still be an error.
+        let e = parse_dimacs("p cnf 3 1\n99999999999 0\n").unwrap_err();
+        assert!(e.to_string().contains("variable"), "{e}");
+    }
+
+    #[test]
+    fn rejects_extreme_magnitude_literal() {
+        let text = format!("{} 0\n", i64::MIN);
+        assert!(parse_dimacs(&text).is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_final_clause_without_header() {
+        // Regression: a final clause missing its terminating `0` must be
+        // a parse error at EOF, not silently dropped — with or without a
+        // header line.
+        let e = parse_dimacs("1 -2 0\n2 3\n").unwrap_err();
+        assert!(e.to_string().contains("terminating 0"), "{e}");
+    }
+
+    #[test]
+    fn unterminated_clause_reports_the_last_line() {
+        let e = parse_dimacs("p cnf 2 1\n1 2\n").unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
     }
 }

@@ -15,9 +15,26 @@ impl Var {
     ///
     /// Mostly useful for tests and for decoding external formats; prefer
     /// [`crate::Solver::new_var`] when driving a solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` does not fit the 32-bit variable space; use
+    /// [`Var::try_from_index`] when the index comes from untrusted input
+    /// (the DIMACS parser does).
     #[must_use]
     pub fn from_index(index: usize) -> Self {
-        Var(u32::try_from(index).expect("variable index out of range"))
+        Var::try_from_index(index).expect("variable index out of range")
+    }
+
+    /// Fallible [`Var::from_index`]: `None` when `index` exceeds the
+    /// 32-bit variable space (literal encoding reserves the low bit, so
+    /// indices above `u32::MAX / 2` would also overflow the watch lists).
+    #[must_use]
+    pub fn try_from_index(index: usize) -> Option<Self> {
+        u32::try_from(index)
+            .ok()
+            .filter(|&i| i <= u32::MAX >> 1)
+            .map(Var)
     }
 
     /// The zero-based index of this variable.
@@ -155,6 +172,19 @@ mod tests {
         let v = Var::from_index(3);
         assert_eq!(v.positive().code(), 6);
         assert_eq!(v.negative().code(), 7);
+        assert_eq!(v.positive().var(), v);
+        assert_eq!(v.negative().var(), v);
+    }
+
+    #[test]
+    fn try_from_index_bounds_the_variable_space() {
+        assert_eq!(Var::try_from_index(0), Some(Var(0)));
+        let max = (u32::MAX >> 1) as usize;
+        assert_eq!(Var::try_from_index(max), Some(Var(u32::MAX >> 1)));
+        assert_eq!(Var::try_from_index(max + 1), None);
+        assert_eq!(Var::try_from_index(usize::MAX), None);
+        // The largest admissible variable still has both literal codes.
+        let v = Var::try_from_index(max).unwrap();
         assert_eq!(v.positive().var(), v);
         assert_eq!(v.negative().var(), v);
     }
