@@ -3,6 +3,7 @@
 use std::fmt;
 
 use mcm_core::{EventId, Execution, LitmusTest, MemoryModel};
+use mcm_sat::SolverStats;
 
 use crate::co::CoOrder;
 use crate::hb::EdgeKind;
@@ -82,6 +83,14 @@ pub trait Checker {
     /// Convenience: just the boolean.
     fn is_allowed(&self, model: &MemoryModel, test: &LitmusTest) -> bool {
         self.check(model, test).allowed
+    }
+
+    /// Accumulated SAT-solver work counters, for checkers that are backed
+    /// by `mcm-sat` ([`crate::SatChecker`], [`crate::MonolithicSatChecker`]).
+    /// Totals cover every query this checker instance has answered.
+    /// Checkers with no solver return `None` (the default).
+    fn solver_stats(&self) -> Option<SolverStats> {
+        None
     }
 }
 

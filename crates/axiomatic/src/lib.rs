@@ -54,13 +54,14 @@ mod explicit;
 pub mod graph;
 pub mod hb;
 pub mod rf;
-mod sat_common;
+pub mod sat_common;
 mod sat_full;
 mod sat_hb;
 
 pub use checker::{Checker, Verdict, Witness};
 pub use explicit::ExplicitChecker;
 pub use hb::EdgeKind;
+pub use sat_common::{ClauseSink, OrderVars};
 pub use sat_full::MonolithicSatChecker;
 pub use sat_hb::{encode_all_cnf, encode_cnf, SatChecker};
 

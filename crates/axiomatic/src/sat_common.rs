@@ -25,9 +25,12 @@ use mcm_sat::dimacs::Cnf;
 use mcm_sat::{Lit, Solver, Var};
 
 /// Anything clauses can be emitted into: a live solver, or a [`Cnf`] for
-/// DIMACS export.
-pub(crate) trait ClauseSink {
+/// DIMACS export. Exposed so other crates (the synthesis engine) can
+/// reuse the ordering-variable scaffolding with either backend.
+pub trait ClauseSink {
+    /// Allocates a fresh variable.
     fn fresh_var(&mut self) -> Var;
+    /// Adds a clause (a disjunction of literals).
     fn emit_clause(&mut self, lits: &[Lit]);
 }
 
@@ -53,16 +56,20 @@ impl ClauseSink for Cnf {
     }
 }
 
-/// The `o(x, y)` ordering-variable table over `n` events.
+/// The `o(x, y)` ordering-variable table over `n` events (or, in the
+/// synthesis engine, `n` skeleton slots).
 #[derive(Clone, Debug)]
-pub(crate) struct OrderVars {
+pub struct OrderVars {
     n: usize,
     vars: Vec<Option<Var>>,
 }
 
 impl OrderVars {
     /// Allocates `n·(n-1)` ordering variables in `sink`.
-    pub(crate) fn new<S: ClauseSink>(sink: &mut S, n: usize) -> Self {
+    ///
+    /// The caller typically follows with
+    /// [`OrderVars::add_partial_order_clauses`].
+    pub fn new<S: ClauseSink>(sink: &mut S, n: usize) -> Self {
         let mut vars = vec![None; n * n];
         for i in 0..n {
             for j in 0..n {
@@ -79,14 +86,14 @@ impl OrderVars {
     /// # Panics
     ///
     /// Panics if `i == j` (the relation is irreflexive by construction).
-    pub(crate) fn before(&self, i: usize, j: usize) -> Lit {
+    pub fn before(&self, i: usize, j: usize) -> Lit {
         self.vars[i * self.n + j]
             .expect("o(i,i) does not exist")
             .positive()
     }
 
     /// Adds antisymmetry and transitivity clauses.
-    pub(crate) fn add_partial_order_clauses<S: ClauseSink>(&self, solver: &mut S) {
+    pub fn add_partial_order_clauses<S: ClauseSink>(&self, solver: &mut S) {
         for i in 0..self.n {
             for j in (i + 1)..self.n {
                 solver.emit_clause(&[!self.before(i, j), !self.before(j, i)]);
@@ -113,7 +120,7 @@ impl OrderVars {
 
     /// Adds the model-dependent program-order units and the write-write
     /// (coherence) constraints.
-    pub(crate) fn add_model_clauses<S: ClauseSink>(
+    pub fn add_model_clauses<S: ClauseSink>(
         &self,
         solver: &mut S,
         model: &MemoryModel,
@@ -150,7 +157,7 @@ impl OrderVars {
 
     /// Reads the coherence order out of a satisfying assignment: the writes
     /// of each location sorted by the `o` relation.
-    pub(crate) fn extract_co(&self, solver: &Solver, exec: &Execution) -> crate::co::CoOrder {
+    pub fn extract_co(&self, solver: &Solver, exec: &Execution) -> crate::co::CoOrder {
         let mut locs: Vec<_> = exec.writes().filter_map(|w| w.loc()).collect();
         locs.sort();
         locs.dedup();

@@ -15,14 +15,24 @@ use crate::rf::{read_candidates, RfMap, RfSource};
 use crate::sat_common::OrderVars;
 
 /// Admissibility via a single SAT query with read-from selector variables.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct MonolithicSatChecker;
+#[derive(Clone, Debug, Default)]
+pub struct MonolithicSatChecker {
+    /// Work counters totalled across every query; interior mutability
+    /// because [`Checker`] methods take `&self`.
+    stats: std::cell::Cell<mcm_sat::SolverStats>,
+}
 
 impl MonolithicSatChecker {
-    /// Creates the checker (stateless).
+    /// Creates the checker.
     #[must_use]
     pub fn new() -> Self {
-        MonolithicSatChecker
+        MonolithicSatChecker::default()
+    }
+
+    fn absorb_stats(&self, solver: &Solver) {
+        let mut total = self.stats.get();
+        total.absorb(solver.stats());
+        self.stats.set(total);
     }
 }
 
@@ -108,7 +118,9 @@ impl Checker for MonolithicSatChecker {
             }
         }
 
-        if solver.solve() != SatResult::Sat {
+        let result = solver.solve();
+        self.absorb_stats(&solver);
+        if result != SatResult::Sat {
             return Verdict::forbidden();
         }
 
@@ -133,6 +145,10 @@ impl Checker for MonolithicSatChecker {
             co,
             hb_edges: edges.labeled,
         })
+    }
+
+    fn solver_stats(&self) -> Option<mcm_sat::SolverStats> {
+        Some(self.stats.get())
     }
 }
 

@@ -97,20 +97,33 @@ pub fn encode_all_cnf(model: &MemoryModel, exec: &Execution) -> Vec<Cnf> {
 }
 
 /// Admissibility via one SAT query per read-from map.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct SatChecker;
+#[derive(Clone, Debug, Default)]
+pub struct SatChecker {
+    /// Work counters totalled across every query (one solver per
+    /// read-from map); interior mutability because [`Checker`] methods
+    /// take `&self`.
+    stats: std::cell::Cell<mcm_sat::SolverStats>,
+}
 
 impl SatChecker {
-    /// Creates the checker (stateless).
+    /// Creates the checker.
     #[must_use]
     pub fn new() -> Self {
-        SatChecker
+        SatChecker::default()
+    }
+
+    fn absorb_stats(&self, solver: &Solver) {
+        let mut total = self.stats.get();
+        total.absorb(solver.stats());
+        self.stats.set(total);
     }
 
     fn check_rf(&self, model: &MemoryModel, exec: &Execution, rf: &RfMap) -> Option<Witness> {
         let mut solver = Solver::new();
         let order = encode(&mut solver, model, exec, rf)?;
-        if solver.solve() == SatResult::Sat {
+        let result = solver.solve();
+        self.absorb_stats(&solver);
+        if result == SatResult::Sat {
             let co = order.extract_co(&solver, exec);
             let edges = required_edges(model, exec, rf, &co);
             debug_assert!(edges.admits_partial_order(exec));
@@ -137,6 +150,10 @@ impl Checker for SatChecker {
             }
         }
         Verdict::forbidden()
+    }
+
+    fn solver_stats(&self) -> Option<mcm_sat::SolverStats> {
+        Some(self.stats.get())
     }
 }
 
@@ -174,6 +191,20 @@ mod tests {
         let checker = SatChecker::new();
         assert!(!checker.is_allowed(&sc(), &mp()));
         assert!(checker.is_allowed(&weakest(), &mp()));
+    }
+
+    #[test]
+    fn solver_stats_accumulate_across_queries() {
+        let checker = SatChecker::new();
+        assert_eq!(checker.solver_stats(), Some(mcm_sat::SolverStats::default()));
+        let _ = checker.check(&sc(), &mp());
+        let after_one = checker.solver_stats().expect("sat-backed");
+        assert!(after_one.propagations > 0);
+        let _ = checker.check(&weakest(), &mp());
+        let after_two = checker.solver_stats().expect("sat-backed");
+        assert!(after_two.propagations > after_one.propagations);
+        // The explicit checker has no solver.
+        assert!(crate::ExplicitChecker::new().solver_stats().is_none());
     }
 
     #[test]

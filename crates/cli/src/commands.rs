@@ -13,6 +13,56 @@ use mcm_models::catalog;
 
 use crate::resolve;
 
+/// The flags (valueless) and options (value-taking) one subcommand knows.
+/// Every command validates its arguments against its spec up front, so an
+/// unknown `--flag`, a misspelt option or an option with a missing value
+/// is a proper error instead of being silently ignored.
+struct ArgSpec {
+    flags: &'static [&'static str],
+    options: &'static [&'static str],
+}
+
+impl ArgSpec {
+    /// Rejects unknown `--` arguments and options without a value.
+    fn validate(&self, args: &[String]) -> Result<(), String> {
+        let mut i = 0;
+        while i < args.len() {
+            let a = args[i].as_str();
+            if self.options.contains(&a) {
+                match args.get(i + 1) {
+                    Some(value) if !value.starts_with("--") => i += 2,
+                    _ => return Err(format!("{a} requires a value")),
+                }
+            } else if self.flags.contains(&a) {
+                i += 1;
+            } else if a.starts_with("--") {
+                return Err(format!("unknown flag `{a}`; try `mcm help`"));
+            } else {
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The non-flag arguments, with option values skipped.
+    fn positional<'a>(&self, args: &'a [String]) -> Vec<&'a String> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if self.options.contains(&a.as_str()) {
+                i += 2;
+            } else if a.starts_with("--") {
+                i += 1;
+            } else {
+                out.push(a);
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
 fn flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
@@ -22,31 +72,6 @@ fn option_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
-}
-
-fn positional(args: &[String]) -> Vec<&String> {
-    let mut out = Vec::new();
-    let mut skip_next = false;
-    for (i, a) in args.iter().enumerate() {
-        if skip_next {
-            skip_next = false;
-            continue;
-        }
-        if matches!(
-            a.as_str(),
-            "--dot" | "--checker" | "--csv" | "--jobs" | "--max-accesses" | "--max-locs"
-                | "--limit"
-        ) {
-            skip_next = true;
-            continue;
-        }
-        if a.starts_with("--") {
-            continue;
-        }
-        let _ = i;
-        out.push(a);
-    }
-    out
 }
 
 /// Parses the sweep-engine flags shared by `explore` and `distinguish`:
@@ -81,6 +106,15 @@ fn print_sweep_stats(stats: &SweepStats) {
         stats.checker_calls,
         stats.reduction_factor(),
     );
+    if stats.sat != mcm_sat::SolverStats::default() {
+        println!(
+            "sweep solver: {} decisions, {} propagations, {} conflicts, {} restarts",
+            stats.sat.decisions,
+            stats.sat.propagations,
+            stats.sat.conflicts,
+            stats.sat.restarts,
+        );
+    }
 }
 
 fn checker_from(args: &[String]) -> Result<Box<dyn Checker>, String> {
@@ -92,9 +126,198 @@ fn checker_from(args: &[String]) -> Result<Box<dyn Checker>, String> {
     }
 }
 
+const SYNTH_SPEC: ArgSpec = ArgSpec {
+    flags: &["--matrix", "--fences", "--deps", "--verbose"],
+    options: &["--max-size", "--max-accesses", "--max-locs"],
+};
+
+/// Parses the synthesis bounds shared by both `synth` modes.
+fn synth_bounds(args: &[String]) -> Result<(mcm_synth::SynthBounds, usize), String> {
+    let mut bounds = mcm_synth::SynthBounds::default();
+    if let Some(n) = option_value(args, "--max-accesses") {
+        bounds.max_accesses_per_thread = n
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| (1..=4).contains(&n))
+            .ok_or_else(|| format!("--max-accesses needs 1..=4, got `{n}`"))?;
+    }
+    if let Some(n) = option_value(args, "--max-locs") {
+        bounds.max_locs = n
+            .parse::<u8>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("--max-locs needs 1..=255, got `{n}`"))?;
+    }
+    bounds.include_fences = flag(args, "--fences");
+    bounds.include_deps = flag(args, "--deps");
+    let max_size = match option_value(args, "--max-size") {
+        None => bounds.max_total(),
+        Some(n) => n
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| (bounds.min_total()..=bounds.max_total()).contains(&n))
+            .ok_or_else(|| {
+                format!(
+                    "--max-size needs {}..={} for these bounds, got `{n}`",
+                    bounds.min_total(),
+                    bounds.max_total()
+                )
+            })?,
+    };
+    Ok((bounds, max_size))
+}
+
+fn print_synth_stats(stats: &mcm_synth::SynthStats, verbose: bool) {
+    println!(
+        "cegis: {} SAT queries -> {} structures -> {} candidates, {} witnesses, \
+         {} sub-spaces exhausted, {} oracle calls (+{} cached)",
+        stats.sat_queries,
+        stats.structures,
+        stats.candidates,
+        stats.witnesses,
+        stats.shapes_exhausted,
+        stats.oracle_calls,
+        stats.oracle_cache_hits,
+    );
+    if verbose {
+        println!(
+            "solver: {} decisions, {} propagations, {} conflicts, {} restarts, \
+             {} learnt clauses retained",
+            stats.solver.decisions,
+            stats.solver.propagations,
+            stats.solver.conflicts,
+            stats.solver.restarts,
+            stats.solver.learnt_clauses,
+        );
+        if stats.encoding_mismatches > 0 {
+            println!(
+                "WARNING: {} encoding/oracle mismatches (please report)",
+                stats.encoding_mismatches
+            );
+        }
+    }
+}
+
+/// `mcm synth <MODEL> <MODEL> [--max-size N] [--max-accesses N]
+/// [--max-locs N] [--fences] [--deps] [--verbose]`, or
+/// `mcm synth --matrix [MODEL...]` for the full pairwise minimal-length
+/// matrix (the Figure 4 space when no models are named).
+pub fn synth(args: &[String]) -> Result<(), String> {
+    SYNTH_SPEC.validate(args)?;
+    let (bounds, max_size) = synth_bounds(args)?;
+    let verbose = flag(args, "--verbose");
+    let names = SYNTH_SPEC.positional(args);
+    if flag(args, "--matrix") {
+        return synth_matrix(&names, bounds, max_size, verbose);
+    }
+    let [left, right] = names.as_slice() else {
+        return Err(
+            "usage: mcm synth <MODEL> <MODEL> [--max-size N] [--max-accesses N] \
+             [--max-locs N] [--fences] [--deps] [--verbose], or mcm synth --matrix"
+                .to_string(),
+        );
+    };
+    let models = vec![resolve::model(left)?, resolve::model(right)?];
+    let start = Instant::now();
+    let mut synthesizer =
+        mcm_synth::Synthesizer::new(models, bounds).map_err(|e| e.to_string())?;
+    let pair = synthesizer.pair(0, 1, max_size);
+    let elapsed = start.elapsed();
+    match (&pair.length, &pair.witness) {
+        (Some(length), Some(witness)) => {
+            println!(
+                "minimal distinguishing length for {} vs {}: {} accesses \
+                 (SAT-certified minimum, {:.2?})",
+                left, right, length, elapsed,
+            );
+            println!(
+                "witness (allowed by {}, forbidden by {}):",
+                pair.allowed_by.as_deref().unwrap_or("?"),
+                pair.forbidden_by.as_deref().unwrap_or("?"),
+            );
+            print!("{witness}");
+        }
+        _ => println!(
+            "{left} and {right} are indistinguishable by any test of <= {max_size} \
+             accesses within these bounds (UNSAT-certified, {elapsed:.2?})",
+        ),
+    }
+    print_synth_stats(&synthesizer.stats(), verbose);
+    Ok(())
+}
+
+fn synth_matrix(
+    names: &[&String],
+    bounds: mcm_synth::SynthBounds,
+    max_size: usize,
+    verbose: bool,
+) -> Result<(), String> {
+    let models = if names.is_empty() {
+        // Figure 4's dependency-free space by default; --deps switches to
+        // the full 90-model space whose formulas can observe the
+        // dependency idioms the flag adds to the search space.
+        paper::digit_space_models(bounds.include_deps)
+    } else if names.len() == 1 {
+        return Err("--matrix needs zero or at least two models".to_string());
+    } else {
+        names
+            .iter()
+            .map(|n| resolve::model(n))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    println!(
+        "synthesizing the pairwise minimal-length matrix for {} models \
+         (<= {} accesses/thread, {} locs{}{}, lengths <= {max_size}) ...",
+        models.len(),
+        bounds.max_accesses_per_thread,
+        bounds.max_locs,
+        if bounds.include_fences { ", fences" } else { "" },
+        if bounds.include_deps { ", deps" } else { "" },
+    );
+    let start = Instant::now();
+    let mut synthesizer =
+        mcm_synth::Synthesizer::new(models, bounds).map_err(|e| e.to_string())?;
+    let matrix = synthesizer.matrix(max_size);
+    let elapsed = start.elapsed();
+    print!(
+        "{}",
+        mcm_explore::report::length_matrix_text(&matrix.names, &matrix.lengths)
+    );
+    let n = matrix.names.len();
+    let mut per_length: std::collections::BTreeMap<usize, usize> = Default::default();
+    let mut unseparated = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            match matrix.lengths[i][j] {
+                Some(len) => *per_length.entry(len).or_default() += 1,
+                None => unseparated += 1,
+            }
+        }
+    }
+    let histogram: Vec<String> = per_length
+        .iter()
+        .map(|(len, count)| format!("{count} pairs at length {len}"))
+        .collect();
+    println!(
+        "{} pairs synthesized in {:.2?}: {}; {} pairs equivalent within bounds",
+        n * (n - 1) / 2,
+        elapsed,
+        histogram.join(", "),
+        unseparated,
+    );
+    print_synth_stats(&synthesizer.stats(), verbose);
+    Ok(())
+}
+
+const CHECK_SPEC: ArgSpec = ArgSpec {
+    flags: &["--witness"],
+    options: &["--checker"],
+};
+
 /// `mcm check <MODEL> <FILE>`.
 pub fn check(args: &[String]) -> Result<(), String> {
-    let pos = positional(args);
+    CHECK_SPEC.validate(args)?;
+    let pos = CHECK_SPEC.positional(args);
     let [model_name, path] = pos.as_slice() else {
         return Err("usage: mcm check <MODEL> <FILE> [--checker C] [--witness]".to_string());
     };
@@ -116,9 +339,15 @@ pub fn check(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+const COMPARE_SPEC: ArgSpec = ArgSpec {
+    flags: &["--no-deps"],
+    options: &[],
+};
+
 /// `mcm compare <MODEL> <MODEL>`.
 pub fn compare(args: &[String]) -> Result<(), String> {
-    let pos = positional(args);
+    COMPARE_SPEC.validate(args)?;
+    let pos = COMPARE_SPEC.positional(args);
     let [left_name, right_name] = pos.as_slice() else {
         return Err("usage: mcm compare <MODEL> <MODEL> [--no-deps]".to_string());
     };
@@ -255,12 +484,32 @@ fn explore_stream(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+const EXPLORE_SPEC: ArgSpec = ArgSpec {
+    flags: &[
+        "--no-deps",
+        "--canonicalize",
+        "--cache",
+        "--stream",
+        "--fences",
+        "--deps",
+    ],
+    options: &["--jobs", "--csv", "--dot", "--max-accesses", "--max-locs", "--limit"],
+};
+
 /// `mcm explore [--no-deps] [--canonicalize] [--cache] [--jobs N]
 /// [--csv FILE] [--dot FILE] [--stream [--max-accesses N] [--max-locs N]
 /// [--fences] [--deps] [--limit N]]`.
 pub fn explore(args: &[String]) -> Result<(), String> {
+    EXPLORE_SPEC.validate(args)?;
     if flag(args, "--stream") {
         return explore_stream(args);
+    }
+    // Bound arguments configure the streamed enumeration only; accepting
+    // them without --stream would silently ignore them.
+    for stream_only in ["--max-accesses", "--max-locs", "--limit", "--fences", "--deps"] {
+        if args.iter().any(|a| a == stream_only) {
+            return Err(format!("{stream_only} requires --stream"));
+        }
     }
     let with_deps = !flag(args, "--no-deps");
     let (config, use_cache) = engine_options(args)?;
@@ -355,6 +604,11 @@ pub fn explore(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+const DISTINGUISH_SPEC: ArgSpec = ArgSpec {
+    flags: &["--no-deps", "--canonicalize", "--cache"],
+    options: &["--jobs"],
+};
+
 /// `mcm distinguish [MODEL...] [--no-deps] [--canonicalize] [--cache]
 /// [--jobs N]`.
 ///
@@ -362,10 +616,11 @@ pub fn explore(args: &[String]) -> Result<(), String> {
 /// or more), or for the whole digit space when no models are named — the
 /// paper's "nine tests" experiment as a standalone command.
 pub fn distinguish_cmd(args: &[String]) -> Result<(), String> {
+    DISTINGUISH_SPEC.validate(args)?;
     let with_deps = !flag(args, "--no-deps");
     let (config, use_cache) = engine_options(args)?;
     let cache = use_cache.then(VerdictCache::new);
-    let names = positional(args);
+    let names = DISTINGUISH_SPEC.positional(args);
     let models = if names.is_empty() {
         paper::digit_space_models(with_deps)
     } else if names.len() == 1 {
@@ -415,8 +670,14 @@ pub fn distinguish_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+const SUITE_SPEC: ArgSpec = ArgSpec {
+    flags: &["--no-deps", "--print"],
+    options: &[],
+};
+
 /// `mcm suite [--no-deps] [--print]`.
 pub fn suite(args: &[String]) -> Result<(), String> {
+    SUITE_SPEC.validate(args)?;
     let with_deps = !flag(args, "--no-deps");
     let suite = template_suite(with_deps);
     println!(
@@ -438,7 +699,12 @@ pub fn suite(args: &[String]) -> Result<(), String> {
 }
 
 /// `mcm catalog`.
-pub fn catalog(_args: &[String]) -> Result<(), String> {
+pub fn catalog(args: &[String]) -> Result<(), String> {
+    ArgSpec {
+        flags: &[],
+        options: &[],
+    }
+    .validate(args)?;
     for test in catalog::all_tests() {
         println!("{test}");
         if !test.description().is_empty() {
@@ -448,9 +714,15 @@ pub fn catalog(_args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+const PARSE_SPEC: ArgSpec = ArgSpec {
+    flags: &[],
+    options: &[],
+};
+
 /// `mcm parse <FILE>`.
 pub fn parse(args: &[String]) -> Result<(), String> {
-    let pos = positional(args);
+    PARSE_SPEC.validate(args)?;
+    let pos = PARSE_SPEC.positional(args);
     let [path] = pos.as_slice() else {
         return Err("usage: mcm parse <FILE>".to_string());
     };
@@ -463,9 +735,15 @@ pub fn parse(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+const FIGURES_SPEC: ArgSpec = ArgSpec {
+    flags: &[],
+    options: &["--dot"],
+};
+
 /// `mcm figures <fig1|fig2|fig3|fig4|counts|all>`.
 pub fn figures(args: &[String]) -> Result<(), String> {
-    let which = positional(args)
+    FIGURES_SPEC.validate(args)?;
+    let which = FIGURES_SPEC.positional(args)
         .first()
         .map(|s| s.as_str())
         .unwrap_or("all")

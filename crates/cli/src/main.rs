@@ -33,6 +33,16 @@ COMMANDS:
                               given models (or the whole digit space)
                               [--no-deps] [--canonicalize] [--cache]
                               [--jobs N]
+    synth <MODEL> <MODEL>     CEGIS-synthesize a minimal distinguishing
+                              litmus test for the pair: the unknown test
+                              becomes SAT variables, the axiomatic
+                              checker is the refuting oracle
+                              [--max-size N] [--max-accesses 1..4]
+                              [--max-locs N] [--fences] [--deps]
+                              [--verbose (solver stats)]
+    synth --matrix [MODEL...] SAT-certified pairwise minimal-length
+                              matrix (Figure 4's 36 dependency-free
+                              models; --deps switches to all 90)
     suite                     generate the Theorem 1 template suite
                               [--no-deps] [--print]
     catalog                   print Test A, L1–L9 and the classic tests
@@ -54,6 +64,7 @@ fn main() -> ExitCode {
         Some("compare") => commands::compare(&args[1..]),
         Some("explore") => commands::explore(&args[1..]),
         Some("distinguish") => commands::distinguish_cmd(&args[1..]),
+        Some("synth") => commands::synth(&args[1..]),
         Some("suite") => commands::suite(&args[1..]),
         Some("catalog") => commands::catalog(&args[1..]),
         Some("figures") => commands::figures(&args[1..]),

@@ -159,6 +159,110 @@ fn explore_stream_rejects_bad_bounds() {
 }
 
 #[test]
+fn synth_finds_store_buffering_for_sc_vs_tso() {
+    let (ok, stdout, _) = mcm(&["synth", "SC", "TSO", "--verbose"]);
+    assert!(ok);
+    assert!(
+        stdout.contains("minimal distinguishing length for SC vs TSO: 4 accesses"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("allowed by TSO, forbidden by SC"), "{stdout}");
+    assert!(stdout.contains("Outcome:"), "{stdout}");
+    assert!(stdout.contains("solver:"), "--verbose must print solver stats: {stdout}");
+}
+
+#[test]
+fn synth_certifies_equivalence_within_bounds() {
+    let (ok, stdout, _) = mcm(&[
+        "synth", "TSO", "x86", "--max-accesses", "2", "--max-locs", "2",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("indistinguishable"), "{stdout}");
+    assert!(stdout.contains("UNSAT-certified"), "{stdout}");
+}
+
+#[test]
+fn synth_matrix_reports_lengths_and_legend() {
+    let (ok, stdout, _) = mcm(&[
+        "synth", "--matrix", "SC", "TSO", "PSO", "--max-accesses", "2",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("pairwise minimal distinguishing length"), "{stdout}");
+    assert!(stdout.contains("0 = SC"), "{stdout}");
+    assert!(stdout.contains("pairs at length 4"), "{stdout}");
+    assert!(stdout.contains("cegis:"), "{stdout}");
+}
+
+#[test]
+fn synth_rejects_bad_arguments() {
+    let (ok, _, stderr) = mcm(&["synth", "SC", "powerpc"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown model"), "{stderr}");
+    let (ok, _, stderr) = mcm(&["synth", "SC", "TSO", "--max-size", "99"]);
+    assert!(!ok);
+    assert!(stderr.contains("--max-size"), "{stderr}");
+    let (ok, _, stderr) = mcm(&["synth", "SC", "TSO", "--max-accesses", "9"]);
+    assert!(!ok);
+    assert!(stderr.contains("--max-accesses"), "{stderr}");
+    let (ok, _, stderr) = mcm(&["synth", "SC"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn unknown_flags_are_rejected_not_ignored() {
+    for args in [
+        &["explore", "--streem"][..],
+        &["compare", "TSO", "SC", "--nodeps"][..],
+        &["synth", "SC", "TSO", "--fancy"][..],
+        &["suite", "--deps"][..],
+        &["catalog", "--verbose"][..],
+    ] {
+        let (ok, _, stderr) = mcm(args);
+        assert!(!ok, "{args:?} must fail");
+        assert!(stderr.contains("unknown flag"), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn options_without_values_are_rejected() {
+    let (ok, _, stderr) = mcm(&["explore", "--stream", "--limit"]);
+    assert!(!ok);
+    assert!(stderr.contains("--limit requires a value"), "{stderr}");
+    let (ok, _, stderr) = mcm(&["explore", "--jobs", "--stream"]);
+    assert!(!ok);
+    assert!(stderr.contains("--jobs requires a value"), "{stderr}");
+    let (ok, _, stderr) = mcm(&["synth", "SC", "TSO", "--max-locs"]);
+    assert!(!ok);
+    assert!(stderr.contains("--max-locs requires a value"), "{stderr}");
+}
+
+#[test]
+fn stream_only_bounds_require_stream() {
+    for option in ["--limit", "--max-accesses", "--max-locs"] {
+        let (ok, _, stderr) = mcm(&["explore", option, "2"]);
+        assert!(!ok, "{option} without --stream must fail");
+        assert!(stderr.contains("requires --stream"), "{option}: {stderr}");
+    }
+    let (ok, _, stderr) = mcm(&["explore", "--fences"]);
+    assert!(!ok);
+    assert!(stderr.contains("requires --stream"), "{stderr}");
+}
+
+#[test]
+fn zero_valued_limits_are_rejected_not_clamped() {
+    let (ok, _, stderr) = mcm(&["explore", "--stream", "--limit", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--limit"), "{stderr}");
+    let (ok, _, stderr) = mcm(&["explore", "--jobs", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--jobs"), "{stderr}");
+    let (ok, _, stderr) = mcm(&["explore", "--stream", "--max-locs", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--max-locs"), "{stderr}");
+}
+
+#[test]
 fn parse_validates_files() {
     let dir = std::env::temp_dir().join("mcm-cli-test");
     std::fs::create_dir_all(&dir).unwrap();

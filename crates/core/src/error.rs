@@ -77,6 +77,12 @@ pub enum CoreError {
         /// The register.
         reg: Reg,
     },
+    /// A [`crate::skeleton::TestSkeleton`] is internally inconsistent and
+    /// cannot decode to a litmus test.
+    MalformedSkeleton {
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -114,6 +120,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::DuplicateConstraint { thread, reg } => {
                 write!(f, "outcome constrains {thread}:{reg} twice")
+            }
+            CoreError::MalformedSkeleton { reason } => {
+                write!(f, "malformed test skeleton: {reason}")
             }
         }
     }

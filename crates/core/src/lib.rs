@@ -50,6 +50,7 @@ mod litmus;
 mod model;
 pub mod parse;
 pub mod program;
+pub mod skeleton;
 
 pub use error::CoreError;
 pub use event::{Event, EventKind};
@@ -60,3 +61,4 @@ pub use instr::{AddrExpr, FenceKind, Instruction, RegExpr};
 pub use litmus::LitmusTest;
 pub use model::MemoryModel;
 pub use program::{Program, ProgramBuilder, Thread};
+pub use skeleton::{Slot, SlotRf, TestSkeleton};

@@ -1,0 +1,331 @@
+//! Test skeletons: the bridge between symbolic synthesis and concrete
+//! litmus tests.
+//!
+//! A [`TestSkeleton`] is a litmus test with its incidental names erased:
+//! each memory access is a [`Slot`] carrying only the *choices* a
+//! synthesizer ranges over — op kind, abstract location index, an optional
+//! trailing fence, an optional data dependency, and (for reads) the write
+//! slot the read observes. [`TestSkeleton::decode`] materialises the
+//! canonical concrete test of those choices:
+//!
+//! * locations become `Loc(0), Loc(1), …` directly from the slot indices;
+//! * the *i*-th write to a location stores value `i` (so every write to a
+//!   location is observably distinct, and distinct from the initial `0`);
+//! * registers are `r1, r2, …` per thread in read order;
+//! * a dependent write routes its value through the paper's
+//!   `t = r - r + k` idiom, where `r` is the most recent preceding read
+//!   of its thread;
+//! * the demanded outcome constrains every read to the value of its
+//!   [`SlotRf`] source.
+//!
+//! Because written values are pairwise distinct, the decoded test's
+//! candidate execution has exactly one value-consistent read-from map —
+//! the one written in the skeleton. A SAT model over skeleton choice
+//! variables therefore decodes to a test whose admissibility question is
+//! precisely the one the synthesizer's symbolic encoding answered.
+
+use crate::error::CoreError;
+use crate::execution::Outcome;
+use crate::ids::{Loc, Reg, ThreadId, Value};
+use crate::instr::RegExpr;
+use crate::litmus::LitmusTest;
+use crate::program::Program;
+
+/// Where a skeleton read takes its value from.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SlotRf {
+    /// The initial value (`0`).
+    Init,
+    /// The write in the given slot, addressed as `(thread, position)`.
+    Write(usize, usize),
+}
+
+/// One memory access of a skeleton.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Slot {
+    /// `true` for a write, `false` for a read.
+    pub is_write: bool,
+    /// Abstract location index (`0 = X`, `1 = Y`, …).
+    pub loc: u8,
+    /// Insert a full fence after this access.
+    pub fence_after: bool,
+    /// Writes only: route the stored value through a data dependency on
+    /// the most recent preceding read of the thread.
+    pub dep: bool,
+    /// Reads only: the observed source. Ignored for writes.
+    pub rf: SlotRf,
+}
+
+impl Slot {
+    /// A read of `loc` observing `rf`.
+    #[must_use]
+    pub fn read(loc: u8, rf: SlotRf) -> Slot {
+        Slot {
+            is_write: false,
+            loc,
+            fence_after: false,
+            dep: false,
+            rf,
+        }
+    }
+
+    /// A write to `loc`.
+    #[must_use]
+    pub fn write(loc: u8) -> Slot {
+        Slot {
+            is_write: true,
+            loc,
+            fence_after: false,
+            dep: false,
+            rf: SlotRf::Init,
+        }
+    }
+}
+
+/// A bounded-shape litmus test with names erased: per-thread slot
+/// sequences ready to be decoded into a concrete [`LitmusTest`].
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TestSkeleton {
+    /// The slots of each thread, in program order.
+    pub threads: Vec<Vec<Slot>>,
+}
+
+impl TestSkeleton {
+    /// Total number of access slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.threads.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the skeleton has no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decodes the skeleton into its canonical concrete test.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MalformedSkeleton`] when a read's source is
+    /// not a write slot to the same location, when a read would observe a
+    /// program-order-later write of its own thread, or when a dependent
+    /// write has no preceding read; propagates [`LitmusTest::new`] errors
+    /// for anything that slips past those checks.
+    pub fn decode(&self, name: impl Into<String>) -> Result<LitmusTest, CoreError> {
+        let malformed = |what: &str| CoreError::MalformedSkeleton {
+            reason: what.to_string(),
+        };
+        // First pass: assign each write its canonical value.
+        let mut next_value: Vec<i64> = Vec::new();
+        let mut write_value = std::collections::BTreeMap::new();
+        for (t, thread) in self.threads.iter().enumerate() {
+            for (p, slot) in thread.iter().enumerate() {
+                if slot.is_write {
+                    let idx = usize::from(slot.loc);
+                    if next_value.len() <= idx {
+                        next_value.resize(idx + 1, 1);
+                    }
+                    write_value.insert((t, p), Value(next_value[idx]));
+                    next_value[idx] += 1;
+                }
+            }
+        }
+
+        let mut builder = Program::builder();
+        let mut outcome = Outcome::new();
+        for (t, thread) in self.threads.iter().enumerate() {
+            builder = builder.thread();
+            let tid = ThreadId(u8::try_from(t).map_err(|_| malformed("too many threads"))?);
+            let mut next_reg = 1u8;
+            let mut last_read: Option<Reg> = None;
+            for (p, slot) in thread.iter().enumerate() {
+                let loc = Loc(slot.loc);
+                if slot.is_write {
+                    let value = write_value[&(t, p)];
+                    builder = if slot.dep {
+                        let src = last_read.ok_or_else(|| {
+                            malformed("dependent write has no preceding read")
+                        })?;
+                        builder.write_expr(loc, RegExpr::dep_const(src, value))
+                    } else {
+                        builder.write(loc, value)
+                    };
+                } else {
+                    if slot.dep {
+                        return Err(malformed("reads cannot carry a dependency"));
+                    }
+                    let reg = Reg(next_reg);
+                    next_reg += 1;
+                    let expected = match slot.rf {
+                        SlotRf::Init => Value::INIT,
+                        SlotRf::Write(wt, wp) => {
+                            let source = self
+                                .threads
+                                .get(wt)
+                                .and_then(|th| th.get(wp))
+                                .ok_or_else(|| malformed("rf source out of range"))?;
+                            if !source.is_write || source.loc != slot.loc {
+                                return Err(malformed(
+                                    "rf source is not a same-location write",
+                                ));
+                            }
+                            if wt == t && wp > p {
+                                return Err(malformed(
+                                    "read observes a program-later local write",
+                                ));
+                            }
+                            write_value[&(wt, wp)]
+                        }
+                    };
+                    outcome = outcome.constrain(tid, reg, expected);
+                    builder = builder.read(loc, reg);
+                    last_read = Some(reg);
+                }
+                if slot.fence_after {
+                    if p + 1 == thread.len() {
+                        return Err(malformed("trailing fence at end of thread"));
+                    }
+                    builder = builder.fence();
+                }
+            }
+        }
+        LitmusTest::new(name, builder.build()?, outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_buffering_decodes() {
+        // W X || R X(init) — then the classic SB shape.
+        let skeleton = TestSkeleton {
+            threads: vec![
+                vec![Slot::write(0), Slot::read(1, SlotRf::Init)],
+                vec![Slot::write(1), Slot::read(0, SlotRf::Init)],
+            ],
+        };
+        let test = skeleton.decode("sb").unwrap();
+        assert_eq!(test.program().access_count(), 4);
+        assert_eq!(test.outcome().to_string(), "T1:r1=0; T2:r1=0");
+    }
+
+    #[test]
+    fn reads_observe_canonical_write_values() {
+        // Two writes to X get values 1 and 2; the reader observes the
+        // second.
+        let skeleton = TestSkeleton {
+            threads: vec![
+                vec![Slot::write(0), Slot::write(0)],
+                vec![Slot::read(0, SlotRf::Write(0, 1))],
+            ],
+        };
+        let test = skeleton.decode("coww").unwrap();
+        assert_eq!(test.outcome().to_string(), "T2:r1=2");
+        let exec = test.execution();
+        assert_eq!(exec.writes().count(), 2);
+    }
+
+    #[test]
+    fn dependent_write_uses_latest_preceding_read() {
+        let skeleton = TestSkeleton {
+            threads: vec![
+                vec![
+                    Slot::read(0, SlotRf::Init),
+                    Slot {
+                        dep: true,
+                        ..Slot::write(1)
+                    },
+                ],
+                vec![Slot::read(1, SlotRf::Write(0, 1))],
+            ],
+        };
+        let test = skeleton.decode("dep").unwrap();
+        let exec = test.execution();
+        let t1 = exec.thread_events(ThreadId(0)).to_vec();
+        assert!(exec.value_dep(t1[0], t1[1]));
+        assert_eq!(test.outcome().to_string(), "T1:r1=0; T2:r1=1");
+    }
+
+    #[test]
+    fn fences_are_inserted_between_accesses() {
+        let skeleton = TestSkeleton {
+            threads: vec![
+                vec![
+                    Slot {
+                        fence_after: true,
+                        ..Slot::write(0)
+                    },
+                    Slot::write(1),
+                ],
+                vec![
+                    Slot::read(1, SlotRf::Write(0, 1)),
+                    Slot::read(0, SlotRf::Init),
+                ],
+            ],
+        };
+        let test = skeleton.decode("mp+fence").unwrap();
+        assert!(test.program().to_string().contains("fence"));
+        assert_eq!(test.program().access_count(), 4);
+    }
+
+    #[test]
+    fn malformed_skeletons_are_rejected() {
+        let future = TestSkeleton {
+            threads: vec![vec![Slot::read(0, SlotRf::Write(0, 1)), Slot::write(0)]],
+        };
+        assert!(matches!(
+            future.decode("bad").unwrap_err(),
+            CoreError::MalformedSkeleton { .. }
+        ));
+        let wrong_loc = TestSkeleton {
+            threads: vec![
+                vec![Slot::write(0)],
+                vec![Slot::read(1, SlotRf::Write(0, 0))],
+            ],
+        };
+        assert!(wrong_loc.decode("bad").is_err());
+        let dangling = TestSkeleton {
+            threads: vec![vec![Slot::read(0, SlotRf::Write(7, 7))]],
+        };
+        assert!(dangling.decode("bad").is_err());
+        let no_read_dep = TestSkeleton {
+            threads: vec![vec![Slot {
+                dep: true,
+                ..Slot::write(0)
+            }]],
+        };
+        assert!(no_read_dep.decode("bad").is_err());
+        let trailing_fence = TestSkeleton {
+            threads: vec![vec![Slot {
+                fence_after: true,
+                ..Slot::write(0)
+            }]],
+        };
+        assert!(trailing_fence.decode("bad").is_err());
+    }
+
+    #[test]
+    fn decode_matches_hand_built_program() {
+        let skeleton = TestSkeleton {
+            threads: vec![
+                vec![Slot::write(0), Slot::read(1, SlotRf::Init)],
+                vec![Slot::write(1), Slot::read(0, SlotRf::Init)],
+            ],
+        };
+        // Registers are numbered per thread (each thread restarts at r1),
+        // matching the canonical naming of the streaming enumeration.
+        let by_hand = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .read(Loc::Y, Reg(1))
+            .thread()
+            .write(Loc::Y, Value(1))
+            .read(Loc::X, Reg(1))
+            .build()
+            .unwrap();
+        assert_eq!(skeleton.decode("sb").unwrap().program(), &by_hand);
+    }
+}

@@ -80,6 +80,46 @@ pub fn cover_of_size_exists(exploration: &Exploration, k: usize) -> bool {
     solver.solve() == SatResult::Sat
 }
 
+/// The minimal *length* (total memory accesses) of a test distinguishing
+/// models `i` and `j` within the exploration's suite, or `None` when the
+/// suite does not separate them.
+///
+/// This is the exhaustive-sweep answer to the paper's central question:
+/// run it over a streamed orbit-leader enumeration
+/// (`mcm_gen::stream::leaders`) and it reports, per pair, how long a
+/// litmus test needs to be. The synthesis engine (`mcm-synth`) re-derives
+/// the same numbers by CEGIS and the two are cross-validated against each
+/// other.
+#[must_use]
+pub fn minimal_distinguishing_length(
+    exploration: &Exploration,
+    i: usize,
+    j: usize,
+) -> Option<usize> {
+    exploration
+        .distinguishing_tests(i, j)
+        .into_iter()
+        .map(|t| exploration.tests[t].program().access_count())
+        .min()
+}
+
+/// The full pairwise matrix of [`minimal_distinguishing_length`]:
+/// `matrix[i][j]` for every ordered pair (`None` on the diagonal).
+#[must_use]
+pub fn minimal_length_matrix(exploration: &Exploration) -> Vec<Vec<Option<usize>>> {
+    let n = exploration.len();
+    let mut matrix = vec![vec![None; n]; n];
+    #[allow(clippy::needless_range_loop)] // symmetric (i, j) / (j, i) fill
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let min = minimal_distinguishing_length(exploration, i, j);
+            matrix[i][j] = min;
+            matrix[j][i] = min;
+        }
+    }
+    matrix
+}
+
 /// A minimum distinguishing set together with a minimality certificate.
 #[derive(Clone, Debug)]
 pub struct MinimalSet {
@@ -169,6 +209,25 @@ mod tests {
         // And the SAT side agrees no smaller cover exists.
         assert!(!cover_of_size_exists(&expl, minimal.tests.len() - 1));
         assert!(cover_of_size_exists(&expl, minimal.tests.len()));
+    }
+
+    #[test]
+    fn minimal_lengths_are_short_and_symmetric() {
+        let expl = exploration();
+        let matrix = minimal_length_matrix(&expl);
+        // SC vs TSO is separated by a four-access test (SB / Test A's
+        // six-access variant exists, but L7 wins).
+        let sc = 0;
+        let tso = 1;
+        assert_eq!(matrix[sc][tso], Some(4));
+        assert_eq!(matrix[sc][tso], matrix[tso][sc]);
+        assert_eq!(
+            matrix[sc][tso],
+            minimal_distinguishing_length(&expl, sc, tso)
+        );
+        for (i, row) in matrix.iter().enumerate() {
+            assert_eq!(row[i], None, "diagonal must be empty");
+        }
     }
 
     #[test]

@@ -87,6 +87,51 @@ pub fn streaming_summary(stats: &SweepStats) -> String {
     )
 }
 
+/// Renders a pairwise minimal-distinguishing-length matrix
+/// (`matrix[i][j]` = fewest total accesses separating models `i` and `j`,
+/// `None` = not separated) as a compact numbered table with a legend.
+///
+/// Shared by the exhaustive sweep (`distinguish::minimal_length_matrix`)
+/// and the synthesis engine's CEGIS-derived matrix, so the two reports are
+/// directly comparable.
+#[must_use]
+pub fn length_matrix_text(names: &[String], matrix: &[Vec<Option<usize>>]) -> String {
+    let n = names.len();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "pairwise minimal distinguishing length (total accesses; '-' = not \
+         distinguishable within bounds):"
+    );
+    let _ = write!(out, "      ");
+    for j in 0..n {
+        let _ = write!(out, "{j:>3}");
+    }
+    out.push('\n');
+    for (i, row) in matrix.iter().enumerate() {
+        let _ = write!(out, "  {i:>3} ");
+        for (j, cell) in row.iter().enumerate() {
+            match (i == j, cell) {
+                (true, _) => {
+                    let _ = write!(out, "  .");
+                }
+                (false, Some(len)) => {
+                    let _ = write!(out, "{len:>3}");
+                }
+                (false, None) => {
+                    let _ = write!(out, "  -");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "legend:");
+    for (i, name) in names.iter().enumerate() {
+        let _ = writeln!(out, "  {i:>3} = {name}");
+    }
+    out
+}
+
 /// Renders the verdict matrix as CSV: one row per model, one column per
 /// test, cells `allowed` / `forbidden`.
 #[must_use]
@@ -147,12 +192,29 @@ mod tests {
             distinct_models: 2,
             tests_streamed: 100,
             peak_batch: 8,
+            sat: Default::default(),
         };
         let line = streaming_summary(&stats);
         assert!(line.contains("streamed 100 tests"));
         assert!(line.contains("50 kept"));
         assert!(line.contains("peak 8 tests in memory"));
         assert!(line.contains("60 checker calls"));
+    }
+
+    #[test]
+    fn length_matrix_renders_cells_and_legend() {
+        let names = vec!["SC".to_string(), "TSO".to_string(), "PSO".to_string()];
+        let matrix = vec![
+            vec![None, Some(4), Some(4)],
+            vec![Some(4), None, None],
+            vec![Some(4), None, None],
+        ];
+        let text = length_matrix_text(&names, &matrix);
+        assert!(text.contains("minimal distinguishing length"));
+        assert!(text.contains("  4"));
+        assert!(text.contains("  -"));
+        assert!(text.contains("0 = SC"));
+        assert!(text.contains("2 = PSO"));
     }
 
     #[test]

@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use mcm_axiomatic::{Checker, ExplicitChecker};
 use mcm_core::{Execution, LitmusTest, MemoryModel};
 use mcm_gen::canon;
+use mcm_sat::SolverStats;
 
 use crate::cache::VerdictCache;
 use crate::verdict::{Relation, VerdictVector};
@@ -98,6 +99,9 @@ pub struct SweepStats {
     /// Largest number of input tests materialized at once: one chunk for
     /// the streaming engine, the whole deduplicated suite otherwise.
     pub peak_batch: usize,
+    /// SAT-solver work totals, summed over every worker's checker. All
+    /// zeros when the sweep ran a solver-free checker (the explicit one).
+    pub sat: SolverStats,
 }
 
 impl SweepStats {
@@ -181,7 +185,7 @@ fn sweep_grid<F>(
     make_checker: &F,
     config: &EngineConfig,
     cache: Option<&VerdictCache>,
-) -> (Vec<bool>, u64, u64)
+) -> (Vec<bool>, u64, u64, SolverStats)
 where
     F: Fn() -> Box<dyn Checker> + Sync,
 {
@@ -234,12 +238,16 @@ where
         checker_calls.fetch_add(calls, Ordering::Relaxed);
     };
 
+    let mut sat = SolverStats::default();
     if workers <= 1 {
         let checker = make_checker();
         let mut local = Vec::new();
         sweep(&mut local, checker.as_ref());
         if let Some(cache) = cache {
             cache.merge(local);
+        }
+        if let Some(stats) = checker.solver_stats() {
+            sat.absorb(stats);
         }
     } else {
         std::thread::scope(|scope| {
@@ -249,14 +257,17 @@ where
                         let checker = make_checker();
                         let mut local = Vec::new();
                         sweep(&mut local, checker.as_ref());
-                        local
+                        (local, checker.solver_stats())
                     })
                 })
                 .collect();
             for handle in handles {
-                let local = handle.join().expect("sweep workers do not panic");
+                let (local, stats) = handle.join().expect("sweep workers do not panic");
                 if let Some(cache) = cache {
                     cache.merge(local);
+                }
+                if let Some(stats) = stats {
+                    sat.absorb(stats);
                 }
             }
         });
@@ -270,6 +281,7 @@ where
         bits,
         cache_hits.load(Ordering::Relaxed),
         checker_calls.load(Ordering::Relaxed),
+        sat,
     )
 }
 
@@ -372,7 +384,7 @@ impl Exploration {
             };
 
         let reps = rep_execs.len();
-        let (bits, cache_hits, checker_calls) = sweep_grid(
+        let (bits, cache_hits, checker_calls, sat) = sweep_grid(
             &models,
             &rows,
             &rep_execs,
@@ -404,6 +416,7 @@ impl Exploration {
             distinct_models: rows.row_models.len(),
             tests_streamed: tests.len() as u64,
             peak_batch: reps,
+            sat,
         };
         (
             Exploration {
@@ -456,6 +469,7 @@ impl Exploration {
         let mut peak_batch = 0usize;
         let mut cache_hits = 0u64;
         let mut checker_calls = 0u64;
+        let mut sat = SolverStats::default();
         loop {
             let chunk: Vec<LitmusTest> = iter.by_ref().take(chunk_size).collect();
             if chunk.is_empty() {
@@ -485,7 +499,7 @@ impl Exploration {
                 continue;
             }
             let execs: Vec<Execution> = batch.iter().map(LitmusTest::execution).collect();
-            let (bits, hits, calls) = sweep_grid(
+            let (bits, hits, calls, grid_sat) = sweep_grid(
                 &models,
                 &rows,
                 &execs,
@@ -496,6 +510,7 @@ impl Exploration {
             );
             cache_hits += hits;
             checker_calls += calls;
+            sat.absorb(grid_sat);
             for (r, vector) in row_verdicts.iter_mut().enumerate() {
                 for t in 0..batch.len() {
                     vector.push(bits[r * batch.len() + t]);
@@ -517,6 +532,7 @@ impl Exploration {
             distinct_models: rows.row_models.len(),
             tests_streamed: streamed,
             peak_batch,
+            sat,
         };
         (
             Exploration {
@@ -668,6 +684,28 @@ mod tests {
         assert_eq!(stats.checker_calls, stats.unique_pairs);
         assert_eq!(stats.tests_streamed, engine.tests.len() as u64);
         assert_eq!(stats.peak_batch, stats.canonical_tests);
+    }
+
+    #[test]
+    fn sat_backed_sweeps_report_solver_work() {
+        let models = vec![named::sc(), named::tso()];
+        let tests = vec![catalog::l7(), catalog::mp()];
+        let (_, stats) = Exploration::run_engine(
+            models.clone(),
+            tests.clone(),
+            || Box::new(mcm_axiomatic::SatChecker::new()),
+            &EngineConfig::default(),
+            None,
+        );
+        assert!(stats.sat.propagations > 0, "SAT sweep must count work");
+        let (_, explicit) = Exploration::run_engine(
+            models,
+            tests,
+            || Box::new(ExplicitChecker::new()),
+            &EngineConfig::default(),
+            None,
+        );
+        assert_eq!(explicit.sat, mcm_sat::SolverStats::default());
     }
 
     #[test]

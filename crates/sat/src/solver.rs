@@ -41,6 +41,20 @@ pub struct SolverStats {
     pub learnt_clauses: u64,
 }
 
+impl SolverStats {
+    /// Adds `other`'s counters into `self` — used to total the work of
+    /// many solver instances (one per query, or one per worker thread).
+    /// `learnt_clauses` is a gauge, not a counter; the sum reports the
+    /// retained clauses across all absorbed solvers.
+    pub fn absorb(&mut self, other: SolverStats) {
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.restarts += other.restarts;
+        self.learnt_clauses += other.learnt_clauses;
+    }
+}
+
 #[derive(Clone, Debug)]
 struct Clause {
     lits: Vec<Lit>,
@@ -211,6 +225,16 @@ impl Solver {
                 }
             }
             _ => {
+                // Simplification sorted the literals, which would make
+                // every clause watch its two smallest-coded literals;
+                // problem sets with many overlapping clauses (blocking
+                // clauses especially) would then funnel all watches onto
+                // the same variables and propagation would degrade to a
+                // linear scan of one giant watch list. Rotating by a
+                // per-clause offset spreads the watches evenly. (Any two
+                // distinct literals are valid initial watches.)
+                let offset = self.clauses.len() % simplified.len();
+                simplified.rotate_left(offset);
                 self.attach_clause(simplified, false);
                 true
             }
@@ -243,6 +267,52 @@ impl Solver {
         }
         self.assumptions.clear();
         result
+    }
+
+    /// Adds a blocking clause forbidding the most recent satisfying
+    /// assignment, restricted to `vars`.
+    ///
+    /// The clause is the disjunction of the negated model values of `vars`
+    /// (variables left unassigned by the model count as `false`, matching
+    /// [`Solver::model`]). Typical use is model enumeration: solve, read
+    /// the model, block it, solve again.
+    ///
+    /// Returns `false` when the solver becomes unsatisfiable at the top
+    /// level as a result (e.g. blocking the only model of a single
+    /// variable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is empty or mentions an unallocated variable.
+    pub fn block_model(&mut self, vars: &[Var]) -> bool {
+        self.block_model_with(vars, &[])
+    }
+
+    /// [`Solver::block_model`] with extra guard literals appended to the
+    /// blocking clause.
+    ///
+    /// Guards make the clause conditional: pass (the negations of) a set
+    /// of activation literals and the model is only excluded while those
+    /// activations hold — the idiom used by the synthesis engine to block
+    /// a candidate under one size-indexed slot configuration without
+    /// affecting others.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is empty or any literal mentions an unallocated
+    /// variable.
+    pub fn block_model_with(&mut self, vars: &[Var], guard: &[Lit]) -> bool {
+        assert!(!vars.is_empty(), "blocking an empty model is ill-defined");
+        let mut clause: Vec<Lit> = vars
+            .iter()
+            .map(|&v| v.lit(!self.value(v).unwrap_or(false)))
+            .collect();
+        clause.extend_from_slice(guard);
+        // A model leaves the trail at a positive decision level; clauses
+        // may only be added at the top, so retract the assignment first
+        // (callers snapshot the model before blocking it).
+        self.cancel_until(0);
+        self.add_clause(&clause)
     }
 
     /// The value of `var` in the most recent satisfying assignment.
@@ -639,8 +709,11 @@ impl Solver {
                 .partial_cmp(&self.clauses[b].activity)
                 .expect("activities are finite")
         });
-        let locked: Vec<Option<ClauseRef>> = self.reason.clone();
-        let is_locked = |cref: ClauseRef| locked.contains(&Some(cref));
+        let mut locked = vec![false; self.clauses.len()];
+        for reason in self.reason.iter().flatten() {
+            locked[*reason] = true;
+        }
+        let is_locked = |cref: ClauseRef| locked[cref];
         let half = learnt_refs.len() / 2;
         for &cref in learnt_refs.iter().take(half) {
             if self.clauses[cref].lits.len() > 2 && !is_locked(cref) {
@@ -844,6 +917,39 @@ mod tests {
         assert_eq!(s.value(v[0]), Some(true));
         assert_eq!(s.value(v[1]), Some(false));
         assert_eq!(s.value(v[2]), Some(true));
+    }
+
+    #[test]
+    fn block_model_enumerates_all_models() {
+        // x ∨ y has exactly three models over {x, y}.
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        s.add_clause(&[x.positive(), y.positive()]);
+        let mut models = Vec::new();
+        while s.solve() == SatResult::Sat {
+            models.push((s.value(x).unwrap_or(false), s.value(y).unwrap_or(false)));
+            if !s.block_model(&[x, y]) {
+                break;
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        models.sort_unstable();
+        assert_eq!(models, vec![(false, true), (true, false), (true, true)]);
+    }
+
+    #[test]
+    fn guarded_blocking_clause_only_applies_under_the_guard() {
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let g = s.new_var();
+        s.add_clause(&[x.positive()]);
+        assert_eq!(s.solve_with_assumptions(&[g.positive()]), SatResult::Sat);
+        // Block x=true only while g holds.
+        assert!(s.block_model_with(&[x], &[g.negative()]));
+        assert_eq!(s.solve_with_assumptions(&[g.positive()]), SatResult::Unsat);
+        assert_eq!(s.solve_with_assumptions(&[g.negative()]), SatResult::Sat);
+        assert_eq!(s.value(x), Some(true));
     }
 
     #[test]

@@ -1,0 +1,649 @@
+//! The CEGIS loop, per-pair minimal lengths and the pairwise matrix.
+//!
+//! For a model pair `(A, B)`, a distinguishing test is one the two models
+//! judge differently. The engine searches both directions: "A allows it,
+//! B forbids it" synthesizes against A's symbolic axioms with B as the
+//! refuting oracle, and vice versa. Candidates come from the incremental
+//! [`Encoding`] one shape at a time; every candidate is verified with the
+//! axiomatic checker (the CEGIS oracle), cached cross-pair in a
+//! [`VerdictCache`], and blocked in the solver so refinement progresses.
+//!
+//! Sub-space enumerations are memoized **per allower model**: once the
+//! engine has exhausted "tests of shape `(2, 1)` that `M4044` allows",
+//! every later pair with `M4044` on the allowing side reuses the
+//! enumerated candidates (a cached scan) and the exhaustion certificate
+//! (no SAT at all). This is what makes the full 36-model pairwise matrix
+//! tractable on one core: across the whole matrix each `(allower, shape)`
+//! sub-space is enumerated at most once.
+
+use std::collections::HashMap;
+
+use mcm_axiomatic::{Checker, ExplicitChecker};
+use mcm_core::{LitmusTest, MemoryModel, SlotRf, TestSkeleton};
+use mcm_explore::VerdictCache;
+use mcm_gen::canon;
+
+use crate::encode::Encoding;
+use crate::{formula_forces_fences, SynthBounds, SynthError, SynthStats};
+
+/// Enumeration state of one `(allower, shape)` sub-space.
+#[derive(Default)]
+struct ShapeEnum {
+    /// Tests the allower admits, with structural cache keys, in
+    /// enumeration order.
+    tests: Vec<(u64, LitmusTest)>,
+    /// Set once the solver returned `Unsat` for this shape: `tests` then
+    /// covers every orbit of the sub-space the allower allows.
+    complete: bool,
+}
+
+/// A cheap structural cache key: candidates are near-canonical by
+/// construction, so hashing the program and outcome directly (instead of
+/// computing the full orbit fingerprint) keys the verdict cache almost as
+/// well at a fraction of the cost. Identical candidates enumerated under
+/// different allowers hash identically, which is what cross-pair caching
+/// needs.
+fn test_key(test: &LitmusTest) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut hasher = DefaultHasher::new();
+    test.program().hash(&mut hasher);
+    test.outcome().hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Per-allower incremental solver plus its memoized sub-spaces.
+struct AllowerState {
+    enc: Encoding,
+    shapes: HashMap<Vec<usize>, ShapeEnum>,
+}
+
+/// The answer for one model pair.
+#[derive(Clone, Debug)]
+pub struct PairSynthesis {
+    /// Minimal distinguishing length (total accesses), `None` when the
+    /// pair is indistinguishable within the bounds (every shape exhausted
+    /// — the SAT-certified equivalence-at-bound verdict).
+    pub length: Option<usize>,
+    /// A synthesized witness of that length: the canonical leader of its
+    /// symmetry orbit, confirmed by the oracle on both sides.
+    pub witness: Option<LitmusTest>,
+    /// Name of the model that allows the witness.
+    pub allowed_by: Option<String>,
+    /// Name of the model that forbids the witness.
+    pub forbidden_by: Option<String>,
+}
+
+/// The full pairwise answer over a model list.
+#[derive(Clone, Debug)]
+pub struct MatrixSynthesis {
+    /// Model names, indexing the matrix.
+    pub names: Vec<String>,
+    /// `lengths[i][j]`: minimal distinguishing length for models `i`, `j`
+    /// (symmetric; `None` on the diagonal and for pairs indistinguishable
+    /// within bounds).
+    pub lengths: Vec<Vec<Option<usize>>>,
+    /// One example witness per distinguishable pair, keyed `(i, j)` with
+    /// `i < j`.
+    pub witnesses: HashMap<(usize, usize), LitmusTest>,
+}
+
+/// The CEGIS synthesis engine over a fixed model list.
+pub struct Synthesizer {
+    models: Vec<MemoryModel>,
+    model_fps: Vec<u64>,
+    bounds: SynthBounds,
+    /// Model index → state slot; models with structurally identical
+    /// formulas (TSO and x86) share one incremental solver and its
+    /// memoized sub-spaces.
+    state_of: Vec<usize>,
+    states: Vec<Option<AllowerState>>,
+    cache: VerdictCache,
+    oracle: ExplicitChecker,
+    counters: SynthStats,
+}
+
+impl Synthesizer {
+    /// Creates an engine for `models` within `bounds`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects bounds outside the supported box (2–4 threads, 1–4
+    /// accesses per thread, at least one location) and, when fences are
+    /// enabled, models whose formulas do not force ordering across full
+    /// fences (the encoding models fences as barriers, which is only
+    /// faithful for fence-forcing formulas — every §4.2 model qualifies).
+    pub fn new(models: Vec<MemoryModel>, bounds: SynthBounds) -> Result<Self, SynthError> {
+        if !(2..=4).contains(&bounds.threads) {
+            return Err(SynthError::InvalidBounds(
+                "threads must be in 2..=4".to_string(),
+            ));
+        }
+        if !(1..=4).contains(&bounds.max_accesses_per_thread) {
+            return Err(SynthError::InvalidBounds(
+                "max accesses per thread must be in 1..=4".to_string(),
+            ));
+        }
+        if bounds.max_locs == 0 {
+            return Err(SynthError::InvalidBounds(
+                "at least one location is required".to_string(),
+            ));
+        }
+        if bounds.include_fences {
+            for model in &models {
+                if !formula_forces_fences(model.formula()) {
+                    return Err(SynthError::UnsupportedModel {
+                        model: model.name().to_string(),
+                        reason: "its formula does not order accesses across full \
+                                 fences, so the barrier encoding of fences would \
+                                 be unfaithful"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        let model_fps = models.iter().map(VerdictCache::model_fingerprint).collect();
+        // Formula-level dedup: identical must-not-reorder formulas share
+        // an allower state.
+        let mut state_of: Vec<usize> = Vec::with_capacity(models.len());
+        let mut firsts: Vec<usize> = Vec::new();
+        for (m, model) in models.iter().enumerate() {
+            match firsts
+                .iter()
+                .position(|&f| models[f].formula() == model.formula())
+            {
+                Some(slot) => state_of.push(slot),
+                None => {
+                    state_of.push(firsts.len());
+                    firsts.push(m);
+                }
+            }
+        }
+        let states = firsts.iter().map(|_| None).collect();
+        Ok(Synthesizer {
+            models,
+            model_fps,
+            bounds,
+            state_of,
+            states,
+            cache: VerdictCache::new(),
+            oracle: ExplicitChecker::new(),
+            counters: SynthStats::default(),
+        })
+    }
+
+    /// The models, in index order.
+    #[must_use]
+    pub fn models(&self) -> &[MemoryModel] {
+        &self.models
+    }
+
+    /// Work counters, including the summed SAT-solver totals of every
+    /// per-model incremental encoding.
+    #[must_use]
+    pub fn stats(&self) -> SynthStats {
+        let mut stats = self.counters;
+        stats.oracle_cache_hits = self.cache.hits();
+        for state in self.states.iter().flatten() {
+            stats.solver.absorb(state.enc.solver.stats());
+        }
+        stats
+    }
+
+    /// The minimal distinguishing length for models `i` and `j`, with a
+    /// synthesized witness: a search on test length over the monotone
+    /// predicate *"some test of at most `n` total accesses distinguishes
+    /// the pair"*, each size backed by memoized per-shape CEGIS.
+    ///
+    /// The predicate is evaluated bottom-up — a sub-space is only ever
+    /// consulted after every smaller one holds an exhaustion certificate
+    /// — so the first witness found is the SAT-certified minimum
+    /// directly; a bisection over the same predicate would merely
+    /// re-probe sizes whose certificates are already memoized.
+    ///
+    /// `max_total` caps the search (clamped to the bounds' own maximum).
+    pub fn pair(&mut self, i: usize, j: usize, max_total: usize) -> PairSynthesis {
+        let none = PairSynthesis {
+            length: None,
+            witness: None,
+            allowed_by: None,
+            forbidden_by: None,
+        };
+        if i == j {
+            return none;
+        }
+        let max_total = max_total.min(self.bounds.max_total());
+        let Some((best_total, best)) = self.search_up_to(i, j, max_total) else {
+            return none; // every shape ≤ max_total exhausted: equivalent at bound
+        };
+        let (witness, allower, forbidder) = best;
+        // Candidates are near-canonical; normalise the reported witness to
+        // the canonical leader of its orbit (verdict-preserving).
+        PairSynthesis {
+            length: Some(best_total),
+            witness: Some(canon::canonicalize(&witness)),
+            allowed_by: Some(self.models[allower].name().to_string()),
+            forbidden_by: Some(self.models[forbidder].name().to_string()),
+        }
+    }
+
+    /// The full pairwise minimal-length matrix, sharing enumerations
+    /// across pairs.
+    pub fn matrix(&mut self, max_total: usize) -> MatrixSynthesis {
+        let n = self.models.len();
+        let mut lengths = vec![vec![None; n]; n];
+        let mut witnesses = HashMap::new();
+        #[allow(clippy::needless_range_loop)] // symmetric (i, j) / (j, i) fill
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let pair = self.pair(i, j, max_total);
+                lengths[i][j] = pair.length;
+                lengths[j][i] = pair.length;
+                if let Some(witness) = pair.witness {
+                    witnesses.insert((i, j), witness);
+                }
+            }
+        }
+        MatrixSynthesis {
+            names: self.models.iter().map(|m| m.name().to_string()).collect(),
+            lengths,
+            witnesses,
+        }
+    }
+
+    /// Scans shapes in ascending total order up to `max_total`; the first
+    /// witness found is minimal among totals ≤ `max_total` because every
+    /// smaller sub-space was exhausted on the way. Returns the witness's
+    /// total and `(test, allower, forbidder)`.
+    #[allow(clippy::type_complexity)]
+    fn search_up_to(
+        &mut self,
+        i: usize,
+        j: usize,
+        max_total: usize,
+    ) -> Option<(usize, (LitmusTest, usize, usize))> {
+        for total in self.bounds.min_total()..=max_total {
+            for shape in shapes(total, self.bounds.threads, self.bounds.max_accesses_per_thread)
+            {
+                for (a, b) in [(i, j), (j, i)] {
+                    if let Some(test) = self.search_shape(a, b, &shape) {
+                        return Some((total, (test, a, b)));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// One direction, one shape: a test of exactly `shape` that `allower`
+    /// admits and `forbidder` rejects, or `None` with the sub-space
+    /// memoized as exhausted.
+    fn search_shape(
+        &mut self,
+        allower: usize,
+        forbidder: usize,
+        shape: &[usize],
+    ) -> Option<LitmusTest> {
+        let slot = self.state_of[allower];
+        if self.states[slot].is_none() {
+            self.states[slot] = Some(AllowerState {
+                enc: Encoding::new(&self.bounds, self.models[allower].formula()),
+                shapes: HashMap::new(),
+            });
+        }
+        let forbidder_fp = self.model_fps[forbidder];
+        let allower_fp = self.model_fps[allower];
+        // Scan what earlier pairs already enumerated for this sub-space.
+        // Entries were oracle-confirmed allower-allowed when they were
+        // enumerated, so only the refuter is queried (borrowed in place —
+        // the verdict helper touches disjoint fields).
+        let scanned = {
+            match self.states[slot]
+                .as_ref()
+                .expect("initialized above")
+                .shapes
+                .get(shape)
+            {
+                Some(entry) => {
+                    for (key, test) in &entry.tests {
+                        if !oracle_verdict(
+                            &self.cache,
+                            &self.oracle,
+                            &mut self.counters,
+                            &self.models[forbidder],
+                            forbidder_fp,
+                            *key,
+                            test,
+                        ) {
+                            return Some(test.clone());
+                        }
+                    }
+                    if entry.complete {
+                        return None;
+                    }
+                    true
+                }
+                None => false,
+            }
+        };
+        if !scanned {
+            let state = self.states[slot].as_mut().expect("initialized above");
+            state.shapes.insert(shape.to_vec(), ShapeEnum::default());
+        }
+        // Continue the enumeration where it left off. Each SAT model is a
+        // whole *structure* (program) together with one execution the
+        // allower admits; the CEGIS refinement generalises the
+        // counterexample to the structure, whose complete outcome space is
+        // swept through the oracle directly (it is tiny — the product of
+        // per-read source choices), and blocks the structure.
+        loop {
+            self.counters.sat_queries += 1;
+            let state = self.states[slot].as_mut().expect("initialized above");
+            let Some(skeleton) = state.enc.solve_shape(shape) else {
+                self.counters.shapes_exhausted += 1;
+                let entry = state.shapes.get_mut(shape).expect("inserted above");
+                entry.complete = true;
+                return None;
+            };
+            self.counters.structures += 1;
+            let mut any_allowed = false;
+            let mut witness: Option<LitmusTest> = None;
+            for variant in outcome_variants(&skeleton) {
+                self.counters.candidates += 1;
+                let name = format!("synth-{}", self.counters.candidates);
+                let test = variant
+                    .decode(name)
+                    .expect("symbolic skeletons decode to well-formed tests");
+                let key = test_key(&test);
+                if !self.verdict(allower, allower_fp, key, &test) {
+                    continue;
+                }
+                any_allowed = true;
+                let distinguishes = !self.verdict(forbidder, forbidder_fp, key, &test);
+                let state = self.states[slot].as_mut().expect("initialized above");
+                let entry = state.shapes.get_mut(shape).expect("inserted above");
+                entry.tests.push((key, test.clone()));
+                if distinguishes && witness.is_none() {
+                    witness = Some(test);
+                    // Keep sweeping: the remaining allowed outcomes must
+                    // land in `tests` for the completeness memo to hold.
+                }
+            }
+            if !any_allowed {
+                // The solver claimed an execution the oracle rejects for
+                // every outcome of the structure.
+                self.counters.encoding_mismatches += 1;
+                debug_assert!(false, "encoding admitted a structure the oracle forbids");
+            }
+            if let Some(test) = witness {
+                self.counters.witnesses += 1;
+                return Some(test);
+            }
+        }
+    }
+
+    /// Oracle verdict for the model at `index` on `test`, memoized across
+    /// every pair of the engine.
+    fn verdict(&mut self, index: usize, model_fp: u64, test_key: u64, test: &LitmusTest) -> bool {
+        oracle_verdict(
+            &self.cache,
+            &self.oracle,
+            &mut self.counters,
+            &self.models[index],
+            model_fp,
+            test_key,
+            test,
+        )
+    }
+}
+
+/// The memoized oracle, as a free function so callers holding borrows
+/// into the synthesizer's enumeration state can still consult it.
+fn oracle_verdict(
+    cache: &VerdictCache,
+    oracle: &ExplicitChecker,
+    counters: &mut SynthStats,
+    model: &MemoryModel,
+    model_fp: u64,
+    test_key: u64,
+    test: &LitmusTest,
+) -> bool {
+    let key = (model_fp, test_key);
+    if let Some(memoized) = cache.get(key) {
+        return memoized;
+    }
+    counters.oracle_calls += 1;
+    let allowed = oracle.check(model, test).allowed;
+    cache.insert(key, allowed);
+    allowed
+}
+
+/// Expands a structure (program skeleton) into its complete outcome
+/// space: the cross product of every read's legal sources — the initial
+/// value (unless a program-earlier local write to the same location makes
+/// it unobservable) and every same-location write that is not a
+/// program-later write of the read's own thread. This mirrors exactly the
+/// outcome space the symbolic read-from selectors range over.
+fn outcome_variants(skeleton: &TestSkeleton) -> Vec<TestSkeleton> {
+    // Collect the write slots per location.
+    let mut writes: Vec<(u8, usize, usize)> = Vec::new();
+    for (t, thread) in skeleton.threads.iter().enumerate() {
+        for (p, slot) in thread.iter().enumerate() {
+            if slot.is_write {
+                writes.push((slot.loc, t, p));
+            }
+        }
+    }
+    // Per-read choice lists, in (thread, position) order.
+    let mut reads: Vec<(usize, usize, Vec<SlotRf>)> = Vec::new();
+    for (t, thread) in skeleton.threads.iter().enumerate() {
+        for (p, slot) in thread.iter().enumerate() {
+            if slot.is_write {
+                continue;
+            }
+            let mut choices = Vec::new();
+            let local_earlier_write = thread[..p]
+                .iter()
+                .any(|earlier| earlier.is_write && earlier.loc == slot.loc);
+            if !local_earlier_write {
+                choices.push(SlotRf::Init);
+            }
+            for &(loc, wt, wp) in &writes {
+                if loc == slot.loc && !(wt == t && wp > p) {
+                    choices.push(SlotRf::Write(wt, wp));
+                }
+            }
+            reads.push((t, p, choices));
+        }
+    }
+    // Odometer over the choices.
+    let mut out = Vec::new();
+    let mut counter = vec![0usize; reads.len()];
+    'emit: loop {
+        let mut variant = skeleton.clone();
+        for (slot_choice, &(t, p, ref choices)) in counter.iter().zip(&reads) {
+            if choices.is_empty() {
+                // A read with no observable source (every candidate source
+                // is a forbidden future write): no outcome exists.
+                return out;
+            }
+            variant.threads[t][p].rf = choices[*slot_choice];
+        }
+        out.push(variant);
+        for pos in 0..counter.len() {
+            counter[pos] += 1;
+            if counter[pos] < reads[pos].2.len() {
+                continue 'emit;
+            }
+            counter[pos] = 0;
+        }
+        break;
+    }
+    out
+}
+
+/// All descending compositions of `total` into exactly `threads` parts
+/// within `1..=max_per_thread` — the thread shapes of one test length.
+/// (Descending order is a symmetry break: thread permutation makes any
+/// other arrangement equivalent.)
+fn shapes(total: usize, threads: usize, max_per_thread: usize) -> Vec<Vec<usize>> {
+    fn go(
+        remaining: usize,
+        parts_left: usize,
+        cap: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if parts_left == 0 {
+            if remaining == 0 {
+                out.push(current.clone());
+            }
+            return;
+        }
+        // Each remaining part needs at least one access.
+        let low = remaining.saturating_sub(cap * (parts_left - 1)).max(1);
+        let high = cap.min(remaining.saturating_sub(parts_left - 1));
+        for k in (low..=high).rev() {
+            current.push(k);
+            go(remaining - k, parts_left - 1, k, current, out);
+            current.pop();
+        }
+    }
+    let mut out = Vec::new();
+    go(total, threads, max_per_thread, &mut Vec::new(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_models::named;
+
+    fn tiny_bounds() -> SynthBounds {
+        SynthBounds {
+            max_accesses_per_thread: 2,
+            threads: 2,
+            max_locs: 2,
+            include_fences: false,
+            include_deps: false,
+        }
+    }
+
+    #[test]
+    fn shape_compositions_are_descending_and_complete() {
+        assert_eq!(shapes(4, 2, 3), vec![vec![3, 1], vec![2, 2]]);
+        assert_eq!(shapes(2, 2, 3), vec![vec![1, 1]]);
+        assert_eq!(shapes(7, 2, 3), Vec::<Vec<usize>>::new());
+        assert_eq!(shapes(3, 3, 2), vec![vec![1, 1, 1]]);
+        assert_eq!(shapes(5, 3, 2), vec![vec![2, 2, 1]]);
+    }
+
+    #[test]
+    fn sc_vs_tso_needs_four_accesses() {
+        let mut synth =
+            Synthesizer::new(vec![named::sc(), named::tso()], SynthBounds::default()).unwrap();
+        let pair = synth.pair(0, 1, 6);
+        assert_eq!(pair.length, Some(4), "store buffering is the shortest witness");
+        let witness = pair.witness.expect("witness");
+        assert_eq!(witness.program().access_count(), 4);
+        assert!(canon::is_leader(&witness), "witnesses are canonical leaders");
+        assert_eq!(pair.allowed_by.as_deref(), Some("TSO"));
+        assert_eq!(pair.forbidden_by.as_deref(), Some("SC"));
+        // The oracle confirms both sides.
+        let checker = ExplicitChecker::new();
+        assert!(checker.is_allowed(&named::tso(), &witness));
+        assert!(!checker.is_allowed(&named::sc(), &witness));
+        let stats = synth.stats();
+        assert_eq!(stats.encoding_mismatches, 0);
+        assert!(stats.sat_queries > 0);
+        assert!(stats.solver.propagations > 0);
+    }
+
+    #[test]
+    fn equivalent_models_are_certified_unsat() {
+        let mut synth = Synthesizer::new(
+            vec![named::tso(), named::x86()],
+            tiny_bounds(),
+        )
+        .unwrap();
+        let pair = synth.pair(0, 1, 4);
+        assert_eq!(pair.length, None);
+        assert!(pair.witness.is_none());
+        let stats = synth.stats();
+        assert!(stats.shapes_exhausted > 0, "UNSAT certificates were produced");
+        assert_eq!(stats.witnesses, 0);
+    }
+
+    #[test]
+    fn pair_is_symmetric_and_diagonal_is_empty() {
+        let mut synth = Synthesizer::new(
+            vec![named::sc(), named::tso()],
+            tiny_bounds(),
+        )
+        .unwrap();
+        assert_eq!(synth.pair(0, 0, 4).length, None);
+        let forward = synth.pair(0, 1, 4).length;
+        let backward = synth.pair(1, 0, 4).length;
+        assert_eq!(forward, backward);
+        assert_eq!(forward, Some(4));
+    }
+
+    #[test]
+    fn matrix_reuses_enumerations_across_pairs() {
+        let models = vec![named::sc(), named::tso(), named::pso()];
+        let mut synth = Synthesizer::new(models, tiny_bounds()).unwrap();
+        let matrix = synth.matrix(4);
+        assert_eq!(matrix.lengths[0][1], Some(4)); // SC vs TSO
+        assert_eq!(matrix.lengths[0][2], Some(4)); // SC vs PSO
+        assert_eq!(matrix.lengths[1][2], Some(4)); // TSO vs PSO (W-W reordering)
+        assert_eq!(matrix.lengths[1][2], matrix.lengths[2][1]);
+        assert!(matrix.witnesses.contains_key(&(0, 1)));
+        let stats = synth.stats();
+        assert_eq!(stats.encoding_mismatches, 0);
+        assert!(
+            stats.oracle_cache_hits > 0,
+            "cross-pair verdict caching must fire"
+        );
+    }
+
+    #[test]
+    fn fence_bounds_reject_fence_blind_models() {
+        let weakest = MemoryModel::new("weakest", mcm_core::Formula::never());
+        let bounds = SynthBounds {
+            include_fences: true,
+            ..tiny_bounds()
+        };
+        let err = Synthesizer::new(vec![named::sc(), weakest], bounds)
+            .err()
+            .expect("fence-blind model must be rejected");
+        assert!(matches!(err, SynthError::UnsupportedModel { .. }));
+    }
+
+    #[test]
+    fn invalid_bounds_are_rejected() {
+        let models = vec![named::sc(), named::tso()];
+        for bad in [
+            SynthBounds {
+                threads: 1,
+                ..SynthBounds::default()
+            },
+            SynthBounds {
+                threads: 9,
+                ..SynthBounds::default()
+            },
+            SynthBounds {
+                max_accesses_per_thread: 0,
+                ..SynthBounds::default()
+            },
+            SynthBounds {
+                max_locs: 0,
+                ..SynthBounds::default()
+            },
+        ] {
+            assert!(matches!(
+                Synthesizer::new(models.clone(), bad),
+                Err(SynthError::InvalidBounds(_))
+            ));
+        }
+    }
+}

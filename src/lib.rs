@@ -18,6 +18,8 @@
 //!   minimal distinguishing test sets (paper §4.2).
 //! * [`sat`] — the CDCL SAT solver used as the admissibility oracle
 //!   (substitute for MiniSat, paper §4.1).
+//! * [`synth`] — CEGIS-based symbolic synthesis of minimal distinguishing
+//!   litmus tests: the dual of enumerate-then-check (extension).
 //! * [`operational`] — interleaving-SC and store-buffer-TSO reference
 //!   machines that cross-validate the axiomatic semantics (extension).
 //!
@@ -45,6 +47,7 @@ pub use mcm_gen as gen;
 pub use mcm_models as models;
 pub use mcm_operational as operational;
 pub use mcm_sat as sat;
+pub use mcm_synth as synth;
 
 /// Crate version, re-exported for tooling.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
