@@ -1,0 +1,491 @@
+//! Test-major batched admissibility: one test, many models, shared work.
+//!
+//! A model-space sweep asks the same test against every model of a row,
+//! and almost all of the per-cell cost is model-independent: the explicit
+//! checker re-enumerates read-from maps and coherence orders for each of
+//! the 36 (or 90) models, and each SAT query rebuilds the partial-order
+//! scaffolding, coherence and read-from clauses from scratch, even though
+//! only the model's must-not-reorder formula differs across the row. The
+//! [`BatchChecker`] interface turns the core test-major:
+//!
+//! * [`BatchExplicitChecker`] enumerates the per-test execution space —
+//!   read-from maps, coherence orders and each candidate's model-free
+//!   forced edges ([`crate::hb::base_edges`]) — **once**, and evaluates
+//!   each model against the shared candidates. Models whose formulas
+//!   force the same program-order pairs on this execution (a very common
+//!   collapse: fence or dependency clauses are inert on most tests) share
+//!   one *group*, so the per-candidate work is one ignore-local check
+//!   plus one cheap graph union per still-undecided group.
+//! * [`BatchSatChecker`] builds **one** incremental SAT encoding per test
+//!   — ordering variables, coherence, read-from selectors — and loads
+//!   each group's program-order units guarded by an activation literal
+//!   ([`crate::sat_common::GuardedSink`]). One
+//!   [`mcm_sat::Solver::solve_with_assumptions`] call per group answers
+//!   the row, with learnt clauses carried from model to model: the same
+//!   selection trick `mcm-synth`'s activation ladders use to serve every
+//!   test shape from one solver. (On a concrete execution the formula's
+//!   atoms are constants, so the guarded units *are* its Tseitin encoding
+//!   restricted to this test.)
+//!
+//! Every per-cell [`Checker`] doubles as a [`BatchChecker`] through a
+//! blanket adapter that simply loops over the row — that is what the
+//! sweep engine's old call sites, `mcm-synth`'s oracle and the
+//! cross-validation suites keep using, and what the batched paths are
+//! property-tested against.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+
+use mcm_core::{EventId, Execution, LitmusTest, MemoryModel};
+use mcm_sat::{SatResult, Solver, SolverStats};
+
+use crate::checker::{Checker, Verdict, Witness};
+use crate::co::enumerate_co_orders;
+use crate::hb::{base_edges, forced_po_pairs, required_edges};
+use crate::rf::{enumerate_rf_maps, read_candidates};
+use crate::sat_common::{
+    add_rf_selector_clauses, extract_rf, ClauseSink, GuardedSink, OrderVars,
+};
+
+/// Work counters of a batched checker: how much per-test work was shared
+/// across a row of models. Totals cover every row the instance answered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Rows answered: one per `check_all` / `check_all_executions` call.
+    pub rows: u64,
+    /// Model verdicts produced across all rows.
+    pub models_checked: u64,
+    /// Distinct forced-program-order groups evaluated (summed over rows).
+    /// `models_checked / model_groups` is the row collapse factor.
+    pub model_groups: u64,
+    /// Shared `(rf, co)` candidate executions enumerated (explicit path)
+    /// — enumerated once per row instead of once per cell.
+    pub shared_candidates: u64,
+    /// Per-group acyclicity checks actually performed (explicit path).
+    pub group_evals: u64,
+    /// Assumption-selected solver queries (SAT path): one per group, on
+    /// one shared encoding per row.
+    pub assumption_solves: u64,
+}
+
+impl BatchStats {
+    /// `models_checked / model_groups`: how many model verdicts each
+    /// distinct forced-program-order group answered on average — the row
+    /// collapse factor reports print (∞-free: 0 groups reports against 1).
+    #[must_use]
+    pub fn row_collapse(&self) -> f64 {
+        self.models_checked as f64 / (self.model_groups.max(1)) as f64
+    }
+
+    /// Adds another counter set onto this one.
+    pub fn absorb(&mut self, other: BatchStats) {
+        self.rows += other.rows;
+        self.models_checked += other.models_checked;
+        self.model_groups += other.model_groups;
+        self.shared_candidates += other.shared_candidates;
+        self.group_evals += other.group_evals;
+        self.assumption_solves += other.assumption_solves;
+    }
+}
+
+/// An admissibility checker that answers a whole row of models against
+/// one test, amortizing the model-independent work across the row.
+///
+/// Verdicts are returned in model order and agree bit-for-bit with the
+/// per-cell [`Checker`] verdicts (the property suite enforces this).
+pub trait BatchChecker {
+    /// Short name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Decides admissibility of a pre-derived candidate execution under
+    /// every model, in order.
+    fn check_all_executions(&self, exec: &Execution, models: &[MemoryModel]) -> Vec<Verdict>;
+
+    /// Decides admissibility of a litmus test under every model, in order.
+    fn check_all(&self, test: &LitmusTest, models: &[MemoryModel]) -> Vec<Verdict> {
+        self.check_all_executions(&test.execution(), models)
+    }
+
+    /// Accumulated amortization counters, for checkers that share work
+    /// across a row. Per-cell adapters return `None` (the default).
+    fn batch_stats(&self) -> Option<BatchStats> {
+        None
+    }
+
+    /// Accumulated SAT-solver work counters, mirroring
+    /// [`Checker::solver_stats`].
+    fn solver_stats(&self) -> Option<SolverStats> {
+        None
+    }
+}
+
+/// Every per-cell checker is a batch checker that answers the row one
+/// cell at a time — the thin adapter that keeps old call sites (and
+/// `mcm-synth`'s oracle) working unchanged on the test-major engine.
+impl<C: Checker> BatchChecker for C {
+    fn name(&self) -> &'static str {
+        Checker::name(self)
+    }
+
+    fn check_all_executions(&self, exec: &Execution, models: &[MemoryModel]) -> Vec<Verdict> {
+        models
+            .iter()
+            .map(|model| self.check_execution(model, exec))
+            .collect()
+    }
+
+    fn solver_stats(&self) -> Option<SolverStats> {
+        Checker::solver_stats(self)
+    }
+}
+
+/// The model row quotiented by forced program-order pairs: two models
+/// whose formulas force the same same-thread orderings *on this
+/// execution* are indistinguishable here and share every downstream
+/// answer.
+struct ModelGroups {
+    /// One entry per group: the forced pairs and a representative model
+    /// index (used to rebuild labeled witness edges).
+    groups: Vec<(Vec<(EventId, EventId)>, usize)>,
+    /// Model index → group index.
+    group_of: Vec<usize>,
+}
+
+fn group_models(exec: &Execution, models: &[MemoryModel]) -> ModelGroups {
+    let mut groups: Vec<(Vec<(EventId, EventId)>, usize)> = Vec::new();
+    let mut index: HashMap<Vec<(EventId, EventId)>, usize> = HashMap::new();
+    let mut group_of = Vec::with_capacity(models.len());
+    for (m, model) in models.iter().enumerate() {
+        let pairs = forced_po_pairs(model, exec);
+        let group = *index.entry(pairs.clone()).or_insert_with(|| {
+            groups.push((pairs, m));
+            groups.len() - 1
+        });
+        group_of.push(group);
+    }
+    ModelGroups { groups, group_of }
+}
+
+/// Batched admissibility by `(rf, co)` enumeration shared across the row.
+///
+/// Produces exactly the per-cell [`crate::ExplicitChecker`] verdicts —
+/// including the same witnesses, because candidates are visited in the
+/// same order and each group is decided at its first admitting candidate.
+#[derive(Clone, Debug, Default)]
+pub struct BatchExplicitChecker {
+    /// Amortization counters; interior mutability because the trait takes
+    /// `&self` (mirrors the SAT checkers' stats cells).
+    stats: Cell<BatchStats>,
+}
+
+impl BatchExplicitChecker {
+    /// Creates the checker.
+    #[must_use]
+    pub fn new() -> Self {
+        BatchExplicitChecker::default()
+    }
+}
+
+impl BatchChecker for BatchExplicitChecker {
+    fn name(&self) -> &'static str {
+        "batch-explicit"
+    }
+
+    fn check_all_executions(&self, exec: &Execution, models: &[MemoryModel]) -> Vec<Verdict> {
+        let mut stats = self.stats.get();
+        stats.rows += 1;
+        stats.models_checked += models.len() as u64;
+
+        let rf_maps = enumerate_rf_maps(exec);
+        if rf_maps.is_empty() {
+            // Value-infeasible outcome: forbidden everywhere, no grouping
+            // or coherence enumeration needed.
+            self.stats.set(stats);
+            return models.iter().map(|_| Verdict::forbidden()).collect();
+        }
+
+        let ModelGroups { groups, group_of } = group_models(exec, models);
+        stats.model_groups += groups.len() as u64;
+        let co_orders = enumerate_co_orders(exec);
+
+        let mut verdicts: Vec<Option<Verdict>> = vec![None; groups.len()];
+        let mut undecided = groups.len();
+        'candidates: for rf in &rf_maps {
+            for co in &co_orders {
+                stats.shared_candidates += 1;
+                let base = base_edges(exec, rf, co);
+                // Ignore-local is a property of the model-free edges only
+                // (program-order edges always point forwards): one check
+                // retires the candidate for the whole row.
+                if !base.respects_ignore_local(exec) {
+                    continue;
+                }
+                for (g, (pairs, rep)) in groups.iter().enumerate() {
+                    if verdicts[g].is_some() {
+                        continue;
+                    }
+                    stats.group_evals += 1;
+                    if base.acyclic_with(pairs) {
+                        // Rebuild the labeled edge set through the shared
+                        // constructor so the witness matches the per-cell
+                        // checker's exactly.
+                        let edges = required_edges(&models[*rep], exec, rf, co);
+                        verdicts[g] = Some(Verdict::allowed(Witness {
+                            rf: rf.clone(),
+                            co: co.clone(),
+                            hb_edges: edges.labeled,
+                        }));
+                        undecided -= 1;
+                    }
+                }
+                if undecided == 0 {
+                    break 'candidates;
+                }
+            }
+        }
+
+        self.stats.set(stats);
+        group_of
+            .iter()
+            .map(|&g| verdicts[g].clone().unwrap_or_else(Verdict::forbidden))
+            .collect()
+    }
+
+    fn batch_stats(&self) -> Option<BatchStats> {
+        Some(self.stats.get())
+    }
+}
+
+/// Batched admissibility via one incremental SAT encoding per test, with
+/// each model group's program-order units selected by assumption
+/// literals.
+///
+/// The base encoding mirrors [`crate::MonolithicSatChecker`] clause for
+/// clause (partial order + coherence + read-from selectors); the only
+/// model-dependent clauses are guarded units `¬g_i ∨ o(x, y)`, one
+/// activation literal `g_i` per distinct forced-program-order group.
+/// Solving the row is then one `solve_with_assumptions(&[g_i])` per
+/// group on the same solver, so conflict clauses learnt for one model
+/// prune the search for the next.
+#[derive(Clone, Debug, Default)]
+pub struct BatchSatChecker {
+    stats: Cell<BatchStats>,
+    solver_stats: Cell<SolverStats>,
+}
+
+impl BatchSatChecker {
+    /// Creates the checker.
+    #[must_use]
+    pub fn new() -> Self {
+        BatchSatChecker::default()
+    }
+}
+
+impl BatchChecker for BatchSatChecker {
+    fn name(&self) -> &'static str {
+        "batch-sat"
+    }
+
+    fn check_all_executions(&self, exec: &Execution, models: &[MemoryModel]) -> Vec<Verdict> {
+        let mut stats = self.stats.get();
+        stats.rows += 1;
+        stats.models_checked += models.len() as u64;
+
+        let candidates = read_candidates(exec);
+        if candidates.iter().any(|(_, sources)| sources.is_empty()) {
+            self.stats.set(stats);
+            return models.iter().map(|_| Verdict::forbidden()).collect();
+        }
+
+        let ModelGroups { groups, group_of } = group_models(exec, models);
+        stats.model_groups += groups.len() as u64;
+
+        // The shared, model-free base encoding: one per test.
+        let n = exec.events().len();
+        let mut solver = Solver::new();
+        let order = OrderVars::new(&mut solver, n);
+        order.add_partial_order_clauses(&mut solver);
+        order.add_coherence_clauses(&mut solver, exec);
+        let selectors = add_rf_selector_clauses(&mut solver, exec, &order, &candidates);
+
+        // Each group's must-not-reorder units, guarded by its activation
+        // literal so they are inert unless assumed.
+        let group_lits: Vec<_> = groups
+            .iter()
+            .map(|(pairs, _)| {
+                let guard = solver.new_var().positive();
+                let mut guarded = GuardedSink::new(&mut solver, guard);
+                for &(x, y) in pairs {
+                    guarded.emit_clause(&[order.before(x.index(), y.index())]);
+                }
+                guard
+            })
+            .collect();
+
+        let group_verdicts: Vec<Verdict> = groups
+            .iter()
+            .zip(&group_lits)
+            .map(|((_, rep), &guard)| {
+                stats.assumption_solves += 1;
+                if solver.solve_with_assumptions(&[guard]) != SatResult::Sat {
+                    return Verdict::forbidden();
+                }
+                // Any satisfying assignment under this guard satisfies
+                // this model's axioms (other groups' guarded clauses are
+                // vacuous or redundant extra orderings), so the decoded
+                // (rf, co) witnesses the verdict.
+                let rf = extract_rf(&solver, &candidates, &selectors);
+                let co = order.extract_co(&solver, exec);
+                let edges = required_edges(&models[*rep], exec, &rf, &co);
+                debug_assert!(edges.admits_partial_order(exec));
+                Verdict::allowed(Witness {
+                    rf,
+                    co,
+                    hb_edges: edges.labeled,
+                })
+            })
+            .collect();
+
+        let mut sat = self.solver_stats.get();
+        sat.absorb(solver.stats());
+        self.solver_stats.set(sat);
+        self.stats.set(stats);
+        group_of
+            .iter()
+            .map(|&g| group_verdicts[g].clone())
+            .collect()
+    }
+
+    fn batch_stats(&self) -> Option<BatchStats> {
+        Some(self.stats.get())
+    }
+
+    fn solver_stats(&self) -> Option<SolverStats> {
+        Some(self.solver_stats.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExplicitChecker;
+    use mcm_core::{Formula, Loc, Outcome, Program, Reg, ThreadId, Value};
+
+    fn sb() -> LitmusTest {
+        let program = Program::builder()
+            .thread()
+            .write(Loc::X, Value(1))
+            .read(Loc::Y, Reg(1))
+            .thread()
+            .write(Loc::Y, Value(1))
+            .read(Loc::X, Reg(2))
+            .build()
+            .unwrap();
+        let outcome = Outcome::new()
+            .constrain(ThreadId(0), Reg(1), Value(0))
+            .constrain(ThreadId(1), Reg(2), Value(0));
+        LitmusTest::new("SB", program, outcome).unwrap()
+    }
+
+    fn models() -> Vec<MemoryModel> {
+        vec![
+            MemoryModel::new("SC", Formula::always()),
+            MemoryModel::new("weakest", Formula::never()),
+            MemoryModel::new("weakest-twin", Formula::never()),
+        ]
+    }
+
+    #[test]
+    fn batch_explicit_matches_per_cell_on_sb() {
+        let test = sb();
+        let batch = BatchExplicitChecker::new();
+        let verdicts = batch.check_all(&test, &models());
+        let per_cell = ExplicitChecker::new();
+        for (model, verdict) in models().iter().zip(&verdicts) {
+            assert_eq!(
+                verdict.allowed,
+                per_cell.is_allowed(model, &test),
+                "batch disagrees on {}",
+                model.name()
+            );
+        }
+        let stats = batch.batch_stats().expect("native batch has stats");
+        assert_eq!(stats.rows, 1);
+        assert_eq!(stats.models_checked, 3);
+        assert_eq!(stats.model_groups, 2, "the weakest twins share a group");
+    }
+
+    #[test]
+    fn batch_explicit_witnesses_equal_per_cell_witnesses() {
+        let test = sb();
+        let verdicts = BatchExplicitChecker::new().check_all(&test, &models());
+        let per_cell = ExplicitChecker::new().check(&models()[1], &test);
+        let batch_witness = verdicts[1].witness.as_ref().expect("allowed");
+        let cell_witness = per_cell.witness.expect("allowed");
+        assert_eq!(batch_witness.rf, cell_witness.rf);
+        assert_eq!(batch_witness.co, cell_witness.co);
+        assert_eq!(batch_witness.hb_edges, cell_witness.hb_edges);
+    }
+
+    #[test]
+    fn batch_sat_matches_per_cell_and_counts_work() {
+        let test = sb();
+        let batch = BatchSatChecker::new();
+        let verdicts = batch.check_all(&test, &models());
+        assert!(!verdicts[0].allowed);
+        assert!(verdicts[1].allowed && verdicts[2].allowed);
+        let stats = batch.batch_stats().expect("stats");
+        assert_eq!(stats.assumption_solves, 2, "one solve per group, not per model");
+        assert!(
+            batch.solver_stats().expect("sat-backed").propagations > 0,
+            "solver work is counted"
+        );
+    }
+
+    #[test]
+    fn per_cell_adapter_serves_any_checker() {
+        let test = sb();
+        let adapter: Box<dyn BatchChecker> = Box::new(ExplicitChecker::new());
+        let verdicts = adapter.check_all(&test, &models());
+        assert_eq!(BatchChecker::name(&ExplicitChecker::new()), "explicit");
+        assert!(!verdicts[0].allowed);
+        assert!(verdicts[1].allowed);
+        assert!(adapter.batch_stats().is_none(), "adapters have no row stats");
+    }
+
+    #[test]
+    fn value_infeasible_rows_are_forbidden_everywhere() {
+        let program = Program::builder()
+            .thread()
+            .read(Loc::X, Reg(1))
+            .build()
+            .unwrap();
+        let outcome = Outcome::new().constrain(ThreadId(0), Reg(1), Value(9));
+        let test = LitmusTest::new("inf", program, outcome).unwrap();
+        for checker in [
+            Box::new(BatchExplicitChecker::new()) as Box<dyn BatchChecker>,
+            Box::new(BatchSatChecker::new()),
+        ] {
+            assert!(checker
+                .check_all(&test, &models())
+                .iter()
+                .all(|v| !v.allowed));
+        }
+    }
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut a = BatchStats {
+            rows: 1,
+            models_checked: 3,
+            model_groups: 2,
+            shared_candidates: 5,
+            group_evals: 7,
+            assumption_solves: 0,
+        };
+        let b = a;
+        a.absorb(b);
+        assert_eq!(a.rows, 2);
+        assert_eq!(a.group_evals, 14);
+    }
+}

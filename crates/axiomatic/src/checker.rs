@@ -94,6 +94,91 @@ pub trait Checker {
     }
 }
 
+/// The built-in checkers, as data: names, construction and capabilities
+/// in one place, so CLI `--checker` resolution and cross-validation test
+/// matrices dispatch on an enum instead of string-matching display names.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CheckerKind {
+    /// [`crate::ExplicitChecker`] — exhaustive `(rf, co)` enumeration.
+    Explicit,
+    /// [`crate::SatChecker`] — the paper's §4.1 architecture: one SAT
+    /// query per read-from map.
+    Sat,
+    /// [`crate::MonolithicSatChecker`] — one SAT query per test with
+    /// read-from selector variables.
+    Monolithic,
+}
+
+impl CheckerKind {
+    /// Every built-in checker kind.
+    pub const ALL: [CheckerKind; 3] =
+        [CheckerKind::Explicit, CheckerKind::Sat, CheckerKind::Monolithic];
+
+    /// The stable CLI / report name (`explicit`, `sat`, `monolithic`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckerKind::Explicit => "explicit",
+            CheckerKind::Sat => "sat",
+            CheckerKind::Monolithic => "monolithic",
+        }
+    }
+
+    /// Resolves a (case-insensitive) name back to its kind.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<CheckerKind> {
+        CheckerKind::ALL
+            .into_iter()
+            .find(|kind| kind.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Whether this checker is backed by `mcm-sat` (and so reports
+    /// [`Checker::solver_stats`]).
+    #[must_use]
+    pub fn sat_backed(self) -> bool {
+        !matches!(self, CheckerKind::Explicit)
+    }
+
+    /// Whether [`CheckerKind::build_batch`] returns a natively test-major
+    /// implementation (work shared across a model row) rather than the
+    /// per-cell adapter.
+    #[must_use]
+    pub fn natively_batched(self) -> bool {
+        matches!(self, CheckerKind::Explicit | CheckerKind::Monolithic)
+    }
+
+    /// Builds the per-cell checker.
+    #[must_use]
+    pub fn build(self) -> Box<dyn Checker> {
+        match self {
+            CheckerKind::Explicit => Box::new(crate::ExplicitChecker::new()),
+            CheckerKind::Sat => Box::new(crate::SatChecker::new()),
+            CheckerKind::Monolithic => Box::new(crate::MonolithicSatChecker::new()),
+        }
+    }
+
+    /// Builds the batched (test-major) counterpart: the shared-candidate
+    /// enumerator for [`CheckerKind::Explicit`], the assumption-selected
+    /// incremental encoding for [`CheckerKind::Monolithic`] (whose base
+    /// clauses it shares), and the per-cell adapter for
+    /// [`CheckerKind::Sat`] (its outside-the-solver read-from enumeration
+    /// has no shared encoding to amortize).
+    #[must_use]
+    pub fn build_batch(self) -> Box<dyn crate::BatchChecker> {
+        match self {
+            CheckerKind::Explicit => Box::new(crate::BatchExplicitChecker::new()),
+            CheckerKind::Sat => Box::new(crate::SatChecker::new()),
+            CheckerKind::Monolithic => Box::new(crate::BatchSatChecker::new()),
+        }
+    }
+}
+
+impl fmt::Display for CheckerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,5 +188,35 @@ mod tests {
         assert_eq!(Verdict::forbidden().to_string(), "forbidden");
         assert!(!Verdict::forbidden().allowed);
         assert!(Verdict::forbidden().witness.is_none());
+    }
+
+    #[test]
+    fn kinds_round_trip_their_names() {
+        for kind in CheckerKind::ALL {
+            assert_eq!(CheckerKind::from_name(kind.name()), Some(kind));
+            assert_eq!(
+                CheckerKind::from_name(&kind.name().to_uppercase()),
+                Some(kind)
+            );
+            // Display names may be longer (`sat-monolithic`), but always
+            // contain the stable kind name.
+            assert!(kind.build().name().contains(kind.name()));
+        }
+        assert_eq!(CheckerKind::from_name("powerpc"), None);
+    }
+
+    #[test]
+    fn capabilities_match_the_implementations() {
+        assert!(!CheckerKind::Explicit.sat_backed());
+        assert!(CheckerKind::Sat.sat_backed());
+        assert!(CheckerKind::Monolithic.sat_backed());
+        for kind in CheckerKind::ALL {
+            assert_eq!(kind.build().solver_stats().is_some(), kind.sat_backed());
+        }
+        assert!(CheckerKind::Explicit.natively_batched());
+        assert!(!CheckerKind::Sat.natively_batched());
+        assert_eq!(CheckerKind::Explicit.build_batch().name(), "batch-explicit");
+        assert_eq!(CheckerKind::Monolithic.build_batch().name(), "batch-sat");
+        assert_eq!(CheckerKind::Sat.build_batch().name(), "sat");
     }
 }

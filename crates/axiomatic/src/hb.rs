@@ -66,18 +66,70 @@ pub struct HbEdges {
 }
 
 impl HbEdges {
+    /// The ignore-local axiom over the directly forced orderings: no
+    /// forced edge may point backwards in program order. Program-order
+    /// edges always point forwards, so for [`base_edges`] (and for the
+    /// full [`required_edges`] set alike) this is a property of the
+    /// model-independent `(rf, co)` edges only — which is what lets the
+    /// batched checker decide it once per candidate and share the answer
+    /// across every model of a sweep row.
+    #[must_use]
+    pub fn respects_ignore_local(&self, exec: &Execution) -> bool {
+        self.labeled.iter().all(|&(x, y, _)| !exec.po_earlier(y, x))
+    }
+
     /// Whether a valid happens-before relation realises these edges: no
     /// directly forced ordering may contradict program order (ignore-local)
     /// and the edge set must be acyclic.
     #[must_use]
     pub fn admits_partial_order(&self, exec: &Execution) -> bool {
-        for &(x, y, _) in &self.labeled {
-            if exec.po_earlier(y, x) {
-                return false; // forced x ⇒ y with x po-after y: ignore-local
+        self.respects_ignore_local(exec) && !self.graph.has_cycle()
+    }
+
+    /// Whether the union of these edges with the program-order pairs `po`
+    /// is acyclic. The caller guarantees `po` pairs point forwards in
+    /// program order (as [`forced_po_pairs`] produces them), so the
+    /// ignore-local check needs no revisiting — this is the hot query of
+    /// the batched explicit checker: one shared base edge set, one cheap
+    /// graph union per model group.
+    #[must_use]
+    pub fn acyclic_with(&self, po: &[(EventId, EventId)]) -> bool {
+        let mut graph = self.graph.clone();
+        for &(x, y) in po {
+            graph.add_edge(x.index(), y.index());
+        }
+        !graph.has_cycle()
+    }
+}
+
+/// The same-thread pairs the model's must-not-reorder function forces
+/// into program order — the **only** model-dependent ingredient of the
+/// forced edge set. Pairs are emitted in thread-major program order, with
+/// `x` always po-before `y`.
+#[must_use]
+pub fn forced_po_pairs(model: &MemoryModel, exec: &Execution) -> Vec<(EventId, EventId)> {
+    let mut pairs = Vec::new();
+    for t in 0..exec.num_threads() {
+        let events = exec.thread_events(mcm_core::ThreadId(t as u8));
+        for (i, &x) in events.iter().enumerate() {
+            for &y in &events[i + 1..] {
+                if model.must_not_reorder(exec, x, y) {
+                    pairs.push((x, y));
+                }
             }
         }
-        !self.graph.has_cycle()
     }
+    pairs
+}
+
+/// The model-independent edges forced by `(rf, co)` alone: write-read,
+/// write-write (coherence) and read-write (from-read). Together with
+/// [`forced_po_pairs`] this is the whole forced edge set — the batched
+/// checker builds it once per candidate execution and reuses it for every
+/// model of a row.
+#[must_use]
+pub fn base_edges(exec: &Execution, rf: &RfMap, co: &CoOrder) -> HbEdges {
+    collect_edges(exec, rf, co, &[])
 }
 
 /// Builds the edges forced by the axioms for `(model, rf, co)`.
@@ -87,6 +139,17 @@ pub fn required_edges(
     exec: &Execution,
     rf: &RfMap,
     co: &CoOrder,
+) -> HbEdges {
+    collect_edges(exec, rf, co, &forced_po_pairs(model, exec))
+}
+
+/// Shared edge collection: the program-order pairs first (labels take
+/// precedence on duplicate edges), then the `(rf, co)` axioms.
+fn collect_edges(
+    exec: &Execution,
+    rf: &RfMap,
+    co: &CoOrder,
+    po: &[(EventId, EventId)],
 ) -> HbEdges {
     let n = exec.events().len();
     let mut graph = DenseGraph::new(n);
@@ -99,15 +162,8 @@ pub fn required_edges(
     };
 
     // Program order: F-filtered, over *all* same-thread pairs.
-    for t in 0..exec.num_threads() {
-        let events = exec.thread_events(mcm_core::ThreadId(t as u8));
-        for (i, &x) in events.iter().enumerate() {
-            for &y in &events[i + 1..] {
-                if model.must_not_reorder(exec, x, y) {
-                    add(&mut graph, x, y, EdgeKind::ProgramOrder);
-                }
-            }
-        }
+    for &(x, y) in po {
+        add(&mut graph, x, y, EdgeKind::ProgramOrder);
     }
 
     // Write-read: cross-thread read-from.

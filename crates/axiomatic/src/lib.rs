@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod checker;
 pub mod co;
 pub mod explain;
@@ -58,19 +59,26 @@ pub mod sat_common;
 mod sat_full;
 mod sat_hb;
 
-pub use checker::{Checker, Verdict, Witness};
+pub use batch::{BatchChecker, BatchExplicitChecker, BatchSatChecker, BatchStats};
+pub use checker::{Checker, CheckerKind, Verdict, Witness};
 pub use explicit::ExplicitChecker;
 pub use hb::EdgeKind;
-pub use sat_common::{ClauseSink, OrderVars};
+pub use sat_common::{ClauseSink, GuardedSink, OrderVars};
 pub use sat_full::MonolithicSatChecker;
 pub use sat_hb::{encode_all_cnf, encode_cnf, SatChecker};
 
-/// All built-in checkers, for cross-validation loops.
+/// All built-in per-cell checkers, for cross-validation loops.
 #[must_use]
 pub fn all_checkers() -> Vec<Box<dyn Checker>> {
-    vec![
-        Box::new(ExplicitChecker::new()),
-        Box::new(SatChecker::new()),
-        Box::new(MonolithicSatChecker::new()),
-    ]
+    CheckerKind::ALL.iter().map(|kind| kind.build()).collect()
+}
+
+/// All built-in batched checkers (native where available, per-cell
+/// adapters otherwise), for cross-validation loops over whole model rows.
+#[must_use]
+pub fn all_batch_checkers() -> Vec<Box<dyn BatchChecker>> {
+    CheckerKind::ALL
+        .iter()
+        .map(|kind| kind.build_batch())
+        .collect()
 }

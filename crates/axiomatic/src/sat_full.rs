@@ -7,12 +7,12 @@
 //! map, the coherence order and the happens-before relation.
 
 use mcm_core::{Execution, MemoryModel};
-use mcm_sat::{Lit, SatResult, Solver};
+use mcm_sat::{SatResult, Solver};
 
 use crate::checker::{Checker, Verdict, Witness};
 use crate::hb::required_edges;
-use crate::rf::{read_candidates, RfMap, RfSource};
-use crate::sat_common::OrderVars;
+use crate::rf::read_candidates;
+use crate::sat_common::{add_rf_selector_clauses, extract_rf, OrderVars};
 
 /// Admissibility via a single SAT query with read-from selector variables.
 #[derive(Clone, Debug, Default)]
@@ -53,70 +53,10 @@ impl Checker for MonolithicSatChecker {
         order.add_partial_order_clauses(&mut solver);
         order.add_model_clauses(&mut solver, model, exec);
 
-        // Selector variables: selectors[i] parallels candidates[i].1.
-        let selectors: Vec<Vec<Lit>> = candidates
-            .iter()
-            .map(|(_, sources)| {
-                sources
-                    .iter()
-                    .map(|_| solver.new_var().positive())
-                    .collect()
-            })
-            .collect();
-
-        for ((read, sources), sel) in candidates.iter().zip(&selectors) {
-            // Exactly one source per read.
-            solver.add_clause(sel);
-            for a in 0..sel.len() {
-                for b in (a + 1)..sel.len() {
-                    solver.add_clause(&[!sel[a], !sel[b]]);
-                }
-            }
-            let loc = exec.event(*read).loc().expect("read has a location");
-            for (&lit, &source) in sel.iter().zip(sources.iter()) {
-                match source {
-                    RfSource::Init => {
-                        // Selecting init puts the read before every
-                        // same-location write; if one of them is a
-                        // program-earlier local write that forced ordering
-                        // would violate ignore-local, so the selector is
-                        // unusable.
-                        for w in exec.writes_to(loc) {
-                            if exec.po_earlier(w.id, *read) {
-                                solver.add_clause(&[!lit]);
-                            } else {
-                                solver.add_clause(&[
-                                    !lit,
-                                    order.before(read.index(), w.id.index()),
-                                ]);
-                            }
-                        }
-                    }
-                    RfSource::Write(z) => {
-                        if !exec.same_thread(z, *read) {
-                            solver.add_clause(&[!lit, order.before(z.index(), read.index())]);
-                        }
-                        for w in exec.writes_to(loc) {
-                            if w.id == z {
-                                continue;
-                            }
-                            let coherence_before = order.before(w.id.index(), z.index());
-                            if exec.po_earlier(w.id, *read) {
-                                // The from-read branch would point backwards
-                                // in program order: coherence must resolve it.
-                                solver.add_clause(&[!lit, coherence_before]);
-                            } else {
-                                solver.add_clause(&[
-                                    !lit,
-                                    coherence_before,
-                                    order.before(read.index(), w.id.index()),
-                                ]);
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        // The read-from layer is model-independent and shared with the
+        // batched SAT checker (see `sat_common`): selector variables plus
+        // the write-read / read-write axioms conditioned on them.
+        let selectors = add_rf_selector_clauses(&mut solver, exec, &order, &candidates);
 
         let result = solver.solve();
         self.absorb_stats(&solver);
@@ -124,19 +64,7 @@ impl Checker for MonolithicSatChecker {
             return Verdict::forbidden();
         }
 
-        // Decode the read-from map from the selectors.
-        let pairs = candidates
-            .iter()
-            .zip(&selectors)
-            .map(|((read, sources), sel)| {
-                let chosen = sel
-                    .iter()
-                    .position(|&lit| solver.lit_value_opt(lit) == Some(true))
-                    .expect("exactly-one selector is true");
-                (*read, sources[chosen])
-            })
-            .collect();
-        let rf = RfMap { pairs };
+        let rf = extract_rf(&solver, &candidates, &selectors);
         let co = order.extract_co(&solver, exec);
         let edges = required_edges(model, exec, &rf, &co);
         debug_assert!(edges.admits_partial_order(exec));
@@ -155,6 +83,7 @@ impl Checker for MonolithicSatChecker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rf::RfSource;
     use mcm_core::{Formula, LitmusTest, Loc, Outcome, Program, Reg, ThreadId, Value};
 
     fn sc() -> MemoryModel {

@@ -1,0 +1,186 @@
+//! Test-major batched sweep vs the per-cell sweep, old against new.
+//!
+//! Reported before the timed benches run (and asserted, so CI catches
+//! regressions):
+//!
+//! * **verdict identity** — the Figure-4 sweep (36 models × the full
+//!   comparison suite) through the batched explicit checker and through
+//!   the per-cell adapter produce bit-identical verdict lattices (zero
+//!   mismatches), and the batched SAT checker agrees cell for cell on a
+//!   reduced grid;
+//! * **amortization** — wall-clock of old (per-cell) vs new (batched)
+//!   on the same grid, with the row-collapse counters that explain the
+//!   gap: the per-cell path enumerates each test's `(rf, co)` space 36
+//!   times, the batched path once.
+//!
+//! Run with `cargo bench -p mcm-bench --bench batch_sweep`; CI runs it
+//! with `-- --test`, which executes everything once, untimed.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcm_axiomatic::{BatchExplicitChecker, BatchSatChecker, ExplicitChecker, SatChecker};
+use mcm_explore::{paper, EngineConfig, Exploration};
+
+fn figure4_space() -> (Vec<mcm_core::MemoryModel>, Vec<mcm_core::LitmusTest>) {
+    (paper::digit_space_models(false), paper::comparison_tests(false))
+}
+
+/// One thread, no cache: pure checking cost, old vs new.
+fn single_thread_config() -> EngineConfig {
+    EngineConfig {
+        jobs: Some(1),
+        ..EngineConfig::default()
+    }
+}
+
+/// The correctness assertion behind the bench: zero verdict mismatches
+/// between the per-cell and the batched sweeps, plus the recorded
+/// old-vs-new wall times.
+fn report_equivalence_and_speedup() {
+    let (models, tests) = figure4_space();
+    let config = single_thread_config();
+
+    let start = Instant::now();
+    let (old, old_stats) = Exploration::run_engine(
+        models.clone(),
+        tests.clone(),
+        || Box::new(ExplicitChecker::new()),
+        &config,
+        None,
+    );
+    let old_wall = start.elapsed();
+
+    let start = Instant::now();
+    let (new, new_stats) = Exploration::run_engine(
+        models,
+        tests,
+        || Box::new(BatchExplicitChecker::new()),
+        &config,
+        None,
+    );
+    let new_wall = start.elapsed();
+
+    let mismatches: usize = old
+        .verdicts
+        .iter()
+        .zip(&new.verdicts)
+        .map(|(a, b)| a.diff_indices(b).len())
+        .sum();
+    assert_eq!(
+        mismatches, 0,
+        "the batched sweep must be bit-identical to the per-cell sweep"
+    );
+    assert_eq!(old_stats.checker_calls, new_stats.checker_calls);
+    assert!(new_stats.batch.rows > 0, "the batched path must batch");
+    println!(
+        "figure-4 sweep ({} models x {} tests, 1 thread): per-cell {:.2?} \
+         -> batched {:.2?} ({:.2}x), 0 verdict mismatches",
+        old.models.len(),
+        old.tests.len(),
+        old_wall,
+        new_wall,
+        old_wall.as_secs_f64() / new_wall.as_secs_f64().max(1e-9),
+    );
+    println!(
+        "amortization: {} rows, {} verdicts in {} groups ({:.1}x row collapse), \
+         {} shared (rf, co) candidates",
+        new_stats.batch.rows,
+        new_stats.batch.models_checked,
+        new_stats.batch.model_groups,
+        new_stats.batch.models_checked as f64 / new_stats.batch.model_groups.max(1) as f64,
+        new_stats.batch.shared_candidates,
+    );
+}
+
+/// The SAT pair: per-rf-map per-cell checker vs the assumption-selected
+/// shared encoding, on a grid small enough for the slow side.
+fn report_sat_equivalence() {
+    let models = paper::digit_space_models(false);
+    let tests: Vec<mcm_core::LitmusTest> = paper::comparison_tests(false)
+        .into_iter()
+        .take(12)
+        .collect();
+    let config = single_thread_config();
+
+    let start = Instant::now();
+    let (old, _) = Exploration::run_engine(
+        models.clone(),
+        tests.clone(),
+        || Box::new(SatChecker::new()),
+        &config,
+        None,
+    );
+    let old_wall = start.elapsed();
+
+    let start = Instant::now();
+    let (new, stats) = Exploration::run_engine(
+        models,
+        tests,
+        || Box::new(BatchSatChecker::new()),
+        &config,
+        None,
+    );
+    let new_wall = start.elapsed();
+
+    let mismatches: usize = old
+        .verdicts
+        .iter()
+        .zip(&new.verdicts)
+        .map(|(a, b)| a.diff_indices(b).len())
+        .sum();
+    assert_eq!(mismatches, 0, "batched SAT must agree with per-cell SAT");
+    assert!(stats.batch.assumption_solves > 0);
+    println!(
+        "SAT sweep ({} models x {} tests, 1 thread): per-cell-rf {:.2?} -> \
+         assumption-selected {:.2?} ({:.2}x), {} solves for {} verdicts",
+        old.models.len(),
+        old.tests.len(),
+        old_wall,
+        new_wall,
+        old_wall.as_secs_f64() / new_wall.as_secs_f64().max(1e-9),
+        stats.batch.assumption_solves,
+        stats.batch.models_checked,
+    );
+}
+
+fn bench_batch_sweep(c: &mut Criterion) {
+    report_equivalence_and_speedup();
+    report_sat_equivalence();
+    if criterion::is_test_mode() {
+        return;
+    }
+    let mut group = c.benchmark_group("batch_sweep");
+    group.sample_size(10);
+    group.bench_function("figure4/per-cell", |b| {
+        b.iter(|| {
+            let (models, tests) = figure4_space();
+            let (expl, _) = Exploration::run_engine(
+                models,
+                tests,
+                || Box::new(ExplicitChecker::new()),
+                &single_thread_config(),
+                None,
+            );
+            black_box(expl.verdicts.len())
+        })
+    });
+    group.bench_function("figure4/batched", |b| {
+        b.iter(|| {
+            let (models, tests) = figure4_space();
+            let (expl, _) = Exploration::run_engine(
+                models,
+                tests,
+                || Box::new(BatchExplicitChecker::new()),
+                &single_thread_config(),
+                None,
+            );
+            black_box(expl.verdicts.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_sweep);
+criterion_main!(benches);

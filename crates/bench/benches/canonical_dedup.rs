@@ -12,13 +12,13 @@
 //!   and the zero-checker-call warm sweep through the verdict cache.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mcm_axiomatic::{Checker, ExplicitChecker};
+use mcm_axiomatic::{BatchChecker, BatchExplicitChecker};
 use mcm_explore::{paper, EngineConfig, Exploration, VerdictCache};
 use mcm_gen::{canon, naive, template_suite};
 use std::hint::black_box;
 
-fn factory() -> Box<dyn Checker> {
-    Box::new(ExplicitChecker::new())
+fn factory() -> Box<dyn BatchChecker> {
+    Box::new(BatchExplicitChecker::new())
 }
 
 fn report_dedup_ratios() {

@@ -21,14 +21,14 @@
 //! CI runs it with `-- --test`, which executes everything once, untimed.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mcm_axiomatic::{Checker, ExplicitChecker};
+use mcm_axiomatic::{BatchChecker, BatchExplicitChecker};
 use mcm_explore::{paper, report, EngineConfig, Exploration, Relation};
 use mcm_gen::stream::{self, StreamBounds};
 use mcm_gen::naive;
 use std::hint::black_box;
 
-fn factory() -> Box<dyn Checker> {
-    Box::new(ExplicitChecker::new())
+fn factory() -> Box<dyn BatchChecker> {
+    Box::new(BatchExplicitChecker::new())
 }
 
 /// Bounds small enough to materialize the whole raw space.

@@ -3,8 +3,9 @@
 use std::fs;
 use std::time::Instant;
 
-use mcm_axiomatic::{Checker, ExplicitChecker, MonolithicSatChecker, SatChecker};
+use mcm_axiomatic::{Checker, CheckerKind, ExplicitChecker};
 use mcm_core::parse::parse_litmus_file;
+use mcm_core::MemoryModel;
 use mcm_explore::dot::{render_dot, DotOptions};
 use mcm_explore::{distinguish, paper};
 use mcm_explore::{EngineConfig, Exploration, Relation, SweepStats, VerdictCache};
@@ -106,6 +107,18 @@ fn print_sweep_stats(stats: &SweepStats) {
         stats.checker_calls,
         stats.reduction_factor(),
     );
+    if stats.batch.rows > 0 {
+        println!(
+            "sweep batching: {} test rows, {} model verdicts in {} groups \
+             ({:.1}x row collapse), {} shared candidates, {} assumption solves",
+            stats.batch.rows,
+            stats.batch.models_checked,
+            stats.batch.model_groups,
+            stats.batch.row_collapse(),
+            stats.batch.shared_candidates,
+            stats.batch.assumption_solves,
+        );
+    }
     if stats.sat != mcm_sat::SolverStats::default() {
         println!(
             "sweep solver: {} decisions, {} propagations, {} conflicts, {} restarts",
@@ -117,18 +130,47 @@ fn print_sweep_stats(stats: &SweepStats) {
     }
 }
 
+/// Resolves `--checker` to a [`CheckerKind`] (defaulting to the explicit
+/// checker) — shared by the per-cell `check` command and the batched
+/// sweep commands, which build the per-cell or test-major implementation
+/// from the same kind.
+fn checker_kind_from(args: &[String]) -> Result<CheckerKind, String> {
+    let name = option_value(args, "--checker").unwrap_or("explicit");
+    CheckerKind::from_name(name).ok_or_else(|| {
+        let known: Vec<&str> = CheckerKind::ALL.iter().map(|k| k.name()).collect();
+        format!("unknown checker `{name}`; try one of {}", known.join("/"))
+    })
+}
+
 fn checker_from(args: &[String]) -> Result<Box<dyn Checker>, String> {
-    match option_value(args, "--checker").unwrap_or("explicit") {
-        "explicit" => Ok(Box::new(ExplicitChecker::new())),
-        "sat" => Ok(Box::new(SatChecker::new())),
-        "monolithic" => Ok(Box::new(MonolithicSatChecker::new())),
-        other => Err(format!("unknown checker `{other}`")),
+    Ok(checker_kind_from(args)?.build())
+}
+
+/// Resolves the model space shared by `explore` and `distinguish`:
+/// `--models SPEC` (see [`resolve::model_set`]) wins; otherwise the digit
+/// space honoring `--no-deps`. Returns the models plus whether the
+/// comparison suite should include dependency idioms (true iff some model
+/// can observe them).
+fn models_from(args: &[String]) -> Result<(Vec<MemoryModel>, bool), String> {
+    match option_value(args, "--models") {
+        Some(spec) => {
+            if flag(args, "--no-deps") {
+                return Err("--no-deps conflicts with --models; name the set once".to_string());
+            }
+            let models = resolve::model_set(spec)?;
+            let with_deps = models.iter().any(|m| m.formula().uses_dependencies());
+            Ok((models, with_deps))
+        }
+        None => {
+            let with_deps = !flag(args, "--no-deps");
+            Ok((paper::digit_space_models(with_deps), with_deps))
+        }
     }
 }
 
 const SYNTH_SPEC: ArgSpec = ArgSpec {
     flags: &["--matrix", "--fences", "--deps", "--verbose"],
-    options: &["--max-size", "--max-accesses", "--max-locs"],
+    options: &["--max-size", "--max-accesses", "--max-locs", "--models"],
 };
 
 /// Parses the synthesis bounds shared by both `synth` modes.
@@ -208,7 +250,10 @@ pub fn synth(args: &[String]) -> Result<(), String> {
     let verbose = flag(args, "--verbose");
     let names = SYNTH_SPEC.positional(args);
     if flag(args, "--matrix") {
-        return synth_matrix(&names, bounds, max_size, verbose);
+        return synth_matrix(args, &names, bounds, max_size, verbose);
+    }
+    if option_value(args, "--models").is_some() {
+        return Err("--models requires --matrix".to_string());
     }
     let [left, right] = names.as_slice() else {
         return Err(
@@ -247,12 +292,18 @@ pub fn synth(args: &[String]) -> Result<(), String> {
 }
 
 fn synth_matrix(
+    args: &[String],
     names: &[&String],
     bounds: mcm_synth::SynthBounds,
     max_size: usize,
     verbose: bool,
 ) -> Result<(), String> {
-    let models = if names.is_empty() {
+    if !names.is_empty() && option_value(args, "--models").is_some() {
+        return Err("name models positionally or via --models, not both".to_string());
+    }
+    let models = if let Some(spec) = option_value(args, "--models") {
+        resolve::model_set(spec)?
+    } else if names.is_empty() {
         // Figure 4's dependency-free space by default; --deps switches to
         // the full 90-model space whose formulas can observe the
         // dependency idioms the flag adds to the search space.
@@ -265,6 +316,9 @@ fn synth_matrix(
             .map(|n| resolve::model(n))
             .collect::<Result<Vec<_>, _>>()?
     };
+    if models.len() < 2 {
+        return Err("--matrix needs at least two models".to_string());
+    }
     println!(
         "synthesizing the pairwise minimal-length matrix for {} models \
          (<= {} accesses/thread, {} locs{}{}, lengths <= {max_size}) ...",
@@ -412,9 +466,9 @@ fn stream_bounds(args: &[String]) -> Result<mcm_gen::StreamBounds, String> {
 /// stored — tests flow from the canonical-first iterator straight into
 /// the chunked engine.
 fn explore_stream(args: &[String]) -> Result<(), String> {
-    let with_deps = !flag(args, "--no-deps");
     let (config, use_cache) = engine_options(args)?;
     let cache = use_cache.then(VerdictCache::new);
+    let checker = checker_kind_from(args)?;
     let bounds = stream_bounds(args)?;
     let limit = match option_value(args, "--limit") {
         None => usize::MAX,
@@ -424,7 +478,7 @@ fn explore_stream(args: &[String]) -> Result<(), String> {
             .filter(|&n| n > 0)
             .ok_or_else(|| format!("--limit needs a positive integer, got `{n}`"))?,
     };
-    let models = paper::digit_space_models(with_deps);
+    let (models, _) = models_from(args)?;
     let raw = match mcm_gen::stream::try_count_raw(&bounds, 20_000_000) {
         Some(count) => format!("{count} tests"),
         None => "too many tests to even count by shape".to_string(),
@@ -444,7 +498,7 @@ fn explore_stream(args: &[String]) -> Result<(), String> {
     let (exploration, stats) = Exploration::run_engine_streaming(
         models,
         stream,
-        || Box::new(ExplicitChecker::new()),
+        || checker.build_batch(),
         &config,
         cache.as_ref(),
     );
@@ -493,12 +547,22 @@ const EXPLORE_SPEC: ArgSpec = ArgSpec {
         "--fences",
         "--deps",
     ],
-    options: &["--jobs", "--csv", "--dot", "--max-accesses", "--max-locs", "--limit"],
+    options: &[
+        "--jobs",
+        "--csv",
+        "--dot",
+        "--max-accesses",
+        "--max-locs",
+        "--limit",
+        "--models",
+        "--checker",
+    ],
 };
 
-/// `mcm explore [--no-deps] [--canonicalize] [--cache] [--jobs N]
-/// [--csv FILE] [--dot FILE] [--stream [--max-accesses N] [--max-locs N]
-/// [--fences] [--deps] [--limit N]]`.
+/// `mcm explore [--models figure4|90|named|LIST] [--checker C] [--no-deps]
+/// [--canonicalize] [--cache] [--jobs N] [--csv FILE] [--dot FILE]
+/// [--stream [--max-accesses N] [--max-locs N] [--fences] [--deps]
+/// [--limit N]]`.
 pub fn explore(args: &[String]) -> Result<(), String> {
     EXPLORE_SPEC.validate(args)?;
     if flag(args, "--stream") {
@@ -511,16 +575,16 @@ pub fn explore(args: &[String]) -> Result<(), String> {
             return Err(format!("{stream_only} requires --stream"));
         }
     }
-    let with_deps = !flag(args, "--no-deps");
+    let (models, with_deps) = models_from(args)?;
     let (config, use_cache) = engine_options(args)?;
     let cache = use_cache.then(VerdictCache::new);
+    let checker = checker_kind_from(args)?;
     let start = Instant::now();
-    let models = paper::digit_space_models(with_deps);
     let tests = paper::comparison_tests(with_deps);
     let (exploration, stats) = Exploration::run_engine(
         models,
         tests,
-        || Box::new(ExplicitChecker::new()),
+        || checker.build_batch(),
         &config,
         cache.as_ref(),
     );
@@ -532,16 +596,23 @@ pub fn explore(args: &[String]) -> Result<(), String> {
         report.exploration.tests.len(),
     );
     print_sweep_stats(&stats);
+    // The warm re-sweep demo is only honest when the sweep above covered
+    // the full 90-model digit space — a custom `--models` list would
+    // leave the Figure-4 subspace cold and the "for free" claim false.
+    let full_digit_space = match option_value(args, "--models") {
+        None => true,
+        Some(spec) => matches!(spec.to_ascii_lowercase().as_str(), "90" | "full" | "all"),
+    };
     if let Some(cache) = &cache {
         // Demonstrate cross-sweep memoization: the Figure 4 dependency-free
         // subspace re-checks for free, because its 36 models and their
         // canonical tests were all covered by the sweep above.
-        if with_deps {
+        if with_deps && full_digit_space {
             let warm_start = Instant::now();
             let (_, warm) = Exploration::run_engine(
                 paper::digit_space_models(false),
                 paper::comparison_tests(false),
-                || Box::new(ExplicitChecker::new()),
+                || checker.build_batch(),
                 &config,
                 Some(cache),
             );
@@ -606,37 +677,46 @@ pub fn explore(args: &[String]) -> Result<(), String> {
 
 const DISTINGUISH_SPEC: ArgSpec = ArgSpec {
     flags: &["--no-deps", "--canonicalize", "--cache"],
-    options: &["--jobs"],
+    options: &["--jobs", "--models", "--checker"],
 };
 
-/// `mcm distinguish [MODEL...] [--no-deps] [--canonicalize] [--cache]
-/// [--jobs N]`.
+/// `mcm distinguish [MODEL...] [--models figure4|90|named|LIST]
+/// [--checker C] [--no-deps] [--canonicalize] [--cache] [--jobs N]`.
 ///
 /// Computes a minimum distinguishing test set for the given models (two
-/// or more), or for the whole digit space when no models are named — the
-/// paper's "nine tests" experiment as a standalone command.
+/// or more, positionally or as a `--models` set), or for the whole digit
+/// space when none are named — the paper's "nine tests" experiment as a
+/// standalone command.
 pub fn distinguish_cmd(args: &[String]) -> Result<(), String> {
     DISTINGUISH_SPEC.validate(args)?;
-    let with_deps = !flag(args, "--no-deps");
     let (config, use_cache) = engine_options(args)?;
     let cache = use_cache.then(VerdictCache::new);
+    let checker = checker_kind_from(args)?;
     let names = DISTINGUISH_SPEC.positional(args);
-    let models = if names.is_empty() {
-        paper::digit_space_models(with_deps)
+    if !names.is_empty() && option_value(args, "--models").is_some() {
+        return Err("name models positionally or via --models, not both".to_string());
+    }
+    let (models, with_deps) = if names.is_empty() {
+        models_from(args)?
     } else if names.len() == 1 {
         return Err("distinguish needs zero or at least two models".to_string());
     } else {
-        names
+        let models = names
             .iter()
             .map(|n| resolve::model(n))
-            .collect::<Result<Vec<_>, _>>()?
+            .collect::<Result<Vec<_>, _>>()?;
+        let with_deps = !flag(args, "--no-deps");
+        (models, with_deps)
     };
+    if models.len() < 2 {
+        return Err("distinguish needs at least two models".to_string());
+    }
     let tests = paper::comparison_tests(with_deps);
     let start = Instant::now();
     let (exploration, stats) = Exploration::run_engine(
         models,
         tests,
-        || Box::new(ExplicitChecker::new()),
+        || checker.build_batch(),
         &config,
         cache.as_ref(),
     );

@@ -21,7 +21,11 @@ COMMANDS:
                               [--checker explicit|sat|monolithic] [--witness]
     compare <MODEL> <MODEL>   relation between two models over the
                               complete template suite [--no-deps]
-    explore                   the §4.2 exploration of the digit space
+    explore                   the §4.2 exploration of the digit space,
+                              test-major batched: every model row is
+                              answered per test over shared work
+                              [--models figure4|90|named|M1,M2,...]
+                              [--checker explicit|sat|monolithic]
                               [--no-deps] [--canonicalize] [--cache]
                               [--jobs N] [--csv FILE] [--dot FILE]
                               [--stream] sweep the streamed leader
@@ -29,10 +33,12 @@ COMMANDS:
                               never materializing the raw space:
                               [--max-accesses 1..4] [--max-locs N]
                               [--fences] [--deps] [--limit N]
+                              (mcm explore --models 90 --stream is the
+                              full 90-model dependency sweep)
     distinguish [MODEL...]    minimum distinguishing test set for the
                               given models (or the whole digit space)
-                              [--no-deps] [--canonicalize] [--cache]
-                              [--jobs N]
+                              [--models SPEC] [--checker C] [--no-deps]
+                              [--canonicalize] [--cache] [--jobs N]
     synth <MODEL> <MODEL>     CEGIS-synthesize a minimal distinguishing
                               litmus test for the pair: the unknown test
                               becomes SAT variables, the axiomatic
@@ -42,7 +48,8 @@ COMMANDS:
                               [--verbose (solver stats)]
     synth --matrix [MODEL...] SAT-certified pairwise minimal-length
                               matrix (Figure 4's 36 dependency-free
-                              models; --deps switches to all 90)
+                              models; --deps switches to all 90;
+                              [--models SPEC] picks any named set)
     suite                     generate the Theorem 1 template suite
                               [--no-deps] [--print]
     catalog                   print Test A, L1–L9 and the classic tests

@@ -1,4 +1,4 @@
-//! Model-name resolution shared by the subcommands.
+//! Model- and model-set-name resolution shared by the subcommands.
 
 use mcm_core::MemoryModel;
 use mcm_models::{named, DigitModel};
@@ -24,6 +24,39 @@ pub fn model(name: &str) -> Result<MemoryModel, String> {
         })
 }
 
+/// Resolves a `--models` set specification, shared by `explore`,
+/// `distinguish` and `synth --matrix`:
+///
+/// * `figure4` (aliases `fig4`, `36`) — the 36 dependency-free digit
+///   models drawn in Figure 4;
+/// * `90` (aliases `full`, `all`) — the paper's full §4.2 space of 90
+///   dependency-discriminating digit models;
+/// * `named` — the named hardware models of §2.4;
+/// * anything else — a comma-separated list of model names, each resolved
+///   by [`model`] (e.g. `SC,TSO,M1032`).
+pub fn model_set(spec: &str) -> Result<Vec<MemoryModel>, String> {
+    match spec.to_ascii_lowercase().as_str() {
+        "figure4" | "fig4" | "36" => Ok(mcm_explore::paper::digit_space_models(false)),
+        "90" | "full" | "all" => Ok(mcm_explore::paper::digit_space_models(true)),
+        "named" => Ok(named::all_named()),
+        _ => {
+            let models: Vec<MemoryModel> = spec
+                .split(',')
+                .map(str::trim)
+                .filter(|name| !name.is_empty())
+                .map(model)
+                .collect::<Result<_, _>>()?;
+            if models.is_empty() {
+                return Err(format!(
+                    "`--models {spec}` names no models; try figure4, 90, named \
+                     or a comma-separated list like SC,TSO,M1032"
+                ));
+            }
+            Ok(models)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,5 +77,24 @@ mod tests {
     fn nonsense_is_an_error() {
         assert!(model("powerpc").is_err());
         assert!(model("M9999").is_err());
+    }
+
+    #[test]
+    fn model_sets_resolve() {
+        assert_eq!(model_set("figure4").unwrap().len(), 36);
+        assert_eq!(model_set("36").unwrap().len(), 36);
+        assert_eq!(model_set("90").unwrap().len(), 90);
+        assert_eq!(model_set("full").unwrap().len(), 90);
+        assert_eq!(model_set("named").unwrap().len(), 8);
+        let listed = model_set("SC, TSO,M1032").unwrap();
+        assert_eq!(listed.len(), 3);
+        assert_eq!(listed[0].name(), "SC");
+        assert_eq!(listed[2].name(), "M1032");
+    }
+
+    #[test]
+    fn bad_model_sets_are_errors() {
+        assert!(model_set("SC,powerpc").is_err());
+        assert!(model_set(",, ,").is_err());
     }
 }

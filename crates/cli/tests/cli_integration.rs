@@ -263,6 +263,75 @@ fn zero_valued_limits_are_rejected_not_clamped() {
 }
 
 #[test]
+fn explore_accepts_model_set_specs() {
+    let (ok, stdout, _) = mcm(&["explore", "--models", "named"]);
+    assert!(ok);
+    assert!(stdout.contains("explored 8 models"), "{stdout}");
+    assert!(stdout.contains("sweep batching"), "{stdout}");
+    let (ok, stdout, _) = mcm(&["explore", "--models", "SC,TSO,IBM370"]);
+    assert!(ok);
+    assert!(stdout.contains("explored 3 models"), "{stdout}");
+}
+
+#[test]
+fn explore_models_90_streams_the_dependency_space() {
+    // The headline sweep, truncated so CI stays fast: the full §4.2
+    // space of 90 dependency-discriminating models over streamed leaders.
+    let (ok, stdout, _) = mcm(&[
+        "explore", "--models", "90", "--stream", "--max-accesses", "2", "--max-locs", "2",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("against 90 models"), "{stdout}");
+    assert!(stdout.contains("batched"), "{stdout}");
+    assert!(stdout.contains("equivalence classes"), "{stdout}");
+}
+
+#[test]
+fn model_set_errors_are_reported() {
+    let (ok, _, stderr) = mcm(&["explore", "--models", "powerpc,arm"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown model"), "{stderr}");
+    let (ok, _, stderr) = mcm(&["explore", "--models", "figure4", "--no-deps"]);
+    assert!(!ok);
+    assert!(stderr.contains("conflicts"), "{stderr}");
+    let (ok, _, stderr) = mcm(&["distinguish", "SC", "TSO", "--models", "named"]);
+    assert!(!ok);
+    assert!(stderr.contains("not both"), "{stderr}");
+    let (ok, _, stderr) = mcm(&["synth", "SC", "TSO", "--models", "named"]);
+    assert!(!ok);
+    assert!(stderr.contains("requires --matrix"), "{stderr}");
+}
+
+#[test]
+fn explore_checker_is_kind_resolved() {
+    let (ok, stdout, _) = mcm(&[
+        "explore", "--models", "SC,TSO", "--checker", "monolithic",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("assumption solves"), "{stdout}");
+    assert!(stdout.contains("sweep solver"), "{stdout}");
+    let (ok, _, stderr) = mcm(&["explore", "--checker", "quantum"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown checker"), "{stderr}");
+    assert!(stderr.contains("explicit/sat/monolithic"), "{stderr}");
+}
+
+#[test]
+fn distinguish_model_set_matches_positional() {
+    let (ok, a, _) = mcm(&["distinguish", "--models", "SC,TSO,PSO"]);
+    assert!(ok);
+    let (ok, b, _) = mcm(&["distinguish", "SC", "TSO", "PSO"]);
+    assert!(ok);
+    let line = |s: &str| {
+        s.lines()
+            .find(|l| l.contains("minimum distinguishing set"))
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(line(&a), line(&b));
+}
+
+#[test]
 fn parse_validates_files() {
     let dir = std::env::temp_dir().join("mcm-cli-test");
     std::fs::create_dir_all(&dir).unwrap();

@@ -81,6 +81,40 @@ impl VerdictCache {
         found
     }
 
+    /// Looks up a whole sweep row — every model fingerprint paired with
+    /// one test fingerprint — taking each shard lock at most once instead
+    /// of once per key. This is the lookup shape of the test-major engine,
+    /// whose unit of work is a test row, not a cell. Records one hit or
+    /// miss per key.
+    #[must_use]
+    pub fn get_row(&self, model_fps: &[u64], test_fp: u64) -> Vec<Option<bool>> {
+        let mut out = vec![None; model_fps.len()];
+        let mut by_shard: [Vec<usize>; SHARDS] = Default::default();
+        for (i, &model_fp) in model_fps.iter().enumerate() {
+            by_shard[Self::shard((model_fp, test_fp))].push(i);
+        }
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for (s, indices) in by_shard.iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let shard = self.shards[s].lock().expect("cache shard poisoned");
+            for &i in indices {
+                match shard.get(&(model_fps[i], test_fp)) {
+                    Some(&allowed) => {
+                        out[i] = Some(allowed);
+                        hits += 1;
+                    }
+                    None => misses += 1,
+                }
+            }
+        }
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        out
+    }
+
     /// Records a verdict.
     pub fn insert(&self, key: Key, allowed: bool) {
         self.shards[Self::shard(key)]
@@ -162,6 +196,25 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn get_row_matches_per_key_lookups() {
+        let cache = VerdictCache::new();
+        let model_fps: Vec<u64> = (0..40).collect();
+        for &m in &model_fps {
+            if m % 3 != 0 {
+                cache.insert((m, 7), m % 2 == 0);
+            }
+        }
+        let row = cache.get_row(&model_fps, 7);
+        for (i, &m) in model_fps.iter().enumerate() {
+            let expected = (m % 3 != 0).then_some(m % 2 == 0);
+            assert_eq!(row[i], expected, "row lookup differs at model {m}");
+        }
+        // 40 lookups: hits for the inserted keys, misses for the rest.
+        assert_eq!(cache.hits() + cache.misses(), 40);
+        assert_eq!(cache.misses(), model_fps.iter().filter(|m| *m % 3 == 0).count() as u64);
     }
 
     #[test]

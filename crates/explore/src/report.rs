@@ -74,7 +74,7 @@ fn class_label(expl: &Exploration, members: &[usize]) -> String {
 /// mark (the largest chunk ever materialized at once).
 #[must_use]
 pub fn streaming_summary(stats: &SweepStats) -> String {
-    format!(
+    let mut line = format!(
         "streamed {} tests -> {} kept ({} distinct models, peak {} tests in memory), \
          {} cache hits, {} checker calls ({:.1}x reduction)",
         stats.tests_streamed,
@@ -84,7 +84,16 @@ pub fn streaming_summary(stats: &SweepStats) -> String {
         stats.cache_hits,
         stats.checker_calls,
         stats.reduction_factor(),
-    )
+    );
+    if stats.batch.rows > 0 {
+        line.push_str(&format!(
+            "; batched {} rows into {} model groups ({:.1}x row collapse)",
+            stats.batch.rows,
+            stats.batch.model_groups,
+            stats.batch.row_collapse(),
+        ));
+    }
+    line
 }
 
 /// Renders a pairwise minimal-distinguishing-length matrix
@@ -193,12 +202,20 @@ mod tests {
             tests_streamed: 100,
             peak_batch: 8,
             sat: Default::default(),
+            batch: mcm_axiomatic::BatchStats {
+                rows: 50,
+                models_checked: 100,
+                model_groups: 25,
+                ..Default::default()
+            },
         };
         let line = streaming_summary(&stats);
         assert!(line.contains("streamed 100 tests"));
         assert!(line.contains("50 kept"));
         assert!(line.contains("peak 8 tests in memory"));
         assert!(line.contains("60 checker calls"));
+        assert!(line.contains("batched 50 rows into 25 model groups"));
+        assert!(line.contains("4.0x row collapse"));
     }
 
     #[test]

@@ -25,7 +25,7 @@
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
-use mcm_axiomatic::{Checker, ExplicitChecker};
+use mcm_axiomatic::{BatchChecker, BatchExplicitChecker, BatchStats, Checker};
 use mcm_core::{Execution, LitmusTest, MemoryModel};
 use mcm_gen::canon;
 use mcm_sat::SolverStats;
@@ -46,8 +46,9 @@ pub struct EngineConfig {
     /// Worker threads; `None` uses all available cores, `Some(1)` runs
     /// the whole sweep on the calling thread.
     pub jobs: Option<usize>,
-    /// Work items claimed per scheduling step. Small batches steal well
-    /// when per-item cost is uneven; large batches lower contention.
+    /// Work items — **test rows**, each checked against every model at
+    /// once — claimed per scheduling step. Small batches steal well when
+    /// per-row cost is uneven; large batches lower contention.
     pub batch_size: usize,
     /// Tests materialized per chunk by the streaming engine — the memory
     /// high-water mark of a streamed sweep.
@@ -59,7 +60,7 @@ impl Default for EngineConfig {
         EngineConfig {
             canonicalize: false,
             jobs: None,
-            batch_size: 32,
+            batch_size: 4,
             stream_chunk: 4096,
         }
     }
@@ -102,6 +103,11 @@ pub struct SweepStats {
     /// SAT-solver work totals, summed over every worker's checker. All
     /// zeros when the sweep ran a solver-free checker (the explicit one).
     pub sat: SolverStats,
+    /// Per-row amortization counters from the batched checkers: rows
+    /// answered, model-group collapses, shared candidate executions and
+    /// assumption-selected solves. All zeros when the sweep ran a
+    /// per-cell adapter (which shares nothing across a row).
+    pub batch: BatchStats,
 }
 
 impl SweepStats {
@@ -173,10 +179,15 @@ fn resolve_jobs(config: &EngineConfig) -> usize {
         .max(1)
 }
 
-/// The shared sweep core: checks every (formula row, execution) pair of
-/// one grid under a work-stealing schedule, consulting and batching into
-/// the cache when present. Returns the row-major allowed bits plus
-/// `(cache hits, checker calls)`.
+/// The shared sweep core, test-major: the unit of parallel work is a
+/// **test row** — one execution checked against every distinct-formula
+/// model at once through a [`BatchChecker`] — scheduled work-stealing
+/// across workers. Cache lookups are row-keyed ([`VerdictCache::get_row`]
+/// takes each shard lock once per row) and only the missing models of a
+/// row reach the checker, so warm rows cost no checker work and cold rows
+/// amortize candidate enumeration / encoding across the whole model
+/// space. Returns the row-major allowed bits plus `(cache hits, checker
+/// calls, solver totals, batch amortization totals)`.
 fn sweep_grid<F>(
     models: &[MemoryModel],
     rows: &FormulaRows,
@@ -185,53 +196,81 @@ fn sweep_grid<F>(
     make_checker: &F,
     config: &EngineConfig,
     cache: Option<&VerdictCache>,
-) -> (Vec<bool>, u64, u64, SolverStats)
+) -> (Vec<bool>, u64, u64, SolverStats, BatchStats)
 where
-    F: Fn() -> Box<dyn Checker> + Sync,
+    F: Fn() -> Box<dyn BatchChecker> + Sync,
 {
     let jobs = resolve_jobs(config);
     let reps = execs.len();
-    let items = rows.row_models.len() * reps;
+    let row_count = rows.row_models.len();
     let batch = config.batch_size.max(1);
-    let workers = jobs.min(items.div_ceil(batch)).max(1);
+    let workers = jobs.min(reps.div_ceil(batch)).max(1);
 
-    // Shared state: a claim cursor, one result cell per work item
-    // (0 = unset, 1 = forbidden, 2 = allowed), and counters.
+    // The distinct-formula models, cloned once per sweep so the (common)
+    // all-miss rows check against a ready-made slice.
+    let row_models: Vec<MemoryModel> = rows
+        .row_models
+        .iter()
+        .map(|&m| models[m].clone())
+        .collect();
+
+    // Shared state: a claim cursor over test rows, one result cell per
+    // (row, test) pair (0 = unset, 1 = forbidden, 2 = allowed), counters.
     let cursor = AtomicUsize::new(0);
-    let results: Vec<AtomicU8> = (0..items).map(|_| AtomicU8::new(0)).collect();
+    let results: Vec<AtomicU8> = (0..row_count * reps).map(|_| AtomicU8::new(0)).collect();
     let cache_hits = AtomicU64::new(0);
     let checker_calls = AtomicU64::new(0);
 
-    let sweep = |local_batch: &mut Vec<((u64, u64), bool)>, checker: &dyn Checker| {
+    let sweep = |local_batch: &mut Vec<((u64, u64), bool)>, checker: &dyn BatchChecker| {
         let mut hits = 0u64;
         let mut calls = 0u64;
+        let mut missing_rows: Vec<usize> = Vec::new();
+        let mut missing_models: Vec<MemoryModel> = Vec::new();
         loop {
             let start = cursor.fetch_add(batch, Ordering::Relaxed);
-            if start >= items {
+            if start >= reps {
                 break;
             }
-            let end = (start + batch).min(items);
-            for (idx, slot) in results[start..end].iter().enumerate() {
-                let idx = start + idx;
-                let (row, rep) = (idx / reps, idx % reps);
-                let key = (rows.model_fps[row], fps[rep]);
-                let allowed = match cache.and_then(|c| c.get(key)) {
-                    Some(memoized) => {
-                        hits += 1;
-                        memoized
-                    }
-                    None => {
-                        calls += 1;
-                        let verdict = checker
-                            .check_execution(&models[rows.row_models[row]], &execs[rep])
-                            .allowed;
-                        if cache.is_some() {
-                            local_batch.push((key, verdict));
+            let end = (start + batch).min(reps);
+            for rep in start..end {
+                missing_rows.clear();
+                match cache {
+                    Some(cache) => {
+                        for (row, memoized) in
+                            cache.get_row(&rows.model_fps, fps[rep]).into_iter().enumerate()
+                        {
+                            match memoized {
+                                Some(allowed) => {
+                                    hits += 1;
+                                    results[row * reps + rep]
+                                        .store(if allowed { 2 } else { 1 }, Ordering::Relaxed);
+                                }
+                                None => missing_rows.push(row),
+                            }
                         }
-                        verdict
                     }
+                    None => missing_rows.extend(0..row_count),
+                }
+                if missing_rows.is_empty() {
+                    continue;
+                }
+                calls += missing_rows.len() as u64;
+                let verdicts = if missing_rows.len() == row_count {
+                    checker.check_all_executions(&execs[rep], &row_models)
+                } else {
+                    // Partial cache coverage: batch only the missing
+                    // models (cloned — rare next to all-hit / all-miss).
+                    missing_models.clear();
+                    missing_models.extend(missing_rows.iter().map(|&r| row_models[r].clone()));
+                    checker.check_all_executions(&execs[rep], &missing_models)
                 };
-                slot.store(if allowed { 2 } else { 1 }, Ordering::Relaxed);
+                for (&row, verdict) in missing_rows.iter().zip(&verdicts) {
+                    results[row * reps + rep]
+                        .store(if verdict.allowed { 2 } else { 1 }, Ordering::Relaxed);
+                    if cache.is_some() {
+                        local_batch.push(((rows.model_fps[row], fps[rep]), verdict.allowed));
+                    }
+                }
             }
         }
         cache_hits.fetch_add(hits, Ordering::Relaxed);
@@ -239,6 +278,7 @@ where
     };
 
     let mut sat = SolverStats::default();
+    let mut amortized = BatchStats::default();
     if workers <= 1 {
         let checker = make_checker();
         let mut local = Vec::new();
@@ -249,6 +289,9 @@ where
         if let Some(stats) = checker.solver_stats() {
             sat.absorb(stats);
         }
+        if let Some(stats) = checker.batch_stats() {
+            amortized.absorb(stats);
+        }
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -257,17 +300,21 @@ where
                         let checker = make_checker();
                         let mut local = Vec::new();
                         sweep(&mut local, checker.as_ref());
-                        (local, checker.solver_stats())
+                        (local, checker.solver_stats(), checker.batch_stats())
                     })
                 })
                 .collect();
             for handle in handles {
-                let (local, stats) = handle.join().expect("sweep workers do not panic");
+                let (local, solver, batched) =
+                    handle.join().expect("sweep workers do not panic");
                 if let Some(cache) = cache {
                     cache.merge(local);
                 }
-                if let Some(stats) = stats {
+                if let Some(stats) = solver {
                     sat.absorb(stats);
+                }
+                if let Some(stats) = batched {
+                    amortized.absorb(stats);
                 }
             }
         });
@@ -282,6 +329,7 @@ where
         cache_hits.load(Ordering::Relaxed),
         checker_calls.load(Ordering::Relaxed),
         sat,
+        amortized,
     )
 }
 
@@ -301,35 +349,39 @@ impl Exploration {
         }
     }
 
-    /// Runs the exploration with the explicit checker fanned out over all
-    /// available cores.
+    /// Runs the exploration with the batched explicit checker fanned out
+    /// over all available cores, one test row at a time.
     #[must_use]
     pub fn run_parallel(models: Vec<MemoryModel>, tests: Vec<LitmusTest>) -> Self {
         Exploration::run_engine(
             models,
             tests,
-            || Box::new(ExplicitChecker::new()),
+            || Box::new(BatchExplicitChecker::new()),
             &EngineConfig::default(),
             None,
         )
         .0
     }
 
-    /// The materialized sweep engine.
-    ///
-    /// Work items are (distinct-formula, canonical-test) pairs:
+    /// The materialized sweep engine, test-major: the unit of parallel
+    /// work is a **canonical test row**, checked against every
+    /// distinct-formula model in one [`BatchChecker`] call.
     ///
     /// 1. models with structurally identical must-not-reorder formulas are
     ///    checked once (`TSO` and `x86` share a row);
     /// 2. with [`EngineConfig::canonicalize`], tests are collapsed to one
     ///    representative per symmetry orbit;
-    /// 3. with a [`VerdictCache`], pairs answered in an earlier sweep are
-    ///    never re-checked — workers look up before checking and merge
-    ///    their newly computed verdicts into the cache shard-by-shard when
-    ///    the sweep completes.
+    /// 3. with a [`VerdictCache`], rows answered in an earlier sweep are
+    ///    never re-checked — workers do one row-keyed lookup per test,
+    ///    batch only the missing models, and merge their newly computed
+    ///    verdicts into the cache shard-by-shard when the sweep completes.
     ///
     /// `make_checker` is called once per worker thread, so checkers need
     /// not be `Sync` (the SAT checkers carry per-instance solver state).
+    /// Any per-cell [`Checker`] coerces through its blanket
+    /// [`BatchChecker`] adapter; pass a natively batched checker
+    /// ([`BatchExplicitChecker`], [`mcm_axiomatic::BatchSatChecker`]) to
+    /// amortize candidate enumeration / encoding across each row.
     ///
     /// This is the materialized front-end of the streaming core: the
     /// deduplicated suite goes through the same `sweep_grid` the
@@ -344,7 +396,7 @@ impl Exploration {
         cache: Option<&VerdictCache>,
     ) -> (Self, SweepStats)
     where
-        F: Fn() -> Box<dyn Checker> + Sync,
+        F: Fn() -> Box<dyn BatchChecker> + Sync,
     {
         let rows = formula_rows(&models);
         let jobs = resolve_jobs(config);
@@ -384,7 +436,7 @@ impl Exploration {
             };
 
         let reps = rep_execs.len();
-        let (bits, cache_hits, checker_calls, sat) = sweep_grid(
+        let (bits, cache_hits, checker_calls, sat, batch) = sweep_grid(
             &models,
             &rows,
             &rep_execs,
@@ -417,6 +469,7 @@ impl Exploration {
             tests_streamed: tests.len() as u64,
             peak_batch: reps,
             sat,
+            batch,
         };
         (
             Exploration {
@@ -455,7 +508,7 @@ impl Exploration {
     ) -> (Self, SweepStats)
     where
         I: IntoIterator<Item = LitmusTest>,
-        F: Fn() -> Box<dyn Checker> + Sync,
+        F: Fn() -> Box<dyn BatchChecker> + Sync,
     {
         let rows = formula_rows(&models);
         let jobs = resolve_jobs(config);
@@ -470,6 +523,7 @@ impl Exploration {
         let mut cache_hits = 0u64;
         let mut checker_calls = 0u64;
         let mut sat = SolverStats::default();
+        let mut batched = BatchStats::default();
         loop {
             let chunk: Vec<LitmusTest> = iter.by_ref().take(chunk_size).collect();
             if chunk.is_empty() {
@@ -499,7 +553,7 @@ impl Exploration {
                 continue;
             }
             let execs: Vec<Execution> = batch.iter().map(LitmusTest::execution).collect();
-            let (bits, hits, calls, grid_sat) = sweep_grid(
+            let (bits, hits, calls, grid_sat, grid_batch) = sweep_grid(
                 &models,
                 &rows,
                 &execs,
@@ -511,6 +565,7 @@ impl Exploration {
             cache_hits += hits;
             checker_calls += calls;
             sat.absorb(grid_sat);
+            batched.absorb(grid_batch);
             for (r, vector) in row_verdicts.iter_mut().enumerate() {
                 for t in 0..batch.len() {
                     vector.push(bits[r * batch.len() + t]);
@@ -533,6 +588,7 @@ impl Exploration {
             tests_streamed: streamed,
             peak_batch,
             sat,
+            batch: batched,
         };
         (
             Exploration {
@@ -616,6 +672,7 @@ fn verdict_vector(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcm_axiomatic::ExplicitChecker;
     use mcm_models::catalog;
     use mcm_models::named;
 
@@ -684,6 +741,55 @@ mod tests {
         assert_eq!(stats.checker_calls, stats.unique_pairs);
         assert_eq!(stats.tests_streamed, engine.tests.len() as u64);
         assert_eq!(stats.peak_batch, stats.canonical_tests);
+    }
+
+    #[test]
+    fn batched_engine_matches_sequential_and_amortizes_rows() {
+        let models = vec![named::sc(), named::tso(), named::x86(), named::pso(), named::rmo()];
+        let tests = catalog::all_tests();
+        let seq = Exploration::run(models.clone(), tests.clone(), &ExplicitChecker::new());
+        let (engine, stats) = Exploration::run_engine(
+            models,
+            tests,
+            || Box::new(BatchExplicitChecker::new()),
+            &EngineConfig::default(),
+            None,
+        );
+        assert_eq!(seq.verdicts, engine.verdicts);
+        // One batched row per test, covering the 4 distinct formulas.
+        assert_eq!(stats.batch.rows, engine.tests.len() as u64);
+        assert_eq!(stats.batch.models_checked, stats.unique_pairs);
+        assert!(
+            stats.batch.model_groups <= stats.batch.models_checked,
+            "grouping never exceeds the model count"
+        );
+        assert!(stats.batch.shared_candidates > 0);
+        // Per-cell adapters share nothing and report no row counters.
+        let (_, per_cell) = Exploration::run_engine(
+            vec![named::sc(), named::tso()],
+            catalog::all_tests(),
+            || Box::new(ExplicitChecker::new()),
+            &EngineConfig::default(),
+            None,
+        );
+        assert_eq!(per_cell.batch, mcm_axiomatic::BatchStats::default());
+    }
+
+    #[test]
+    fn batch_sat_engine_matches_the_explicit_rows() {
+        let models = vec![named::sc(), named::tso(), named::ibm370()];
+        let tests = vec![catalog::l7(), catalog::mp(), catalog::test_a()];
+        let seq = Exploration::run(models.clone(), tests.clone(), &ExplicitChecker::new());
+        let (engine, stats) = Exploration::run_engine(
+            models,
+            tests,
+            || Box::new(mcm_axiomatic::BatchSatChecker::new()),
+            &EngineConfig::default(),
+            None,
+        );
+        assert_eq!(seq.verdicts, engine.verdicts);
+        assert!(stats.batch.assumption_solves > 0);
+        assert!(stats.sat.propagations > 0, "assumption solves count work");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use mcm_axiomatic::{Checker, ExplicitChecker, Verdict};
+use mcm_axiomatic::{BatchChecker, Checker, ExplicitChecker, Verdict};
 use mcm_core::{Execution, MemoryModel};
 use mcm_explore::{cache::VerdictCache, EngineConfig, Exploration};
 use mcm_models::{catalog, named};
@@ -50,7 +50,7 @@ fn second_sweep_hits_the_cache_for_every_pair() {
         Box::new(CountingChecker {
             inner: ExplicitChecker::new(),
             calls: Arc::clone(&calls),
-        }) as Box<dyn Checker>
+        }) as Box<dyn BatchChecker>
     };
     let config = EngineConfig::canonicalizing();
 
@@ -81,7 +81,7 @@ fn cache_is_shared_across_different_model_subsets() {
     let tests = catalog::all_tests();
     let cache = VerdictCache::new();
     let config = EngineConfig::default();
-    let factory = || Box::new(ExplicitChecker::new()) as Box<dyn Checker>;
+    let factory = || Box::new(ExplicitChecker::new()) as Box<dyn BatchChecker>;
 
     let (_, cold) = Exploration::run_engine(
         vec![named::tso()],

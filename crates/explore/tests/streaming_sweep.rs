@@ -7,15 +7,15 @@
 
 use std::collections::HashMap;
 
-use mcm_axiomatic::{Checker, ExplicitChecker};
+use mcm_axiomatic::{BatchChecker, BatchExplicitChecker};
 use mcm_core::MemoryModel;
 use mcm_explore::{paper, EngineConfig, Exploration};
 use mcm_gen::stream::{self, StreamBounds};
 use mcm_gen::{canon, naive};
 use proptest::prelude::*;
 
-fn factory() -> Box<dyn Checker> {
-    Box::new(ExplicitChecker::new())
+fn factory() -> Box<dyn BatchChecker> {
+    Box::new(BatchExplicitChecker::new())
 }
 
 fn tiny_bounds() -> StreamBounds {

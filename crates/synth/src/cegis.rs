@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 
-use mcm_axiomatic::{Checker, ExplicitChecker};
+use mcm_axiomatic::{BatchChecker, BatchExplicitChecker};
 use mcm_core::{LitmusTest, MemoryModel, SlotRf, TestSkeleton};
 use mcm_explore::VerdictCache;
 use mcm_gen::canon;
@@ -99,7 +99,10 @@ pub struct Synthesizer {
     state_of: Vec<usize>,
     states: Vec<Option<AllowerState>>,
     cache: VerdictCache,
-    oracle: ExplicitChecker,
+    /// The refuting oracle: the batched explicit checker, so a candidate
+    /// can be judged by both sides of a pair over one shared `(rf, co)`
+    /// enumeration. Independent of the symbolic encoding by construction.
+    oracle: BatchExplicitChecker,
     counters: SynthStats,
 }
 
@@ -167,7 +170,7 @@ impl Synthesizer {
             state_of,
             states,
             cache: VerdictCache::new(),
-            oracle: ExplicitChecker::new(),
+            oracle: BatchExplicitChecker::new(),
             counters: SynthStats::default(),
         })
     }
@@ -336,6 +339,12 @@ impl Synthesizer {
         // counterexample to the structure, whose complete outcome space is
         // swept through the oracle directly (it is tiny — the product of
         // per-read source choices), and blocks the structure.
+        // The pair, as a slice, so both sides of a candidate are judged
+        // over one shared (rf, co) enumeration of the batched oracle.
+        let pair_models = [
+            self.models[allower].clone(),
+            self.models[forbidder].clone(),
+        ];
         loop {
             self.counters.sat_queries += 1;
             let state = self.states[slot].as_mut().expect("initialized above");
@@ -355,11 +364,20 @@ impl Synthesizer {
                     .decode(name)
                     .expect("symbolic skeletons decode to well-formed tests");
                 let key = test_key(&test);
-                if !self.verdict(allower, allower_fp, key, &test) {
+                let (allower_allows, forbidder_allows) = pair_oracle_verdicts(
+                    &self.cache,
+                    &self.oracle,
+                    &mut self.counters,
+                    &pair_models,
+                    (allower_fp, forbidder_fp),
+                    key,
+                    &test,
+                );
+                if !allower_allows {
                     continue;
                 }
                 any_allowed = true;
-                let distinguishes = !self.verdict(forbidder, forbidder_fp, key, &test);
+                let distinguishes = !forbidder_allows;
                 let state = self.states[slot].as_mut().expect("initialized above");
                 let entry = state.shapes.get_mut(shape).expect("inserted above");
                 entry.tests.push((key, test.clone()));
@@ -382,26 +400,13 @@ impl Synthesizer {
         }
     }
 
-    /// Oracle verdict for the model at `index` on `test`, memoized across
-    /// every pair of the engine.
-    fn verdict(&mut self, index: usize, model_fp: u64, test_key: u64, test: &LitmusTest) -> bool {
-        oracle_verdict(
-            &self.cache,
-            &self.oracle,
-            &mut self.counters,
-            &self.models[index],
-            model_fp,
-            test_key,
-            test,
-        )
-    }
 }
 
 /// The memoized oracle, as a free function so callers holding borrows
 /// into the synthesizer's enumeration state can still consult it.
 fn oracle_verdict(
     cache: &VerdictCache,
-    oracle: &ExplicitChecker,
+    oracle: &BatchExplicitChecker,
     counters: &mut SynthStats,
     model: &MemoryModel,
     model_fp: u64,
@@ -413,9 +418,54 @@ fn oracle_verdict(
         return memoized;
     }
     counters.oracle_calls += 1;
-    let allowed = oracle.check(model, test).allowed;
+    let allowed = oracle.check_all(test, std::slice::from_ref(model))[0].allowed;
     cache.insert(key, allowed);
     allowed
+}
+
+/// Both sides of a pair on one candidate. When neither verdict is cached
+/// — the common cold case — a single batched oracle call shares the
+/// candidate's `(rf, co)` enumeration between allower and forbidder;
+/// mixed cases fall back to single checks, and the forbidder is never
+/// computed for a candidate the allower already forbids (its slot of the
+/// return value is then meaningless to the caller anyway).
+fn pair_oracle_verdicts(
+    cache: &VerdictCache,
+    oracle: &BatchExplicitChecker,
+    counters: &mut SynthStats,
+    pair_models: &[MemoryModel; 2],
+    pair_fps: (u64, u64),
+    test_key: u64,
+    test: &LitmusTest,
+) -> (bool, bool) {
+    let a_key = (pair_fps.0, test_key);
+    let b_key = (pair_fps.1, test_key);
+    match (cache.get(a_key), cache.get(b_key)) {
+        (Some(a), Some(b)) => (a, b),
+        (None, None) => {
+            counters.oracle_calls += 2;
+            let verdicts = oracle.check_all(test, pair_models);
+            cache.insert(a_key, verdicts[0].allowed);
+            cache.insert(b_key, verdicts[1].allowed);
+            (verdicts[0].allowed, verdicts[1].allowed)
+        }
+        (a_cached, b_cached) => {
+            let a = a_cached.unwrap_or_else(|| {
+                oracle_verdict(
+                    cache, oracle, counters, &pair_models[0], pair_fps.0, test_key, test,
+                )
+            });
+            if !a {
+                return (false, true);
+            }
+            let b = b_cached.unwrap_or_else(|| {
+                oracle_verdict(
+                    cache, oracle, counters, &pair_models[1], pair_fps.1, test_key, test,
+                )
+            });
+            (a, b)
+        }
+    }
 }
 
 /// Expands a structure (program skeleton) into its complete outcome
@@ -517,6 +567,7 @@ fn shapes(total: usize, threads: usize, max_per_thread: usize) -> Vec<Vec<usize>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcm_axiomatic::{Checker, ExplicitChecker};
     use mcm_models::named;
 
     fn tiny_bounds() -> SynthBounds {
