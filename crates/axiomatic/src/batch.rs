@@ -86,6 +86,20 @@ impl BatchStats {
         self.group_evals += other.group_evals;
         self.assumption_solves += other.assumption_solves;
     }
+
+    /// The counters as stable `(name, value)` pairs — the structured view
+    /// serializable reports render from, so field names live in one place.
+    #[must_use]
+    pub fn counters(&self) -> [(&'static str, u64); 6] {
+        [
+            ("rows", self.rows),
+            ("models_checked", self.models_checked),
+            ("model_groups", self.model_groups),
+            ("shared_candidates", self.shared_candidates),
+            ("group_evals", self.group_evals),
+            ("assumption_solves", self.assumption_solves),
+        ]
+    }
 }
 
 /// An admissibility checker that answers a whole row of models against

@@ -1,0 +1,107 @@
+//! The query layer must be a zero-cost front door: routing the Figure-4
+//! sweep through `mcm_query::Query` has to produce the **same
+//! `SweepStats` counters** and **bit-identical verdicts** as calling
+//! `Exploration::run_engine` directly, at indistinguishable wall time.
+//!
+//! Asserted before the timed benches run (so CI catches a query layer
+//! that silently reconfigures the engine), then both paths are timed.
+//!
+//! Run with `cargo bench -p mcm-bench --bench query_overhead`; CI runs
+//! it with `-- --test`, which executes everything once, untimed.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcm_explore::{paper, EngineConfig, Exploration};
+use mcm_query::{CheckerKind, ModelSpec, Query, TestSource};
+
+/// One worker, no cache: deterministic counters on both paths.
+fn config() -> EngineConfig {
+    EngineConfig {
+        jobs: Some(1),
+        ..EngineConfig::default()
+    }
+}
+
+/// The pre-query code path, exactly as the CLI used to hand-wire it:
+/// `run_engine` followed by `paper::report_from` (lattice + minimal-set
+/// certificate), so the two timings cover the same work.
+fn direct_sweep() -> (paper::SpaceReport, mcm_explore::SweepStats) {
+    let (exploration, stats) = Exploration::run_engine(
+        paper::digit_space_models(false),
+        paper::comparison_tests(false),
+        || CheckerKind::Explicit.build_batch(),
+        &config(),
+        None,
+    );
+    (paper::report_from(exploration), stats)
+}
+
+fn query_sweep() -> mcm_query::SweepReport {
+    Query::sweep()
+        .models(ModelSpec::Figure4)
+        .tests(TestSource::TemplateSuite { with_deps: false })
+        .checker(CheckerKind::Explicit)
+        .engine(config())
+        .run()
+        .expect("the Figure 4 space resolves")
+}
+
+/// The guard: same counters, zero verdict mismatches, comparable time.
+fn assert_query_adds_no_overhead() {
+    let start = Instant::now();
+    let (direct, direct_stats) = direct_sweep();
+    let direct_time = start.elapsed();
+
+    let start = Instant::now();
+    let report = query_sweep();
+    let query_time = start.elapsed();
+
+    assert_eq!(
+        report.stats, direct_stats,
+        "Query must drive the engine with identical settings"
+    );
+    let direct_expl = &direct.exploration;
+    let mut mismatches = 0usize;
+    assert_eq!(report.exploration.models.len(), direct_expl.models.len());
+    assert_eq!(report.exploration.tests.len(), direct_expl.tests.len());
+    for (m, direct_row) in direct_expl.verdicts.iter().enumerate() {
+        for t in 0..direct_expl.tests.len() {
+            if report.exploration.verdicts[m].allowed(t) != direct_row.allowed(t) {
+                mismatches += 1;
+            }
+        }
+    }
+    assert_eq!(mismatches, 0, "verdict lattices must be bit-identical");
+    // The certified artifacts must agree too — the query layer adds a
+    // declarative front door, not different answers.
+    assert_eq!(
+        report.minimal_set.as_ref().map(|m| m.tests.len()),
+        Some(direct.minimal_set.tests.len()),
+    );
+    assert_eq!(report.equivalent_pairs, direct.equivalent_pairs);
+    assert_eq!(report.lattice.classes.len(), direct.lattice.classes.len());
+    println!(
+        "query_overhead: direct {direct_time:.2?} vs query {query_time:.2?} \
+         ({} models x {} tests, {} checker calls each, 0 mismatches)",
+        direct_expl.models.len(),
+        direct_expl.tests.len(),
+        direct_stats.checker_calls,
+    );
+}
+
+fn bench_query_overhead(c: &mut Criterion) {
+    assert_query_adds_no_overhead();
+    let mut group = c.benchmark_group("query_overhead");
+    group.bench_function("run_engine_direct", |b| {
+        b.iter(|| black_box(direct_sweep()));
+    });
+    group.bench_function("query_sweep", |b| {
+        b.iter(|| black_box(query_sweep()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_overhead);
+criterion_main!(benches);

@@ -1,18 +1,42 @@
-//! Subcommand implementations.
+//! Subcommand implementations: a thin shell over [`mcm_query`].
+//!
+//! Each subcommand parses its flags into a [`Query`], runs it, and
+//! renders the typed report through the global `--format text|json|csv|
+//! dot` / `--out FILE` options. No model resolution, checker
+//! construction or report formatting happens here — that all lives in
+//! the query layer, where a server or a notebook can reach it too.
 
 use std::fs;
-use std::time::Instant;
 
-use mcm_axiomatic::{Checker, CheckerKind, ExplicitChecker};
-use mcm_core::parse::parse_litmus_file;
-use mcm_core::MemoryModel;
-use mcm_explore::dot::{render_dot, DotOptions};
-use mcm_explore::{distinguish, paper};
-use mcm_explore::{EngineConfig, Exploration, Relation, SweepStats, VerdictCache};
-use mcm_gen::{count, naive, template_suite, Segment, SegmentType};
-use mcm_models::catalog;
+use mcm_query::reports::FigureSelection;
+use mcm_query::{
+    CheckerKind, EngineConfig, Format, ModelSpec, Query, QueryError, Render, StreamBounds,
+    SynthBounds, TestSource,
+};
 
-use crate::resolve;
+/// A subcommand failure, split along the exit-code contract: usage
+/// errors (malformed request — exit 2) versus run failures (the request
+/// was well-formed but executing it failed — exit 1).
+pub enum CliError {
+    /// The command line was malformed (exit 2).
+    Usage(String),
+    /// The run itself failed: unreadable file, parse error (exit 1).
+    Run(String),
+}
+
+impl From<QueryError> for CliError {
+    fn from(err: QueryError) -> CliError {
+        if err.is_usage() {
+            CliError::Usage(err.to_string())
+        } else {
+            CliError::Run(err.to_string())
+        }
+    }
+}
+
+fn usage(message: impl Into<String>) -> CliError {
+    CliError::Usage(message.into())
+}
 
 /// The flags (valueless) and options (value-taking) one subcommand knows.
 /// Every command validates its arguments against its spec up front, so an
@@ -23,21 +47,26 @@ struct ArgSpec {
     options: &'static [&'static str],
 }
 
+/// The output options every subcommand accepts.
+const OUTPUT_OPTIONS: [&str; 2] = ["--format", "--out"];
+
 impl ArgSpec {
     /// Rejects unknown `--` arguments and options without a value.
-    fn validate(&self, args: &[String]) -> Result<(), String> {
+    fn validate(&self, args: &[String]) -> Result<(), CliError> {
+        let known_option =
+            |a: &str| self.options.contains(&a) || OUTPUT_OPTIONS.contains(&a);
         let mut i = 0;
         while i < args.len() {
             let a = args[i].as_str();
-            if self.options.contains(&a) {
+            if known_option(a) {
                 match args.get(i + 1) {
                     Some(value) if !value.starts_with("--") => i += 2,
-                    _ => return Err(format!("{a} requires a value")),
+                    _ => return Err(usage(format!("{a} requires a value"))),
                 }
             } else if self.flags.contains(&a) {
                 i += 1;
             } else if a.starts_with("--") {
-                return Err(format!("unknown flag `{a}`; try `mcm help`"));
+                return Err(usage(format!("unknown flag `{a}`; try `mcm help`")));
             } else {
                 i += 1;
             }
@@ -51,7 +80,7 @@ impl ArgSpec {
         let mut i = 0;
         while i < args.len() {
             let a = &args[i];
-            if self.options.contains(&a.as_str()) {
+            if self.options.contains(&a.as_str()) || OUTPUT_OPTIONS.contains(&a.as_str()) {
                 i += 2;
             } else if a.starts_with("--") {
                 i += 1;
@@ -75,16 +104,40 @@ fn option_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Resolves the global `--format` option (default `text`).
+fn output_format(args: &[String]) -> Result<Format, CliError> {
+    match option_value(args, "--format") {
+        None => Ok(Format::Text),
+        Some(name) => Format::from_name(name).ok_or_else(|| {
+            usage(format!("unknown format `{name}`; try text|json|csv|dot"))
+        }),
+    }
+}
+
+/// Renders `report` in the requested `--format` and delivers it: stdout
+/// by default, the `--out` file when given.
+fn emit(report: &dyn Render, args: &[String]) -> Result<(), CliError> {
+    let rendered = report.render(output_format(args)?)?;
+    match option_value(args, "--out") {
+        Some(path) => fs::write(path, &rendered)
+            .map_err(|e| CliError::Run(format!("cannot write {path}: {e}"))),
+        None => {
+            print!("{rendered}");
+            Ok(())
+        }
+    }
+}
+
 /// Parses the sweep-engine flags shared by `explore` and `distinguish`:
 /// `--canonicalize`, `--cache`, `--jobs N`.
-fn engine_options(args: &[String]) -> Result<(EngineConfig, bool), String> {
+fn engine_options(args: &[String]) -> Result<(EngineConfig, bool), CliError> {
     let jobs = match option_value(args, "--jobs") {
         None => None,
         Some(n) => Some(
             n.parse::<usize>()
                 .ok()
                 .filter(|&n| n > 0)
-                .ok_or_else(|| format!("--jobs needs a positive integer, got `{n}`"))?,
+                .ok_or_else(|| usage(format!("--jobs needs a positive integer, got `{n}`")))?,
         ),
     };
     let config = EngineConfig {
@@ -95,75 +148,42 @@ fn engine_options(args: &[String]) -> Result<(EngineConfig, bool), String> {
     Ok((config, flag(args, "--cache")))
 }
 
-fn print_sweep_stats(stats: &SweepStats) {
-    println!(
-        "sweep: {} pairs -> {} unique ({} models x {} canonical tests), \
-         {} cache hits, {} checker calls ({:.1}x reduction)",
-        stats.total_pairs,
-        stats.unique_pairs,
-        stats.distinct_models,
-        stats.canonical_tests,
-        stats.cache_hits,
-        stats.checker_calls,
-        stats.reduction_factor(),
-    );
-    if stats.batch.rows > 0 {
-        println!(
-            "sweep batching: {} test rows, {} model verdicts in {} groups \
-             ({:.1}x row collapse), {} shared candidates, {} assumption solves",
-            stats.batch.rows,
-            stats.batch.models_checked,
-            stats.batch.model_groups,
-            stats.batch.row_collapse(),
-            stats.batch.shared_candidates,
-            stats.batch.assumption_solves,
-        );
-    }
-    if stats.sat != mcm_sat::SolverStats::default() {
-        println!(
-            "sweep solver: {} decisions, {} propagations, {} conflicts, {} restarts",
-            stats.sat.decisions,
-            stats.sat.propagations,
-            stats.sat.conflicts,
-            stats.sat.restarts,
-        );
-    }
-}
-
 /// Resolves `--checker` to a [`CheckerKind`] (defaulting to the explicit
-/// checker) — shared by the per-cell `check` command and the batched
-/// sweep commands, which build the per-cell or test-major implementation
-/// from the same kind.
-fn checker_kind_from(args: &[String]) -> Result<CheckerKind, String> {
+/// checker).
+fn checker_kind_from(args: &[String]) -> Result<CheckerKind, CliError> {
     let name = option_value(args, "--checker").unwrap_or("explicit");
     CheckerKind::from_name(name).ok_or_else(|| {
         let known: Vec<&str> = CheckerKind::ALL.iter().map(|k| k.name()).collect();
-        format!("unknown checker `{name}`; try one of {}", known.join("/"))
+        usage(format!(
+            "unknown checker `{name}`; try one of {}",
+            known.join("/")
+        ))
     })
 }
 
-fn checker_from(args: &[String]) -> Result<Box<dyn Checker>, String> {
-    Ok(checker_kind_from(args)?.build())
-}
-
 /// Resolves the model space shared by `explore` and `distinguish`:
-/// `--models SPEC` (see [`resolve::model_set`]) wins; otherwise the digit
-/// space honoring `--no-deps`. Returns the models plus whether the
-/// comparison suite should include dependency idioms (true iff some model
-/// can observe them).
-fn models_from(args: &[String]) -> Result<(Vec<MemoryModel>, bool), String> {
+/// `--models SPEC` (see [`mcm_query::resolve::model_set`]) wins;
+/// otherwise the digit space honoring `--no-deps`. Returns the models
+/// plus whether the comparison suite should include dependency idioms
+/// (true iff some model can observe them).
+fn models_from(args: &[String]) -> Result<(ModelSpec, bool), CliError> {
     match option_value(args, "--models") {
         Some(spec) => {
             if flag(args, "--no-deps") {
-                return Err("--no-deps conflicts with --models; name the set once".to_string());
+                return Err(usage("--no-deps conflicts with --models; name the set once"));
             }
-            let models = resolve::model_set(spec)?;
-            let with_deps = models.iter().any(|m| m.formula().uses_dependencies());
-            Ok((models, with_deps))
+            let models = mcm_query::resolve::model_set(spec)?;
+            let with_deps = mcm_query::models_use_dependencies(&models);
+            Ok((ModelSpec::Models(models), with_deps))
         }
         None => {
             let with_deps = !flag(args, "--no-deps");
-            Ok((paper::digit_space_models(with_deps), with_deps))
+            let spec = if with_deps {
+                ModelSpec::Full90
+            } else {
+                ModelSpec::Figure4
+            };
+            Ok((spec, with_deps))
         }
     }
 }
@@ -174,21 +194,21 @@ const SYNTH_SPEC: ArgSpec = ArgSpec {
 };
 
 /// Parses the synthesis bounds shared by both `synth` modes.
-fn synth_bounds(args: &[String]) -> Result<(mcm_synth::SynthBounds, usize), String> {
-    let mut bounds = mcm_synth::SynthBounds::default();
+fn synth_bounds(args: &[String]) -> Result<(SynthBounds, usize), CliError> {
+    let mut bounds = SynthBounds::default();
     if let Some(n) = option_value(args, "--max-accesses") {
         bounds.max_accesses_per_thread = n
             .parse::<usize>()
             .ok()
             .filter(|&n| (1..=4).contains(&n))
-            .ok_or_else(|| format!("--max-accesses needs 1..=4, got `{n}`"))?;
+            .ok_or_else(|| usage(format!("--max-accesses needs 1..=4, got `{n}`")))?;
     }
     if let Some(n) = option_value(args, "--max-locs") {
         bounds.max_locs = n
             .parse::<u8>()
             .ok()
             .filter(|&n| n >= 1)
-            .ok_or_else(|| format!("--max-locs needs 1..=255, got `{n}`"))?;
+            .ok_or_else(|| usage(format!("--max-locs needs 1..=255, got `{n}`")))?;
     }
     bounds.include_fences = flag(args, "--fences");
     bounds.include_deps = flag(args, "--deps");
@@ -199,168 +219,81 @@ fn synth_bounds(args: &[String]) -> Result<(mcm_synth::SynthBounds, usize), Stri
             .ok()
             .filter(|&n| (bounds.min_total()..=bounds.max_total()).contains(&n))
             .ok_or_else(|| {
-                format!(
+                usage(format!(
                     "--max-size needs {}..={} for these bounds, got `{n}`",
                     bounds.min_total(),
                     bounds.max_total()
-                )
+                ))
             })?,
     };
     Ok((bounds, max_size))
-}
-
-fn print_synth_stats(stats: &mcm_synth::SynthStats, verbose: bool) {
-    println!(
-        "cegis: {} SAT queries -> {} structures -> {} candidates, {} witnesses, \
-         {} sub-spaces exhausted, {} oracle calls (+{} cached)",
-        stats.sat_queries,
-        stats.structures,
-        stats.candidates,
-        stats.witnesses,
-        stats.shapes_exhausted,
-        stats.oracle_calls,
-        stats.oracle_cache_hits,
-    );
-    if verbose {
-        println!(
-            "solver: {} decisions, {} propagations, {} conflicts, {} restarts, \
-             {} learnt clauses retained",
-            stats.solver.decisions,
-            stats.solver.propagations,
-            stats.solver.conflicts,
-            stats.solver.restarts,
-            stats.solver.learnt_clauses,
-        );
-        if stats.encoding_mismatches > 0 {
-            println!(
-                "WARNING: {} encoding/oracle mismatches (please report)",
-                stats.encoding_mismatches
-            );
-        }
-    }
 }
 
 /// `mcm synth <MODEL> <MODEL> [--max-size N] [--max-accesses N]
 /// [--max-locs N] [--fences] [--deps] [--verbose]`, or
 /// `mcm synth --matrix [MODEL...]` for the full pairwise minimal-length
 /// matrix (the Figure 4 space when no models are named).
-pub fn synth(args: &[String]) -> Result<(), String> {
+pub fn synth(args: &[String]) -> Result<(), CliError> {
     SYNTH_SPEC.validate(args)?;
     let (bounds, max_size) = synth_bounds(args)?;
     let verbose = flag(args, "--verbose");
     let names = SYNTH_SPEC.positional(args);
     if flag(args, "--matrix") {
-        return synth_matrix(args, &names, bounds, max_size, verbose);
+        let spec = synth_matrix_models(args, &names, &bounds)?;
+        // Progress note on stderr: the full Figure-4 matrix takes ~20 s
+        // and stdout must stay a clean document in non-text formats.
+        eprintln!("synthesizing the pairwise minimal-length matrix ...");
+        let report = Query::synth_matrix(spec)
+            .bounds(bounds)
+            .max_size(max_size)
+            .verbose(verbose)
+            .run()?;
+        return emit(&report, args);
     }
     if option_value(args, "--models").is_some() {
-        return Err("--models requires --matrix".to_string());
+        return Err(usage("--models requires --matrix"));
     }
     let [left, right] = names.as_slice() else {
-        return Err(
+        return Err(usage(
             "usage: mcm synth <MODEL> <MODEL> [--max-size N] [--max-accesses N] \
-             [--max-locs N] [--fences] [--deps] [--verbose], or mcm synth --matrix"
-                .to_string(),
-        );
+             [--max-locs N] [--fences] [--deps] [--verbose], or mcm synth --matrix",
+        ));
     };
-    let models = vec![resolve::model(left)?, resolve::model(right)?];
-    let start = Instant::now();
-    let mut synthesizer =
-        mcm_synth::Synthesizer::new(models, bounds).map_err(|e| e.to_string())?;
-    let pair = synthesizer.pair(0, 1, max_size);
-    let elapsed = start.elapsed();
-    match (&pair.length, &pair.witness) {
-        (Some(length), Some(witness)) => {
-            println!(
-                "minimal distinguishing length for {} vs {}: {} accesses \
-                 (SAT-certified minimum, {:.2?})",
-                left, right, length, elapsed,
-            );
-            println!(
-                "witness (allowed by {}, forbidden by {}):",
-                pair.allowed_by.as_deref().unwrap_or("?"),
-                pair.forbidden_by.as_deref().unwrap_or("?"),
-            );
-            print!("{witness}");
-        }
-        _ => println!(
-            "{left} and {right} are indistinguishable by any test of <= {max_size} \
-             accesses within these bounds (UNSAT-certified, {elapsed:.2?})",
-        ),
-    }
-    print_synth_stats(&synthesizer.stats(), verbose);
-    Ok(())
+    let report = Query::synth(left.as_str(), right.as_str())
+        .bounds(bounds)
+        .max_size(max_size)
+        .verbose(verbose)
+        .run()?;
+    emit(&report, args)
 }
 
-fn synth_matrix(
+/// The model space of a `synth --matrix` request: positional names, a
+/// `--models` spec, or the paper's digit space (dependency-free unless
+/// `--deps` widens the search to idioms only the 90-model space can
+/// observe).
+fn synth_matrix_models(
     args: &[String],
     names: &[&String],
-    bounds: mcm_synth::SynthBounds,
-    max_size: usize,
-    verbose: bool,
-) -> Result<(), String> {
+    bounds: &SynthBounds,
+) -> Result<ModelSpec, CliError> {
     if !names.is_empty() && option_value(args, "--models").is_some() {
-        return Err("name models positionally or via --models, not both".to_string());
+        return Err(usage("name models positionally or via --models, not both"));
     }
-    let models = if let Some(spec) = option_value(args, "--models") {
-        resolve::model_set(spec)?
+    if let Some(spec) = option_value(args, "--models") {
+        Ok(ModelSpec::parse(spec))
     } else if names.is_empty() {
-        // Figure 4's dependency-free space by default; --deps switches to
-        // the full 90-model space whose formulas can observe the
-        // dependency idioms the flag adds to the search space.
-        paper::digit_space_models(bounds.include_deps)
+        Ok(if bounds.include_deps {
+            ModelSpec::Full90
+        } else {
+            ModelSpec::Figure4
+        })
     } else if names.len() == 1 {
-        return Err("--matrix needs zero or at least two models".to_string());
+        Err(usage("--matrix needs zero or at least two models"))
     } else {
-        names
-            .iter()
-            .map(|n| resolve::model(n))
-            .collect::<Result<Vec<_>, _>>()?
-    };
-    if models.len() < 2 {
-        return Err("--matrix needs at least two models".to_string());
+        Ok(ModelSpec::List(
+            names.iter().map(|n| n.to_string()).collect(),
+        ))
     }
-    println!(
-        "synthesizing the pairwise minimal-length matrix for {} models \
-         (<= {} accesses/thread, {} locs{}{}, lengths <= {max_size}) ...",
-        models.len(),
-        bounds.max_accesses_per_thread,
-        bounds.max_locs,
-        if bounds.include_fences { ", fences" } else { "" },
-        if bounds.include_deps { ", deps" } else { "" },
-    );
-    let start = Instant::now();
-    let mut synthesizer =
-        mcm_synth::Synthesizer::new(models, bounds).map_err(|e| e.to_string())?;
-    let matrix = synthesizer.matrix(max_size);
-    let elapsed = start.elapsed();
-    print!(
-        "{}",
-        mcm_explore::report::length_matrix_text(&matrix.names, &matrix.lengths)
-    );
-    let n = matrix.names.len();
-    let mut per_length: std::collections::BTreeMap<usize, usize> = Default::default();
-    let mut unseparated = 0usize;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            match matrix.lengths[i][j] {
-                Some(len) => *per_length.entry(len).or_default() += 1,
-                None => unseparated += 1,
-            }
-        }
-    }
-    let histogram: Vec<String> = per_length
-        .iter()
-        .map(|(len, count)| format!("{count} pairs at length {len}"))
-        .collect();
-    println!(
-        "{} pairs synthesized in {:.2?}: {}; {} pairs equivalent within bounds",
-        n * (n - 1) / 2,
-        elapsed,
-        histogram.join(", "),
-        unseparated,
-    );
-    print_synth_stats(&synthesizer.stats(), verbose);
-    Ok(())
 }
 
 const CHECK_SPEC: ArgSpec = ArgSpec {
@@ -369,28 +302,19 @@ const CHECK_SPEC: ArgSpec = ArgSpec {
 };
 
 /// `mcm check <MODEL> <FILE>`.
-pub fn check(args: &[String]) -> Result<(), String> {
+pub fn check(args: &[String]) -> Result<(), CliError> {
     CHECK_SPEC.validate(args)?;
     let pos = CHECK_SPEC.positional(args);
     let [model_name, path] = pos.as_slice() else {
-        return Err("usage: mcm check <MODEL> <FILE> [--checker C] [--witness]".to_string());
+        return Err(usage(
+            "usage: mcm check <MODEL> <FILE> [--checker C] [--witness]",
+        ));
     };
-    let model = resolve::model(model_name)?;
-    let checker = checker_from(args)?;
-    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let tests = parse_litmus_file(&text).map_err(|e| e.to_string())?;
-    if tests.is_empty() {
-        return Err(format!("{path} contains no tests"));
-    }
-    for test in &tests {
-        let verdict = checker.check(&model, test);
-        println!("{}: {} under {}", test.name(), verdict, model.name());
-        if flag(args, "--witness") {
-            let exec = test.execution();
-            print!("{}", mcm_axiomatic::explain::render(&model, &exec, &verdict));
-        }
-    }
-    Ok(())
+    let report = Query::check(model_name.as_str(), TestSource::File(path.into()))
+        .checker(checker_kind_from(args)?)
+        .witness(flag(args, "--witness"))
+        .run()?;
+    emit(&report, args)
 }
 
 const COMPARE_SPEC: ArgSpec = ArgSpec {
@@ -399,143 +323,98 @@ const COMPARE_SPEC: ArgSpec = ArgSpec {
 };
 
 /// `mcm compare <MODEL> <MODEL>`.
-pub fn compare(args: &[String]) -> Result<(), String> {
+pub fn compare(args: &[String]) -> Result<(), CliError> {
     COMPARE_SPEC.validate(args)?;
     let pos = COMPARE_SPEC.positional(args);
-    let [left_name, right_name] = pos.as_slice() else {
-        return Err("usage: mcm compare <MODEL> <MODEL> [--no-deps]".to_string());
+    let [left, right] = pos.as_slice() else {
+        return Err(usage("usage: mcm compare <MODEL> <MODEL> [--no-deps]"));
     };
-    let left = resolve::model(left_name)?;
-    let right = resolve::model(right_name)?;
-    let with_deps = !flag(args, "--no-deps");
-    let start = Instant::now();
-    let expl = Exploration::run(
-        vec![left, right],
-        paper::comparison_tests(with_deps),
-        &ExplicitChecker::new(),
-    );
-    let relation = expl.relation(0, 1);
-    println!(
-        "{} vs {}: {} is {} ({} tests, {:.2?})",
-        expl.models[0].name(),
-        expl.models[1].name(),
-        expl.models[0].name(),
-        relation,
-        expl.tests.len(),
-        start.elapsed(),
-    );
-    if relation != Relation::Equivalent {
-        for t in expl.distinguishing_tests(0, 1) {
-            let allowed_left = expl.verdicts[0].allowed(t);
-            println!(
-                "  {:44} allowed by {:8} forbidden by {}",
-                expl.tests[t].name(),
-                if allowed_left { expl.models[0].name() } else { expl.models[1].name() },
-                if allowed_left { expl.models[1].name() } else { expl.models[0].name() },
-            );
-        }
-    }
-    Ok(())
+    let report = Query::compare(left.as_str(), right.as_str())
+        .with_deps(!flag(args, "--no-deps"))
+        .run()?;
+    emit(&report, args)
 }
 
 /// Parses the streamed-enumeration bounds: `--max-accesses N`,
 /// `--max-locs N`, `--fences`, `--deps`.
-fn stream_bounds(args: &[String]) -> Result<mcm_gen::StreamBounds, String> {
-    let mut bounds = mcm_gen::StreamBounds::default();
+fn stream_bounds(args: &[String]) -> Result<StreamBounds, CliError> {
+    let mut bounds = StreamBounds::default();
     if let Some(n) = option_value(args, "--max-accesses") {
         bounds.max_accesses_per_thread = n
             .parse::<usize>()
             .ok()
             .filter(|&n| (1..=4).contains(&n))
-            .ok_or_else(|| format!("--max-accesses needs 1..=4, got `{n}`"))?;
+            .ok_or_else(|| usage(format!("--max-accesses needs 1..=4, got `{n}`")))?;
     }
     if let Some(n) = option_value(args, "--max-locs") {
         bounds.max_locs = n
             .parse::<u8>()
             .ok()
             .filter(|&n| n >= 1)
-            .ok_or_else(|| format!("--max-locs needs 1..=255, got `{n}`"))?;
+            .ok_or_else(|| usage(format!("--max-locs needs 1..=255, got `{n}`")))?;
     }
     bounds.include_fences = flag(args, "--fences");
     bounds.include_deps = flag(args, "--deps");
     Ok(bounds)
 }
 
+/// Writes the legacy `--csv FILE` / `--dot FILE` side outputs of
+/// `explore`, which predate the global `--format`.
+fn write_side_outputs(report: &mcm_query::SweepReport, args: &[String]) -> Result<(), CliError> {
+    let announce = output_format(args)? == Format::Text;
+    let write_artifact = |path: &str, content: String| -> Result<(), CliError> {
+        fs::write(path, content)
+            .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
+        if announce {
+            println!("wrote {path}");
+        }
+        Ok(())
+    };
+    // Rendered lazily: a plain `mcm explore` never builds these strings.
+    if let Some(path) = option_value(args, "--csv") {
+        write_artifact(path, report.csv().expect("sweep reports render csv"))?;
+    }
+    if let Some(path) = option_value(args, "--dot") {
+        write_artifact(path, report.dot().expect("sweep reports render dot"))?;
+    }
+    Ok(())
+}
+
 /// `mcm explore --stream`: sweep the streamed leader enumeration instead
 /// of the materialized template suite. The raw bounded space is never
 /// stored — tests flow from the canonical-first iterator straight into
 /// the chunked engine.
-fn explore_stream(args: &[String]) -> Result<(), String> {
+fn explore_stream(args: &[String]) -> Result<(), CliError> {
     let (config, use_cache) = engine_options(args)?;
-    let cache = use_cache.then(VerdictCache::new);
-    let checker = checker_kind_from(args)?;
     let bounds = stream_bounds(args)?;
     let limit = match option_value(args, "--limit") {
-        None => usize::MAX,
-        Some(n) => n
-            .parse::<usize>()
-            .ok()
-            .filter(|&n| n > 0)
-            .ok_or_else(|| format!("--limit needs a positive integer, got `{n}`"))?,
+        None => None,
+        Some(n) => Some(
+            n.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| usage(format!("--limit needs a positive integer, got `{n}`")))?,
+        ),
     };
     let (models, _) = models_from(args)?;
-    let raw = match mcm_gen::stream::try_count_raw(&bounds, 20_000_000) {
-        Some(count) => format!("{count} tests"),
-        None => "too many tests to even count by shape".to_string(),
-    };
-    println!(
-        "streaming leaders: <= {} accesses/thread x {} threads, {} locs{}{} \
-         (raw space: {raw}, never materialized) against {} models ...",
+    // Progress note on stderr: the sweep can run for seconds and stdout
+    // must stay a clean document in non-text formats.
+    eprintln!(
+        "sweeping streamed leaders (<= {} accesses/thread, {} locs{}{}) ...",
         bounds.max_accesses_per_thread,
-        bounds.threads,
         bounds.max_locs,
         if bounds.include_fences { ", fences" } else { "" },
         if bounds.include_deps { ", deps" } else { "" },
-        models.len(),
     );
-    let start = Instant::now();
-    let stream = mcm_gen::stream::leaders(&bounds).take(limit);
-    let (exploration, stats) = Exploration::run_engine_streaming(
-        models,
-        stream,
-        || checker.build_batch(),
-        &config,
-        cache.as_ref(),
-    );
-    println!(
-        "swept {} models x {} streamed leaders in {:.2?}",
-        exploration.models.len(),
-        exploration.tests.len(),
-        start.elapsed(),
-    );
-    println!("{}", mcm_explore::report::streaming_summary(&stats));
-    let lattice = mcm_explore::Lattice::build(&exploration);
-    println!(
-        "lattice: {} equivalence classes, {} covering edges",
-        lattice.classes.len(),
-        lattice.edges.len(),
-    );
-    let pairs = exploration.equivalent_pairs();
-    println!("equivalent pairs: {}", pairs.len());
-    for (i, j) in pairs.iter().take(12) {
-        println!(
-            "  {} == {}",
-            exploration.models[*i].name(),
-            exploration.models[*j].name()
-        );
-    }
-    if pairs.len() > 12 {
-        println!("  ... and {} more", pairs.len() - 12);
-    }
-    if let Some(cache) = &cache {
-        println!(
-            "cache: {} entries, {} hits, {} misses",
-            cache.len(),
-            cache.hits(),
-            cache.misses(),
-        );
-    }
-    Ok(())
+    let report = Query::sweep()
+        .models(models)
+        .tests(TestSource::Stream { bounds, limit })
+        .checker(checker_kind_from(args)?)
+        .engine(config)
+        .cache(use_cache)
+        .run()?;
+    emit(&report, args)?;
+    write_side_outputs(&report, args)
 }
 
 const EXPLORE_SPEC: ArgSpec = ArgSpec {
@@ -563,7 +442,7 @@ const EXPLORE_SPEC: ArgSpec = ArgSpec {
 /// [--canonicalize] [--cache] [--jobs N] [--csv FILE] [--dot FILE]
 /// [--stream [--max-accesses N] [--max-locs N] [--fences] [--deps]
 /// [--limit N]]`.
-pub fn explore(args: &[String]) -> Result<(), String> {
+pub fn explore(args: &[String]) -> Result<(), CliError> {
     EXPLORE_SPEC.validate(args)?;
     if flag(args, "--stream") {
         return explore_stream(args);
@@ -572,107 +451,28 @@ pub fn explore(args: &[String]) -> Result<(), String> {
     // them without --stream would silently ignore them.
     for stream_only in ["--max-accesses", "--max-locs", "--limit", "--fences", "--deps"] {
         if args.iter().any(|a| a == stream_only) {
-            return Err(format!("{stream_only} requires --stream"));
+            return Err(usage(format!("{stream_only} requires --stream")));
         }
     }
     let (models, with_deps) = models_from(args)?;
     let (config, use_cache) = engine_options(args)?;
-    let cache = use_cache.then(VerdictCache::new);
-    let checker = checker_kind_from(args)?;
-    let start = Instant::now();
-    let tests = paper::comparison_tests(with_deps);
-    let (exploration, stats) = Exploration::run_engine(
-        models,
-        tests,
-        || checker.build_batch(),
-        &config,
-        cache.as_ref(),
-    );
-    let report = paper::report_from(exploration);
-    let elapsed = start.elapsed();
-    println!(
-        "explored {} models against {} tests in {elapsed:.2?}",
-        report.exploration.models.len(),
-        report.exploration.tests.len(),
-    );
-    print_sweep_stats(&stats);
-    // The warm re-sweep demo is only honest when the sweep above covered
-    // the full 90-model digit space — a custom `--models` list would
-    // leave the Figure-4 subspace cold and the "for free" claim false.
+    // The warm re-sweep demo is only honest when the sweep covers the
+    // full 90-model digit space — a custom `--models` list would leave
+    // the Figure-4 subspace cold and the "for free" claim false.
     let full_digit_space = match option_value(args, "--models") {
         None => true,
         Some(spec) => matches!(spec.to_ascii_lowercase().as_str(), "90" | "full" | "all"),
     };
-    if let Some(cache) = &cache {
-        // Demonstrate cross-sweep memoization: the Figure 4 dependency-free
-        // subspace re-checks for free, because its 36 models and their
-        // canonical tests were all covered by the sweep above.
-        if with_deps && full_digit_space {
-            let warm_start = Instant::now();
-            let (_, warm) = Exploration::run_engine(
-                paper::digit_space_models(false),
-                paper::comparison_tests(false),
-                || checker.build_batch(),
-                &config,
-                Some(cache),
-            );
-            println!(
-                "warm re-sweep of the dependency-free subspace in {:.2?}: \
-                 {} cache hits, {} checker calls",
-                warm_start.elapsed(),
-                warm.cache_hits,
-                warm.checker_calls,
-            );
-        }
-        println!(
-            "cache: {} entries, {} hits, {} misses",
-            cache.len(),
-            cache.hits(),
-            cache.misses(),
-        );
-    }
-    println!(
-        "equivalence classes: {}",
-        report.lattice.classes.len()
-    );
-    println!("equivalent pairs: {}", report.equivalent_pairs.len());
-    for (a, b) in &report.equivalent_pairs {
-        println!("  {a} == {b}");
-    }
-    let names: Vec<&str> = report
-        .minimal_set
-        .tests
-        .iter()
-        .map(|&t| report.exploration.tests[t].name())
-        .collect();
-    println!(
-        "minimum distinguishing set: {} tests (SAT-certified: {}): {names:?}",
-        report.minimal_set.tests.len(),
-        report.minimal_set.proved_minimum,
-    );
-    println!(
-        "paper's L1–L9 sufficient: {}",
-        report.nine_tests_sufficient
-    );
-    if let Some(path) = option_value(args, "--csv") {
-        let csv = mcm_explore::report::csv_matrix(&report.exploration);
-        fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
-        println!("wrote {path}");
-    }
-    if let Some(path) = option_value(args, "--dot") {
-        let dot = render_dot(
-            &report.exploration,
-            &report.lattice,
-            &DotOptions {
-                name: "models".to_string(),
-                preferred_tests: report.nine_test_indices.clone(),
-                ..DotOptions::default()
-            },
-        );
-        fs::write(path, dot).map_err(|e| format!("cannot write {path}: {e}"))?;
-        println!("wrote {path}");
-    }
-    Ok(())
+    let report = Query::sweep()
+        .models(models)
+        .tests(TestSource::TemplateSuite { with_deps })
+        .checker(checker_kind_from(args)?)
+        .engine(config)
+        .cache(use_cache)
+        .warm_figure4_demo(use_cache && full_digit_space)
+        .run()?;
+    emit(&report, args)?;
+    write_side_outputs(&report, args)
 }
 
 const DISTINGUISH_SPEC: ArgSpec = ArgSpec {
@@ -687,67 +487,31 @@ const DISTINGUISH_SPEC: ArgSpec = ArgSpec {
 /// or more, positionally or as a `--models` set), or for the whole digit
 /// space when none are named — the paper's "nine tests" experiment as a
 /// standalone command.
-pub fn distinguish_cmd(args: &[String]) -> Result<(), String> {
+pub fn distinguish_cmd(args: &[String]) -> Result<(), CliError> {
     DISTINGUISH_SPEC.validate(args)?;
     let (config, use_cache) = engine_options(args)?;
-    let cache = use_cache.then(VerdictCache::new);
-    let checker = checker_kind_from(args)?;
     let names = DISTINGUISH_SPEC.positional(args);
     if !names.is_empty() && option_value(args, "--models").is_some() {
-        return Err("name models positionally or via --models, not both".to_string());
+        return Err(usage("name models positionally or via --models, not both"));
     }
     let (models, with_deps) = if names.is_empty() {
         models_from(args)?
     } else if names.len() == 1 {
-        return Err("distinguish needs zero or at least two models".to_string());
+        return Err(usage("distinguish needs zero or at least two models"));
     } else {
-        let models = names
-            .iter()
-            .map(|n| resolve::model(n))
-            .collect::<Result<Vec<_>, _>>()?;
-        let with_deps = !flag(args, "--no-deps");
-        (models, with_deps)
+        (
+            ModelSpec::List(names.iter().map(|n| n.to_string()).collect()),
+            !flag(args, "--no-deps"),
+        )
     };
-    if models.len() < 2 {
-        return Err("distinguish needs at least two models".to_string());
-    }
-    let tests = paper::comparison_tests(with_deps);
-    let start = Instant::now();
-    let (exploration, stats) = Exploration::run_engine(
-        models,
-        tests,
-        || checker.build_batch(),
-        &config,
-        cache.as_ref(),
-    );
-    println!(
-        "swept {} models x {} tests in {:.2?}",
-        exploration.models.len(),
-        exploration.tests.len(),
-        start.elapsed(),
-    );
-    print_sweep_stats(&stats);
-    let classes = exploration.equivalence_classes();
-    println!("equivalence classes: {}", classes.len());
-    let minimal = distinguish::minimal_distinguishing_set(&exploration);
-    println!(
-        "minimum distinguishing set: {} tests (SAT-certified minimum: {})",
-        minimal.tests.len(),
-        minimal.proved_minimum,
-    );
-    for &t in &minimal.tests {
-        let test = &exploration.tests[t];
-        println!("  {:44} {}", test.name(), test.description());
-    }
-    if let Some(cache) = &cache {
-        println!(
-            "cache: {} entries, {} hits, {} misses",
-            cache.len(),
-            cache.hits(),
-            cache.misses(),
-        );
-    }
-    Ok(())
+    let report = Query::distinguish()
+        .models(models)
+        .with_deps(with_deps)
+        .checker(checker_kind_from(args)?)
+        .engine(config)
+        .cache(use_cache)
+        .run()?;
+    emit(&report, args)
 }
 
 const SUITE_SPEC: ArgSpec = ArgSpec {
@@ -756,42 +520,22 @@ const SUITE_SPEC: ArgSpec = ArgSpec {
 };
 
 /// `mcm suite [--no-deps] [--print]`.
-pub fn suite(args: &[String]) -> Result<(), String> {
+pub fn suite(args: &[String]) -> Result<(), CliError> {
     SUITE_SPEC.validate(args)?;
-    let with_deps = !flag(args, "--no-deps");
-    let suite = template_suite(with_deps);
-    println!(
-        "predicates {} DataDep: Corollary 1 bound = {}, materialised = {} tests",
-        if with_deps { "with" } else { "without" },
-        suite.corollary1_bound,
-        suite.len(),
-    );
-    if flag(args, "--print") {
-        for test in &suite.tests {
-            println!("{test}");
-        }
-    } else {
-        for test in &suite.tests {
-            println!("  {}", test.name());
-        }
-    }
-    Ok(())
+    let report = Query::suite(!flag(args, "--no-deps"))
+        .full(flag(args, "--print"))
+        .run();
+    emit(&report, args)
 }
 
 /// `mcm catalog`.
-pub fn catalog(args: &[String]) -> Result<(), String> {
+pub fn catalog(args: &[String]) -> Result<(), CliError> {
     ArgSpec {
         flags: &[],
         options: &[],
     }
     .validate(args)?;
-    for test in catalog::all_tests() {
-        println!("{test}");
-        if !test.description().is_empty() {
-            println!("  ({})\n", test.description());
-        }
-    }
-    Ok(())
+    emit(&Query::catalog(), args)
 }
 
 const PARSE_SPEC: ArgSpec = ArgSpec {
@@ -800,19 +544,14 @@ const PARSE_SPEC: ArgSpec = ArgSpec {
 };
 
 /// `mcm parse <FILE>`.
-pub fn parse(args: &[String]) -> Result<(), String> {
+pub fn parse(args: &[String]) -> Result<(), CliError> {
     PARSE_SPEC.validate(args)?;
     let pos = PARSE_SPEC.positional(args);
     let [path] = pos.as_slice() else {
-        return Err("usage: mcm parse <FILE>".to_string());
+        return Err(usage("usage: mcm parse <FILE>"));
     };
-    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let tests = parse_litmus_file(&text).map_err(|e| e.to_string())?;
-    for test in &tests {
-        println!("{test}");
-    }
-    println!("{} test(s) parsed successfully", tests.len());
-    Ok(())
+    let report = Query::parse_file(path.as_str())?;
+    emit(&report, args)
 }
 
 const FIGURES_SPEC: ArgSpec = ArgSpec {
@@ -821,129 +560,27 @@ const FIGURES_SPEC: ArgSpec = ArgSpec {
 };
 
 /// `mcm figures <fig1|fig2|fig3|fig4|counts|all>`.
-pub fn figures(args: &[String]) -> Result<(), String> {
+pub fn figures(args: &[String]) -> Result<(), CliError> {
     FIGURES_SPEC.validate(args)?;
-    let which = FIGURES_SPEC.positional(args)
+    let which = FIGURES_SPEC
+        .positional(args)
         .first()
         .map(|s| s.as_str())
         .unwrap_or("all")
         .to_string();
-    let all = which == "all";
-    if all || which == "fig1" {
-        figure1();
+    let selection = FigureSelection::from_name(&which)
+        .ok_or_else(|| usage(format!("unknown figure `{which}`")))?;
+    let report = Query::figures(selection);
+    emit(&report, args)?;
+    // Figure 4's artifact is its DOT rendering; write it alongside the
+    // text report (json consumers get the data inline instead).
+    if let Some(fig4) = &report.fig4 {
+        if output_format(args)? == Format::Text {
+            let path = option_value(args, "--dot").unwrap_or("figure4.dot");
+            fs::write(path, &fig4.dot)
+                .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
+            println!("  wrote {path}");
+        }
     }
-    if all || which == "fig2" {
-        figure2();
-    }
-    if all || which == "fig3" {
-        figure3();
-    }
-    if all || which == "counts" {
-        figure_counts();
-    }
-    if all || which == "fig4" {
-        figure4(args)?;
-    }
-    if !all && !["fig1", "fig2", "fig3", "fig4", "counts"].contains(&which.as_str()) {
-        return Err(format!("unknown figure `{which}`"));
-    }
-    Ok(())
-}
-
-fn figure1() {
-    println!("==== Figure 1: Test A (TSO load forwarding) ====");
-    let test = catalog::test_a();
-    println!("{test}");
-    let checker = ExplicitChecker::new();
-    for model in [
-        mcm_models::named::tso(),
-        mcm_models::named::sc(),
-        mcm_models::named::ibm370(),
-    ] {
-        println!(
-            "  {:8} {}",
-            model.name(),
-            checker.check(&model, &test)
-        );
-    }
-    println!();
-}
-
-fn figure2() {
-    println!("==== Figure 2: litmus test templates by critical segment ====");
-    let rw = Segment::enumerate(SegmentType::ReadWrite, true);
-    let ww = Segment::enumerate(SegmentType::WriteWrite, true);
-    let wr = Segment::enumerate(SegmentType::WriteRead, true);
-    let rr = Segment::enumerate(SegmentType::ReadRead, true);
-    let samples = [
-        mcm_gen::template::case1(rw[1]),
-        mcm_gen::template::case2(ww[1]),
-        mcm_gen::template::case3a(rr[1], ww[1]),
-        mcm_gen::template::case3b(rr[1], wr[1], rw[1]),
-        mcm_gen::template::case4(wr[1]),
-        mcm_gen::template::case5a(wr[0], rr[3]),
-        mcm_gen::template::case5b(wr[0], rw[3]),
-    ];
-    for test in samples.into_iter().flatten() {
-        println!("{test}");
-        println!("  ({})\n", test.description());
-    }
-}
-
-fn figure3() {
-    println!("==== Figure 3: the nine contrasting litmus tests ====");
-    for test in catalog::nine_tests() {
-        println!("{test}\n");
-    }
-}
-
-fn figure_counts() {
-    println!("==== §3.4 / Corollary 1: test counts ====");
-    println!(
-        "  with DataDep    : N_WW=4 N_WR=4 N_RW=6 N_RR=6  ->  {} tests",
-        count::paper_bound(true)
-    );
-    println!(
-        "  without DataDep : N_WW=4 N_WR=4 N_RW=4 N_RR=4  ->  {} tests",
-        count::paper_bound(false)
-    );
-    let bounds = naive::NaiveBounds::default();
-    println!(
-        "  naive enumeration (2 threads, <=3 accesses each, no deps): {} tests raw, {} canonical",
-        naive::count_tests_raw(&bounds),
-        naive::count_tests(&bounds),
-    );
-    println!(
-        "  materialised template suites: {} (with deps), {} (without)",
-        template_suite(true).len(),
-        template_suite(false).len(),
-    );
-    println!();
-}
-
-fn figure4(args: &[String]) -> Result<(), String> {
-    println!("==== Figure 4: the dependency-free model space ====");
-    let report = paper::explore_digit_space(false);
-    println!(
-        "  {} models, {} classes, {} covering edges",
-        report.exploration.models.len(),
-        report.lattice.classes.len(),
-        report.lattice.edges.len(),
-    );
-    for (a, b) in &report.equivalent_pairs {
-        println!("  merged node: {a} == {b}");
-    }
-    let path = option_value(args, "--dot").unwrap_or("figure4.dot");
-    let dot = render_dot(
-        &report.exploration,
-        &report.lattice,
-        &DotOptions {
-            name: "figure4".to_string(),
-            preferred_tests: report.nine_test_indices.clone(),
-            ..DotOptions::default()
-        },
-    );
-    fs::write(path, dot).map_err(|e| format!("cannot write {path}: {e}"))?;
-    println!("  wrote {path}");
     Ok(())
 }

@@ -1,12 +1,18 @@
 //! `mcm` — compare memory consistency models with bounded litmus tests.
 //!
-//! The command-line face of the workspace: the tool the paper describes in
-//! §4.1, plus subcommands regenerating every figure of the paper.
+//! The command-line face of the workspace: a thin renderer over the
+//! [`mcm_query`] API. Every subcommand parses its flags into a query,
+//! runs it, and prints the typed report in the requested `--format`
+//! (human text by default, schema-versioned JSON / CSV / DOT on demand).
+//!
+//! Exit codes: `0` success, `1` run failure (unreadable file, parse
+//! error), `2` usage error (unknown command, flag, model or format).
 
 use std::process::ExitCode;
 
 mod commands;
-mod resolve;
+
+use commands::CliError;
 
 const USAGE: &str = "\
 mcm — compare memory consistency models with bounded litmus tests
@@ -14,7 +20,7 @@ mcm — compare memory consistency models with bounded litmus tests
 Memory Consistency Models: How Long Do They Need to Be?\", DAC 2011)
 
 USAGE:
-    mcm <COMMAND> [ARGS]
+    mcm <COMMAND> [ARGS] [--format text|json|csv|dot] [--out FILE]
 
 COMMANDS:
     check <MODEL> <FILE>      verdict of every test in a .litmus file
@@ -58,10 +64,20 @@ COMMANDS:
     parse <FILE>              validate and pretty-print a .litmus file
     help                      this message
 
+OUTPUT:
+    Every command accepts --format text|json|csv|dot and --out FILE.
+    JSON documents are schema-versioned and round-trip through the
+    in-tree parser (mcm_core::json); csv renders verdict matrices and
+    dot renders lattices, where the report has one.
+
 MODELS:
     SC, TSO, x86, PSO, IBM370, RMO, RMO-nodep, Alpha, or any digit model
     M{ww}{wr}{rw}{rr} (e.g. M4044) with digits 0=always reorder,
     1=different addresses, 2=no data deps, 3=both, 4=never.
+
+EXIT CODES:
+    0 success; 1 run failure (unreadable file, parse error);
+    2 usage error (unknown command, flag, model or format).
 ";
 
 fn main() -> ExitCode {
@@ -80,11 +96,17 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown command `{other}`; try `mcm help`")),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown command `{other}`; try `mcm help`"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(CliError::Run(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Usage(message)) => {
             eprintln!("error: {message}");
             ExitCode::from(2)
         }

@@ -341,3 +341,148 @@ fn parse_validates_files() {
     assert!(!ok);
     assert!(stderr.contains("wibble"));
 }
+
+// ---------------------------------------------------------------------------
+// Exit codes: usage errors exit 2, run failures exit 1.
+// ---------------------------------------------------------------------------
+
+fn mcm_code(args: &[&str]) -> i32 {
+    Command::new(env!("CARGO_BIN_EXE_mcm"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+        .status
+        .code()
+        .expect("exit code")
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    assert_eq!(mcm_code(&["frobnicate"]), 2);
+    assert_eq!(mcm_code(&["compare", "TSO"]), 2);
+    assert_eq!(mcm_code(&["compare", "TSO", "powerpc"]), 2);
+    assert_eq!(mcm_code(&["explore", "--streem"]), 2);
+    assert_eq!(mcm_code(&["explore", "--jobs"]), 2);
+    assert_eq!(mcm_code(&["explore", "--checker", "quantum"]), 2);
+    assert_eq!(mcm_code(&["suite", "--format", "yaml"]), 2);
+    assert_eq!(mcm_code(&["figures", "wibble"]), 2);
+    assert_eq!(mcm_code(&["synth", "SC"]), 2);
+}
+
+#[test]
+fn run_failures_exit_1() {
+    // A well-formed request on an unreadable file is a run failure.
+    assert_eq!(mcm_code(&["check", "TSO", "/no/such/file.litmus"]), 1);
+    assert_eq!(mcm_code(&["parse", "/no/such/file.litmus"]), 1);
+    // A file that exists but does not parse is a run failure too.
+    let dir = std::env::temp_dir().join("mcm-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.litmus");
+    std::fs::write(&path, "test Bad { thread { wibble } }").unwrap();
+    assert_eq!(mcm_code(&["parse", path.to_str().unwrap()]), 1);
+    assert_eq!(mcm_code(&["check", "SC", path.to_str().unwrap()]), 1);
+}
+
+#[test]
+fn success_exits_0() {
+    assert_eq!(mcm_code(&["help"]), 0);
+    assert_eq!(mcm_code(&["compare", "TSO", "x86"]), 0);
+}
+
+// ---------------------------------------------------------------------------
+// --format json: every subcommand emits a schema-versioned document that
+// round-trips through the in-tree parser.
+// ---------------------------------------------------------------------------
+
+fn parsed_json(args: &[&str]) -> mcm_core::json::Json {
+    let (ok, stdout, stderr) = mcm(args);
+    assert!(ok, "{args:?} failed: {stderr}");
+    let doc = mcm_core::json::Json::parse(&stdout)
+        .unwrap_or_else(|e| panic!("{args:?} produced invalid json: {e}\n{stdout}"));
+    assert_eq!(
+        doc.get("schema_version").and_then(mcm_core::json::Json::as_u64),
+        Some(1),
+        "{args:?}: missing schema_version"
+    );
+    doc
+}
+
+#[test]
+fn every_subcommand_speaks_json() {
+    let dir = std::env::temp_dir().join("mcm-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sb-json.litmus");
+    std::fs::write(
+        &path,
+        "test SB {\n thread { write X = 1; read Y -> r1 }\n thread { write Y = 1; read X -> r2 }\n outcome { T1:r1 = 0; T2:r2 = 0 }\n}\n",
+    )
+    .unwrap();
+    let path = path.to_str().unwrap();
+    let kind = |doc: &mcm_core::json::Json| {
+        doc.get("kind").and_then(mcm_core::json::Json::as_str).unwrap().to_string()
+    };
+
+    let doc = parsed_json(&["check", "TSO", path, "--format", "json"]);
+    assert_eq!(kind(&doc), "check");
+    let doc = parsed_json(&["compare", "TSO", "x86", "--format", "json"]);
+    assert_eq!(kind(&doc), "compare");
+    assert_eq!(doc.get("relation").and_then(mcm_core::json::Json::as_str), Some("equivalent"));
+    let doc = parsed_json(&["explore", "--models", "SC,TSO,IBM370", "--format", "json"]);
+    assert_eq!(kind(&doc), "sweep");
+    assert_eq!(doc.get("models").and_then(mcm_core::json::Json::as_array).unwrap().len(), 3);
+    let doc = parsed_json(&[
+        "explore", "--stream", "--max-accesses", "2", "--max-locs", "2", "--limit", "50",
+        "--models", "SC,TSO", "--format", "json",
+    ]);
+    assert!(!doc.get("stream").unwrap().is_null(), "streamed sweep documents carry bounds");
+    let doc = parsed_json(&["distinguish", "SC", "TSO", "--format", "json"]);
+    assert_eq!(kind(&doc), "distinguish");
+    let doc = parsed_json(&[
+        "synth", "SC", "TSO", "--max-accesses", "2", "--max-locs", "2", "--format", "json",
+    ]);
+    assert_eq!(kind(&doc), "synth");
+    assert_eq!(
+        doc.get("pair").unwrap().get("length").and_then(mcm_core::json::Json::as_u64),
+        Some(4),
+        "SB is the shortest SC/TSO separator"
+    );
+    let doc = parsed_json(&["suite", "--no-deps", "--format", "json"]);
+    assert_eq!(doc.get("corollary1_bound").and_then(mcm_core::json::Json::as_u64), Some(124));
+    let doc = parsed_json(&["catalog", "--format", "json"]);
+    assert_eq!(kind(&doc), "catalog");
+    let doc = parsed_json(&["parse", path, "--format", "json"]);
+    assert_eq!(doc.get("count").and_then(mcm_core::json::Json::as_u64), Some(1));
+    let doc = parsed_json(&["figures", "counts", "--format", "json"]);
+    assert_eq!(kind(&doc), "figures");
+    assert!(doc.get("fig1").unwrap().is_null());
+    assert!(!doc.get("counts").unwrap().is_null());
+}
+
+#[test]
+fn out_writes_the_document_to_a_file() {
+    let dir = std::env::temp_dir().join("mcm-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("compare.json");
+    let out_str = out.to_str().unwrap();
+    let (ok, stdout, _) = mcm(&["compare", "TSO", "x86", "--format", "json", "--out", out_str]);
+    assert!(ok);
+    assert!(stdout.is_empty(), "--out redirects the document: {stdout}");
+    let written = std::fs::read_to_string(&out).unwrap();
+    let doc = mcm_core::json::Json::parse(&written).unwrap();
+    assert_eq!(doc.get("kind").and_then(mcm_core::json::Json::as_str), Some("compare"));
+}
+
+#[test]
+fn csv_and_dot_formats_render_where_supported() {
+    let (ok, stdout, _) = mcm(&["explore", "--models", "SC,TSO", "--format", "csv"]);
+    assert!(ok);
+    assert!(stdout.starts_with("model,"), "{stdout}");
+    let (ok, stdout, _) = mcm(&["explore", "--models", "SC,TSO", "--format", "dot"]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph"), "{stdout}");
+    // Reports without a tabular view reject csv as a usage error.
+    let (ok, _, stderr) = mcm(&["compare", "TSO", "x86", "--format", "csv"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot be rendered"), "{stderr}");
+    assert_eq!(mcm_code(&["compare", "TSO", "x86", "--format", "csv"]), 2);
+}

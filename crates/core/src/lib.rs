@@ -46,6 +46,7 @@ pub mod execution;
 pub mod formula;
 mod ids;
 pub mod instr;
+pub mod json;
 mod litmus;
 mod model;
 pub mod parse;
@@ -58,6 +59,7 @@ pub use execution::{Execution, Outcome, MAX_EVENTS};
 pub use formula::{ArgPos, Atom, Formula};
 pub use ids::{EventId, Loc, Reg, ThreadId, Value};
 pub use instr::{AddrExpr, FenceKind, Instruction, RegExpr};
+pub use json::{Json, JsonError};
 pub use litmus::LitmusTest;
 pub use model::MemoryModel;
 pub use program::{Program, ProgramBuilder, Thread};

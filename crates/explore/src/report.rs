@@ -69,6 +69,51 @@ fn class_label(expl: &Exploration, members: &[usize]) -> String {
         .join("/")
 }
 
+/// Renders the layer-by-layer sweep counters as the standard multi-line
+/// stats block: pair reduction, batching amortization (when the batched
+/// checkers ran) and SAT-solver totals (when a solver-backed checker ran).
+/// Shared by the CLI's text reports so every sweep prints identically.
+#[must_use]
+pub fn sweep_stats_text(stats: &SweepStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sweep: {} pairs -> {} unique ({} models x {} canonical tests), \
+         {} cache hits, {} checker calls ({:.1}x reduction)",
+        stats.total_pairs,
+        stats.unique_pairs,
+        stats.distinct_models,
+        stats.canonical_tests,
+        stats.cache_hits,
+        stats.checker_calls,
+        stats.reduction_factor(),
+    );
+    if stats.batch.rows > 0 {
+        let _ = writeln!(
+            out,
+            "sweep batching: {} test rows, {} model verdicts in {} groups \
+             ({:.1}x row collapse), {} shared candidates, {} assumption solves",
+            stats.batch.rows,
+            stats.batch.models_checked,
+            stats.batch.model_groups,
+            stats.batch.row_collapse(),
+            stats.batch.shared_candidates,
+            stats.batch.assumption_solves,
+        );
+    }
+    if stats.sat != mcm_sat::SolverStats::default() {
+        let _ = writeln!(
+            out,
+            "sweep solver: {} decisions, {} propagations, {} conflicts, {} restarts",
+            stats.sat.decisions,
+            stats.sat.propagations,
+            stats.sat.conflicts,
+            stats.sat.restarts,
+        );
+    }
+    out
+}
+
 /// One-line summary of a streaming sweep: how much was pulled from the
 /// stream, how many orbit leaders were kept, and the memory high-water
 /// mark (the largest chunk ever materialized at once).

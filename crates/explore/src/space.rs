@@ -118,6 +118,24 @@ impl SweepStats {
     pub fn reduction_factor(&self) -> f64 {
         self.total_pairs as f64 / (self.checker_calls.max(1)) as f64
     }
+
+    /// The scalar counters as stable `(name, value)` pairs — the
+    /// structured view serializable reports render from (the nested
+    /// [`SweepStats::sat`] and [`SweepStats::batch`] groups have
+    /// `counters()` views of their own).
+    #[must_use]
+    pub fn counters(&self) -> [(&'static str, u64); 8] {
+        [
+            ("total_pairs", self.total_pairs),
+            ("unique_pairs", self.unique_pairs),
+            ("cache_hits", self.cache_hits),
+            ("checker_calls", self.checker_calls),
+            ("canonical_tests", self.canonical_tests as u64),
+            ("distinct_models", self.distinct_models as u64),
+            ("tests_streamed", self.tests_streamed),
+            ("peak_batch", self.peak_batch as u64),
+        ]
+    }
 }
 
 /// The result of checking every model against every test.

@@ -323,10 +323,46 @@ pub fn iriw_fenced() -> LitmusTest {
 /// Every catalog test (paper tests first, classics after).
 #[must_use]
 pub fn all_tests() -> Vec<LitmusTest> {
-    let mut tests = vec![test_a()];
-    tests.extend(nine_tests());
-    tests.extend([sb(), mp(), lb(), corr(), iriw_fenced()]);
-    tests
+    sections()
+        .into_iter()
+        .flat_map(|section| section.tests)
+        .collect()
+}
+
+/// One named group of catalog tests — the structured view of the catalog
+/// that serializable reports render from.
+#[derive(Clone, Debug)]
+pub struct CatalogSection {
+    /// Stable section identifier (`figure1`, `figure3`, `classics`).
+    pub name: &'static str,
+    /// Where the tests come from in the paper (or the community).
+    pub title: &'static str,
+    /// The tests of the section, in catalog order.
+    pub tests: Vec<LitmusTest>,
+}
+
+/// The catalog grouped by provenance: Figure 1's Test A, the nine
+/// contrasting tests of Figure 3, and the classic community tests.
+/// Flattening the sections in order yields exactly [`all_tests`].
+#[must_use]
+pub fn sections() -> Vec<CatalogSection> {
+    vec![
+        CatalogSection {
+            name: "figure1",
+            title: "Figure 1: Test A (TSO load forwarding)",
+            tests: vec![test_a()],
+        },
+        CatalogSection {
+            name: "figure3",
+            title: "Figure 3: the nine contrasting litmus tests",
+            tests: nine_tests(),
+        },
+        CatalogSection {
+            name: "classics",
+            title: "classic community tests",
+            tests: vec![sb(), mp(), lb(), corr(), iriw_fenced()],
+        },
+    ]
 }
 
 #[cfg(test)]

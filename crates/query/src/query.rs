@@ -1,0 +1,724 @@
+//! The [`Query`] constructors and per-kind builders.
+
+use std::time::Instant;
+
+use mcm_axiomatic::{explain, Checker, CheckerKind, ExplicitChecker};
+use mcm_explore::dot::{render_dot, DotOptions};
+use mcm_explore::{distinguish, paper, EngineConfig, Exploration, Lattice, VerdictCache};
+use mcm_gen::{count, naive, template_suite};
+use mcm_models::catalog;
+use mcm_synth::SynthBounds;
+
+use crate::error::QueryError;
+use crate::reports::{
+    CacheSummary, CatalogReport, CheckEntry, CheckReport, CompareReport, CompareWitness,
+    CountsFigure, DistinguishReport, Fig1Figure, Fig4Figure, FigureSelection, FiguresReport,
+    ParseReport, StreamSummary, SuiteReport, SweepReport, SynthMatrix, SynthPair, SynthReport,
+    WarmSummary,
+};
+use crate::resolve::{self, ModelSpec};
+use crate::source::TestSource;
+
+/// The entry point of the query API: one constructor per question the
+/// tool answers. Each returns a builder whose `run()` produces the
+/// matching typed report.
+///
+/// ```
+/// use mcm_query::{ModelSpec, Query, Render, TestSource};
+///
+/// let report = Query::sweep()
+///     .models(ModelSpec::List(vec!["SC".into(), "TSO".into()]))
+///     .tests(TestSource::Catalog)
+///     .run()
+///     .unwrap();
+/// assert_eq!(report.exploration.models.len(), 2);
+/// assert!(report.json().get("verdicts").is_some());
+/// ```
+pub struct Query;
+
+impl Query {
+    /// A models × tests sweep: verdict matrix, lattice, equivalence data
+    /// and (for materialized suites) a minimum distinguishing set.
+    #[must_use]
+    pub fn sweep() -> SweepQuery {
+        SweepQuery {
+            models: ModelSpec::Figure4,
+            source: TestSource::TemplateSuite { with_deps: false },
+            checker: CheckerKind::Explicit,
+            config: EngineConfig::default(),
+            cache: false,
+            warm_figure4_demo: false,
+        }
+    }
+
+    /// The relation between two models over the complete comparison
+    /// suite, with every separating test.
+    #[must_use]
+    pub fn compare(left: impl Into<String>, right: impl Into<String>) -> CompareQuery {
+        CompareQuery {
+            left: left.into(),
+            right: right.into(),
+            with_deps: true,
+        }
+    }
+
+    /// A SAT-certified minimum distinguishing test set for a model space.
+    #[must_use]
+    pub fn distinguish() -> DistinguishQuery {
+        DistinguishQuery {
+            models: ModelSpec::Full90,
+            with_deps: true,
+            checker: CheckerKind::Explicit,
+            config: EngineConfig::default(),
+            cache: false,
+        }
+    }
+
+    /// CEGIS synthesis of a minimal distinguishing test for one pair.
+    #[must_use]
+    pub fn synth(left: impl Into<String>, right: impl Into<String>) -> SynthQuery {
+        SynthQuery {
+            mode: SynthMode::Pair {
+                left: left.into(),
+                right: right.into(),
+            },
+            bounds: SynthBounds::default(),
+            max_size: None,
+            verbose: false,
+        }
+    }
+
+    /// CEGIS synthesis of the whole pairwise minimal-length matrix.
+    #[must_use]
+    pub fn synth_matrix(models: ModelSpec) -> SynthQuery {
+        SynthQuery {
+            mode: SynthMode::Matrix(models),
+            bounds: SynthBounds::default(),
+            max_size: None,
+            verbose: false,
+        }
+    }
+
+    /// Per-test admissibility of a litmus source under one model.
+    #[must_use]
+    pub fn check(model: impl Into<String>, source: TestSource) -> CheckQuery {
+        CheckQuery {
+            model: model.into(),
+            source,
+            checker: CheckerKind::Explicit,
+            witness: false,
+        }
+    }
+
+    /// The Theorem 1 template suite and its Corollary 1 bound.
+    #[must_use]
+    pub fn suite(with_deps: bool) -> SuiteQuery {
+        SuiteQuery {
+            with_deps,
+            full: false,
+        }
+    }
+
+    /// The built-in test catalog, grouped by provenance.
+    #[must_use]
+    pub fn catalog() -> CatalogReport {
+        CatalogReport {
+            sections: catalog::sections(),
+        }
+    }
+
+    /// Validates a `.litmus` file and reports its tests.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::Io`] when the file cannot be read,
+    /// [`QueryError::Parse`] when its contents do not parse.
+    pub fn parse_file(path: impl Into<std::path::PathBuf>) -> Result<ParseReport, QueryError> {
+        let path = path.into();
+        let source = path.display().to_string();
+        let tests = TestSource::File(path).load()?;
+        Ok(ParseReport { source, tests })
+    }
+
+    /// Regenerates the requested paper figures as data.
+    #[must_use]
+    pub fn figures(selection: FigureSelection) -> FiguresReport {
+        figures_report(selection)
+    }
+}
+
+/// Builder for [`Query::sweep`].
+#[derive(Clone, Debug)]
+pub struct SweepQuery {
+    models: ModelSpec,
+    source: TestSource,
+    checker: CheckerKind,
+    config: EngineConfig,
+    cache: bool,
+    warm_figure4_demo: bool,
+}
+
+impl SweepQuery {
+    /// The model space to sweep.
+    #[must_use]
+    pub fn models(mut self, models: ModelSpec) -> Self {
+        self.models = models;
+        self
+    }
+
+    /// Where the tests come from (materialized or streamed).
+    #[must_use]
+    pub fn tests(mut self, source: TestSource) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// The checker backend (built test-major via
+    /// [`CheckerKind::build_batch`]).
+    #[must_use]
+    pub fn checker(mut self, checker: CheckerKind) -> Self {
+        self.checker = checker;
+        self
+    }
+
+    /// Engine tuning: canonicalization, worker count, batch sizes.
+    #[must_use]
+    pub fn engine(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Memoize verdicts in a fresh [`VerdictCache`] and report its
+    /// totals.
+    #[must_use]
+    pub fn cache(mut self, cache: bool) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// After a cached full-space template sweep, re-sweep the Figure 4
+    /// subspace to demonstrate cross-sweep memoization (ignored unless
+    /// both the cache and the with-deps template suite are in play).
+    #[must_use]
+    pub fn warm_figure4_demo(mut self, demo: bool) -> Self {
+        self.warm_figure4_demo = demo;
+        self
+    }
+
+    /// Runs the sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidSpec`] for unresolvable models;
+    /// [`QueryError::Io`] / [`QueryError::Parse`] for file-backed test
+    /// sources.
+    pub fn run(self) -> Result<SweepReport, QueryError> {
+        let models = self.models.resolve()?;
+        let cache = self.cache.then(VerdictCache::new);
+        let checker = self.checker;
+        if let TestSource::Stream { bounds, limit } = &self.source {
+            let raw_space = mcm_gen::stream::try_count_raw(bounds, 20_000_000);
+            let start = Instant::now();
+            let stream = mcm_gen::stream::leaders(bounds).take(limit.unwrap_or(usize::MAX));
+            let (exploration, stats) = Exploration::run_engine_streaming(
+                models,
+                stream,
+                || checker.build_batch(),
+                &self.config,
+                cache.as_ref(),
+            );
+            let elapsed = start.elapsed();
+            let lattice = Lattice::build(&exploration);
+            let equivalent_pairs = named_pairs(&exploration);
+            return Ok(SweepReport {
+                exploration,
+                stats,
+                lattice,
+                equivalent_pairs,
+                minimal_set: None,
+                nine_test_indices: Vec::new(),
+                nine_tests_sufficient: None,
+                cache: cache.as_ref().map(cache_summary),
+                warm: None,
+                stream: Some(StreamSummary {
+                    bounds: *bounds,
+                    limit: *limit,
+                    raw_space,
+                }),
+                elapsed,
+            });
+        }
+        let tests = self.source.load()?;
+        let start = Instant::now();
+        let (exploration, stats) = Exploration::run_engine(
+            models,
+            tests,
+            || checker.build_batch(),
+            &self.config,
+            cache.as_ref(),
+        );
+        let space = paper::report_from(exploration);
+        let elapsed = start.elapsed();
+        // The warm re-sweep demo is only honest after a sweep that covered
+        // the full 90-model digit space and its dependency-bearing suite —
+        // anything smaller leaves the Figure 4 subspace cold.
+        let warm = match (&cache, self.warm_figure4_demo, &self.source) {
+            (Some(cache), true, TestSource::TemplateSuite { with_deps: true }) => {
+                let warm_start = Instant::now();
+                let (_, warm_stats) = Exploration::run_engine(
+                    paper::digit_space_models(false),
+                    paper::comparison_tests(false),
+                    || checker.build_batch(),
+                    &self.config,
+                    Some(cache),
+                );
+                Some(WarmSummary {
+                    elapsed: warm_start.elapsed(),
+                    cache_hits: warm_stats.cache_hits,
+                    checker_calls: warm_stats.checker_calls,
+                })
+            }
+            _ => None,
+        };
+        Ok(SweepReport {
+            exploration: space.exploration,
+            stats,
+            lattice: space.lattice,
+            equivalent_pairs: space.equivalent_pairs,
+            minimal_set: Some(space.minimal_set),
+            nine_test_indices: space.nine_test_indices,
+            nine_tests_sufficient: Some(space.nine_tests_sufficient),
+            cache: cache.as_ref().map(cache_summary),
+            warm,
+            stream: None,
+            elapsed,
+        })
+    }
+}
+
+/// Builder for [`Query::compare`].
+#[derive(Clone, Debug)]
+pub struct CompareQuery {
+    left: String,
+    right: String,
+    with_deps: bool,
+}
+
+impl CompareQuery {
+    /// Include the dependency-idiom templates in the comparison suite.
+    #[must_use]
+    pub fn with_deps(mut self, with_deps: bool) -> Self {
+        self.with_deps = with_deps;
+        self
+    }
+
+    /// Runs the comparison.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidSpec`] for unknown model names.
+    pub fn run(self) -> Result<CompareReport, QueryError> {
+        let left = resolve::model(&self.left)?;
+        let right = resolve::model(&self.right)?;
+        let start = Instant::now();
+        let expl = Exploration::run(
+            vec![left, right],
+            paper::comparison_tests(self.with_deps),
+            &ExplicitChecker::new(),
+        );
+        let relation = expl.relation(0, 1);
+        let witnesses = expl
+            .distinguishing_tests(0, 1)
+            .into_iter()
+            .map(|t| {
+                let allowed_left = expl.verdicts[0].allowed(t);
+                let (allowed_by, forbidden_by) = if allowed_left {
+                    (expl.models[0].name(), expl.models[1].name())
+                } else {
+                    (expl.models[1].name(), expl.models[0].name())
+                };
+                CompareWitness {
+                    test: expl.tests[t].name().to_string(),
+                    allowed_by: allowed_by.to_string(),
+                    forbidden_by: forbidden_by.to_string(),
+                }
+            })
+            .collect();
+        Ok(CompareReport {
+            left: expl.models[0].name().to_string(),
+            right: expl.models[1].name().to_string(),
+            relation,
+            tests: expl.tests.len(),
+            witnesses,
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+/// Builder for [`Query::distinguish`].
+#[derive(Clone, Debug)]
+pub struct DistinguishQuery {
+    models: ModelSpec,
+    with_deps: bool,
+    checker: CheckerKind,
+    config: EngineConfig,
+    cache: bool,
+}
+
+impl DistinguishQuery {
+    /// The model space to separate (at least two models).
+    #[must_use]
+    pub fn models(mut self, models: ModelSpec) -> Self {
+        self.models = models;
+        self
+    }
+
+    /// Include the dependency-idiom templates in the comparison suite.
+    #[must_use]
+    pub fn with_deps(mut self, with_deps: bool) -> Self {
+        self.with_deps = with_deps;
+        self
+    }
+
+    /// The checker backend.
+    #[must_use]
+    pub fn checker(mut self, checker: CheckerKind) -> Self {
+        self.checker = checker;
+        self
+    }
+
+    /// Engine tuning: canonicalization, worker count, batch sizes.
+    #[must_use]
+    pub fn engine(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Memoize verdicts in a fresh [`VerdictCache`].
+    #[must_use]
+    pub fn cache(mut self, cache: bool) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Runs the sweep and computes the certified minimum set.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidSpec`] for unresolvable models or a space of
+    /// fewer than two.
+    pub fn run(self) -> Result<DistinguishReport, QueryError> {
+        let models = self.models.resolve()?;
+        if models.len() < 2 {
+            return Err(QueryError::InvalidSpec(
+                "distinguish needs at least two models".to_string(),
+            ));
+        }
+        let cache = self.cache.then(VerdictCache::new);
+        let checker = self.checker;
+        let tests = paper::comparison_tests(self.with_deps);
+        let start = Instant::now();
+        let (exploration, stats) = Exploration::run_engine(
+            models,
+            tests,
+            || checker.build_batch(),
+            &self.config,
+            cache.as_ref(),
+        );
+        let elapsed = start.elapsed();
+        let classes = exploration.equivalence_classes();
+        let minimal = distinguish::minimal_distinguishing_set(&exploration);
+        Ok(DistinguishReport {
+            exploration,
+            stats,
+            classes,
+            minimal,
+            cache: cache.as_ref().map(cache_summary),
+            elapsed,
+        })
+    }
+}
+
+#[derive(Clone, Debug)]
+enum SynthMode {
+    Pair { left: String, right: String },
+    Matrix(ModelSpec),
+}
+
+/// Builder for [`Query::synth`] / [`Query::synth_matrix`].
+#[derive(Clone, Debug)]
+pub struct SynthQuery {
+    mode: SynthMode,
+    bounds: SynthBounds,
+    max_size: Option<usize>,
+    verbose: bool,
+}
+
+impl SynthQuery {
+    /// The bounded search box.
+    #[must_use]
+    pub fn bounds(mut self, bounds: SynthBounds) -> Self {
+        self.bounds = bounds;
+        self
+    }
+
+    /// Cap the searched test length (defaults to the box maximum).
+    #[must_use]
+    pub fn max_size(mut self, max_size: usize) -> Self {
+        self.max_size = Some(max_size);
+        self
+    }
+
+    /// Include solver counters in the text rendering.
+    #[must_use]
+    pub fn verbose(mut self, verbose: bool) -> Self {
+        self.verbose = verbose;
+        self
+    }
+
+    /// Runs the synthesis.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidSpec`] for unresolvable models or a matrix of
+    /// fewer than two; [`QueryError::Synth`] when the engine rejects the
+    /// bounds or a model.
+    pub fn run(self) -> Result<SynthReport, QueryError> {
+        let max_size = self.max_size.unwrap_or_else(|| self.bounds.max_total());
+        match &self.mode {
+            SynthMode::Pair { left, right } => {
+                let models = vec![resolve::model(left)?, resolve::model(right)?];
+                let start = Instant::now();
+                let mut synthesizer = mcm_synth::Synthesizer::new(models, self.bounds)
+                    .map_err(|e| QueryError::Synth(e.to_string()))?;
+                let pair = synthesizer.pair(0, 1, max_size);
+                let elapsed = start.elapsed();
+                Ok(SynthReport {
+                    bounds: self.bounds,
+                    max_size,
+                    pair: Some(SynthPair {
+                        left: left.clone(),
+                        right: right.clone(),
+                        length: pair.length,
+                        witness: pair.witness,
+                        allowed_by: pair.allowed_by,
+                        forbidden_by: pair.forbidden_by,
+                    }),
+                    matrix: None,
+                    stats: synthesizer.stats(),
+                    verbose: self.verbose,
+                    elapsed,
+                })
+            }
+            SynthMode::Matrix(spec) => {
+                let models = spec.resolve()?;
+                if models.len() < 2 {
+                    return Err(QueryError::InvalidSpec(
+                        "a synthesis matrix needs at least two models".to_string(),
+                    ));
+                }
+                let start = Instant::now();
+                let mut synthesizer = mcm_synth::Synthesizer::new(models, self.bounds)
+                    .map_err(|e| QueryError::Synth(e.to_string()))?;
+                let matrix = synthesizer.matrix(max_size);
+                let elapsed = start.elapsed();
+                Ok(SynthReport {
+                    bounds: self.bounds,
+                    max_size,
+                    pair: None,
+                    matrix: Some(SynthMatrix {
+                        names: matrix.names,
+                        lengths: matrix.lengths,
+                    }),
+                    stats: synthesizer.stats(),
+                    verbose: self.verbose,
+                    elapsed,
+                })
+            }
+        }
+    }
+}
+
+/// Builder for [`Query::check`].
+#[derive(Clone, Debug)]
+pub struct CheckQuery {
+    model: String,
+    source: TestSource,
+    checker: CheckerKind,
+    witness: bool,
+}
+
+impl CheckQuery {
+    /// The checker backend.
+    #[must_use]
+    pub fn checker(mut self, checker: CheckerKind) -> Self {
+        self.checker = checker;
+        self
+    }
+
+    /// Render a witness / refutation explanation per test.
+    #[must_use]
+    pub fn witness(mut self, witness: bool) -> Self {
+        self.witness = witness;
+        self
+    }
+
+    /// Runs the checks.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidSpec`] for unknown models;
+    /// [`QueryError::Io`] / [`QueryError::Parse`] for the test source.
+    pub fn run(self) -> Result<CheckReport, QueryError> {
+        let model = resolve::model(&self.model)?;
+        let tests = self.source.load()?;
+        let checker = self.checker.build();
+        let entries = tests
+            .iter()
+            .map(|test| {
+                let verdict = checker.check(&model, test);
+                let witness = self.witness.then(|| {
+                    let exec = test.execution();
+                    explain::render(&model, &exec, &verdict)
+                });
+                CheckEntry {
+                    test: test.name().to_string(),
+                    allowed: verdict.allowed,
+                    witness,
+                }
+            })
+            .collect();
+        Ok(CheckReport {
+            model: model.name().to_string(),
+            checker: self.checker.name(),
+            entries,
+        })
+    }
+}
+
+/// Builder for [`Query::suite`].
+#[derive(Clone, Copy, Debug)]
+pub struct SuiteQuery {
+    with_deps: bool,
+    full: bool,
+}
+
+impl SuiteQuery {
+    /// Render full test bodies instead of names in text mode.
+    #[must_use]
+    pub fn full(mut self, full: bool) -> Self {
+        self.full = full;
+        self
+    }
+
+    /// Materializes the suite.
+    #[must_use]
+    pub fn run(self) -> SuiteReport {
+        let suite = template_suite(self.with_deps);
+        SuiteReport {
+            with_deps: self.with_deps,
+            corollary1_bound: suite.corollary1_bound,
+            tests: suite.tests,
+            full: self.full,
+        }
+    }
+}
+
+fn cache_summary(cache: &VerdictCache) -> CacheSummary {
+    CacheSummary {
+        entries: cache.len(),
+        hits: cache.hits(),
+        misses: cache.misses(),
+    }
+}
+
+fn named_pairs(exploration: &Exploration) -> Vec<(String, String)> {
+    exploration
+        .equivalent_pairs()
+        .into_iter()
+        .map(|(i, j)| {
+            (
+                exploration.models[i].name().to_string(),
+                exploration.models[j].name().to_string(),
+            )
+        })
+        .collect()
+}
+
+fn figures_report(selection: FigureSelection) -> FiguresReport {
+    use FigureSelection as S;
+    let want = |s: S| selection == s || selection == S::All;
+    let fig1 = want(S::Fig1).then(|| {
+        let test = catalog::test_a();
+        let checker = ExplicitChecker::new();
+        let verdicts = [
+            mcm_models::named::tso(),
+            mcm_models::named::sc(),
+            mcm_models::named::ibm370(),
+        ]
+        .into_iter()
+        .map(|model| {
+            let allowed = checker.is_allowed(&model, &test);
+            (model.name().to_string(), allowed)
+        })
+        .collect();
+        Fig1Figure { test, verdicts }
+    });
+    let fig2 = want(S::Fig2).then(|| {
+        use mcm_gen::{template, Segment, SegmentType};
+        let rw = Segment::enumerate(SegmentType::ReadWrite, true);
+        let ww = Segment::enumerate(SegmentType::WriteWrite, true);
+        let wr = Segment::enumerate(SegmentType::WriteRead, true);
+        let rr = Segment::enumerate(SegmentType::ReadRead, true);
+        [
+            template::case1(rw[1]),
+            template::case2(ww[1]),
+            template::case3a(rr[1], ww[1]),
+            template::case3b(rr[1], wr[1], rw[1]),
+            template::case4(wr[1]),
+            template::case5a(wr[0], rr[3]),
+            template::case5b(wr[0], rw[3]),
+        ]
+        .into_iter()
+        .flatten()
+        .collect()
+    });
+    let fig3 = want(S::Fig3).then(catalog::nine_tests);
+    let counts = want(S::Counts).then(|| {
+        let bounds = naive::NaiveBounds::default();
+        CountsFigure {
+            bound_with_deps: count::paper_bound(true),
+            bound_without_deps: count::paper_bound(false),
+            naive_raw: naive::count_tests_raw(&bounds),
+            naive_canonical: naive::count_tests(&bounds),
+            suite_with_deps: template_suite(true).len(),
+            suite_without_deps: template_suite(false).len(),
+        }
+    });
+    let fig4 = want(S::Fig4).then(|| {
+        let report = paper::explore_digit_space(false);
+        let dot = render_dot(
+            &report.exploration,
+            &report.lattice,
+            &DotOptions {
+                name: "figure4".to_string(),
+                preferred_tests: report.nine_test_indices.clone(),
+                ..DotOptions::default()
+            },
+        );
+        Fig4Figure {
+            models: report.exploration.models.len(),
+            classes: report.lattice.classes.len(),
+            edges: report.lattice.edges.len(),
+            merged: report.equivalent_pairs,
+            dot,
+        }
+    });
+    FiguresReport {
+        fig1,
+        fig2,
+        fig3,
+        counts,
+        fig4,
+    }
+}

@@ -1,0 +1,217 @@
+//! The [`Render`] trait: one report, four output formats.
+
+use mcm_core::json::Json;
+
+use crate::error::QueryError;
+
+/// Version stamp carried by every JSON document the query layer emits.
+/// Bump when a report's field set changes incompatibly; the golden-file
+/// tests pin the schema at the current version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// An output format for a report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// Human-readable text — what the CLI has always printed.
+    Text,
+    /// A schema-versioned JSON document (see [`SCHEMA_VERSION`]).
+    Json,
+    /// Comma-separated values (verdict matrices); not every report has a
+    /// tabular view.
+    Csv,
+    /// Graphviz DOT (lattices); not every report has a graph view.
+    Dot,
+}
+
+impl Format {
+    /// Every format, in `--format` documentation order.
+    pub const ALL: [Format; 4] = [Format::Text, Format::Json, Format::Csv, Format::Dot];
+
+    /// The stable CLI name (`text`, `json`, `csv`, `dot`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Format::Text => "text",
+            Format::Json => "json",
+            Format::Csv => "csv",
+            Format::Dot => "dot",
+        }
+    }
+
+    /// Resolves a (case-insensitive) name back to its format.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Format> {
+        Format::ALL
+            .into_iter()
+            .find(|f| f.name().eq_ignore_ascii_case(name))
+    }
+}
+
+impl std::fmt::Display for Format {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed report that can render itself in every supported [`Format`].
+///
+/// `text` and `json` are total: every report has a human-readable story
+/// and a machine-readable document. `csv` and `dot` are partial — only
+/// reports with a natural tabular or graph view implement them — and
+/// [`Render::render`] turns the gap into a [`QueryError::Unsupported`]
+/// usage error.
+pub trait Render {
+    /// The stable document kind (`sweep`, `compare`, `distinguish`,
+    /// `synth`, `check`, ...) — the `kind` field of the JSON document.
+    fn kind(&self) -> &'static str;
+
+    /// Human-readable text, newline-terminated: exactly what the CLI
+    /// prints in `text` mode.
+    fn text(&self) -> String;
+
+    /// The report's own JSON fields, in documented order —
+    /// [`Render::json`] prepends the envelope (`schema_version`, `kind`).
+    fn json_fields(&self) -> Vec<(String, Json)>;
+
+    /// The complete schema-versioned JSON document.
+    fn json(&self) -> Json {
+        let mut fields = vec![
+            ("schema_version".to_string(), Json::from(SCHEMA_VERSION)),
+            ("kind".to_string(), Json::from(self.kind())),
+        ];
+        fields.extend(self.json_fields());
+        Json::Object(fields)
+    }
+
+    /// CSV view, when the report has one.
+    fn csv(&self) -> Option<String> {
+        None
+    }
+
+    /// Graphviz DOT view, when the report has one.
+    fn dot(&self) -> Option<String> {
+        None
+    }
+
+    /// Renders in `format`, newline-terminated.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::Unsupported`] when the report has no view in the
+    /// requested format.
+    fn render(&self, format: Format) -> Result<String, QueryError> {
+        let unsupported = || QueryError::Unsupported {
+            report: self.kind(),
+            format: format.name(),
+        };
+        match format {
+            Format::Text => Ok(self.text()),
+            Format::Json => Ok(self.json().pretty()),
+            Format::Csv => self.csv().ok_or_else(unsupported),
+            Format::Dot => self.dot().ok_or_else(unsupported),
+        }
+    }
+}
+
+/// Formats a wall-clock duration the way the CLI always has (`{:.2?}`).
+pub(crate) fn duration_text(d: std::time::Duration) -> String {
+    format!("{d:.2?}")
+}
+
+/// A duration as fractional milliseconds for JSON documents.
+pub(crate) fn duration_json(d: std::time::Duration) -> Json {
+    Json::Float(d.as_secs_f64() * 1000.0)
+}
+
+/// JSON view of a litmus test: its name plus its parseable `.litmus`
+/// source (the pretty-printer and [`mcm_core::parse`] round-trip).
+pub(crate) fn test_json(test: &mcm_core::LitmusTest) -> Json {
+    let mut fields = vec![
+        ("name".to_string(), Json::from(test.name())),
+        ("accesses".to_string(), Json::from(test.program().access_count())),
+    ];
+    if !test.description().is_empty() {
+        fields.push(("description".to_string(), Json::from(test.description())));
+    }
+    fields.push(("text".to_string(), Json::from(test.to_string())));
+    Json::Object(fields)
+}
+
+/// `(name, value)` counter lists (the `counters()` structured views the
+/// stats types expose) as JSON object fields — the single place counter
+/// serialization happens.
+pub(crate) fn counter_fields<'a>(
+    counters: impl IntoIterator<Item = &'a (&'static str, u64)>,
+) -> Vec<(String, Json)> {
+    counters
+        .into_iter()
+        .map(|(name, value)| ((*name).to_string(), Json::from(*value)))
+        .collect()
+}
+
+/// JSON view of a `(name, value)` counter list.
+pub(crate) fn counters_json<'a>(
+    counters: impl IntoIterator<Item = &'a (&'static str, u64)>,
+) -> Json {
+    Json::Object(counter_fields(counters))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_names_round_trip() {
+        for format in Format::ALL {
+            assert_eq!(Format::from_name(format.name()), Some(format));
+            assert_eq!(
+                Format::from_name(&format.name().to_uppercase()),
+                Some(format)
+            );
+            assert_eq!(format.to_string(), format.name());
+        }
+        assert_eq!(Format::from_name("yaml"), None);
+    }
+
+    struct Dummy;
+    impl Render for Dummy {
+        fn kind(&self) -> &'static str {
+            "dummy"
+        }
+        fn text(&self) -> String {
+            "hello\n".to_string()
+        }
+        fn json_fields(&self) -> Vec<(String, Json)> {
+            vec![("x".to_string(), Json::from(1u64))]
+        }
+    }
+
+    #[test]
+    fn json_documents_carry_the_envelope() {
+        let doc = Dummy.json();
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("dummy"));
+        assert_eq!(doc.get("x").and_then(Json::as_u64), Some(1));
+        // The envelope comes first.
+        let keys: Vec<&str> = doc
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys[..2], ["schema_version", "kind"]);
+    }
+
+    #[test]
+    fn unsupported_formats_are_usage_errors() {
+        assert!(Dummy.render(Format::Text).is_ok());
+        assert!(Dummy.render(Format::Json).is_ok());
+        let err = Dummy.render(Format::Csv).unwrap_err();
+        assert!(err.is_usage());
+        assert!(err.to_string().contains("dummy"));
+        assert!(Dummy.render(Format::Dot).is_err());
+    }
+}

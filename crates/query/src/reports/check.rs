@@ -1,0 +1,70 @@
+//! The per-test admissibility report.
+
+use std::fmt::Write as _;
+
+use mcm_core::json::Json;
+
+use crate::render::Render;
+
+/// The verdict for one litmus test.
+#[derive(Clone, Debug)]
+pub struct CheckEntry {
+    /// The test's name.
+    pub test: String,
+    /// Whether the demanded outcome is allowed under the model.
+    pub allowed: bool,
+    /// The rendered witness / refutation explanation, when requested.
+    pub witness: Option<String>,
+}
+
+/// What a check query produced: one verdict per test of the input file,
+/// each optionally explained by a witness.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// The model the tests were checked under.
+    pub model: String,
+    /// The checker that decided admissibility.
+    pub checker: &'static str,
+    /// One entry per test, in input order.
+    pub entries: Vec<CheckEntry>,
+}
+
+impl Render for CheckReport {
+    fn kind(&self) -> &'static str {
+        "check"
+    }
+
+    fn text(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.entries {
+            let _ = writeln!(
+                out,
+                "{}: {} under {}",
+                entry.test,
+                if entry.allowed { "allowed" } else { "forbidden" },
+                self.model,
+            );
+            if let Some(witness) = &entry.witness {
+                let _ = write!(out, "{witness}");
+            }
+        }
+        out
+    }
+
+    fn json_fields(&self) -> Vec<(String, Json)> {
+        vec![
+            ("model".to_string(), Json::from(self.model.as_str())),
+            ("checker".to_string(), Json::from(self.checker)),
+            (
+                "tests".to_string(),
+                Json::array_of(&self.entries, |e| {
+                    Json::object([
+                        ("test", Json::from(e.test.as_str())),
+                        ("allowed", Json::Bool(e.allowed)),
+                        ("witness", Json::from(e.witness.as_deref())),
+                    ])
+                }),
+            ),
+        ]
+    }
+}

@@ -1,0 +1,92 @@
+//! The two-model comparison report.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use mcm_core::json::Json;
+use mcm_explore::Relation;
+
+use crate::render::{duration_json, duration_text, Render};
+
+/// One litmus test separating the two compared models.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompareWitness {
+    /// The test's name.
+    pub test: String,
+    /// The model that allows the demanded outcome.
+    pub allowed_by: String,
+    /// The model that forbids it.
+    pub forbidden_by: String,
+}
+
+/// What a compare query produced: the relation between two models over
+/// the complete comparison suite, with every separating test.
+#[derive(Clone, Debug)]
+pub struct CompareReport {
+    /// Resolved name of the left model.
+    pub left: String,
+    /// Resolved name of the right model.
+    pub right: String,
+    /// The containment relation of the left model with respect to the
+    /// right one.
+    pub relation: Relation,
+    /// Size of the comparison suite.
+    pub tests: usize,
+    /// Every test on which the two models disagree.
+    pub witnesses: Vec<CompareWitness>,
+    /// Wall-clock of the comparison.
+    pub elapsed: Duration,
+}
+
+impl Render for CompareReport {
+    fn kind(&self) -> &'static str {
+        "compare"
+    }
+
+    fn text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} vs {}: {} is {} ({} tests, {})",
+            self.left,
+            self.right,
+            self.left,
+            self.relation,
+            self.tests,
+            duration_text(self.elapsed),
+        );
+        if self.relation != Relation::Equivalent {
+            for witness in &self.witnesses {
+                let _ = writeln!(
+                    out,
+                    "  {:44} allowed by {:8} forbidden by {}",
+                    witness.test, witness.allowed_by, witness.forbidden_by,
+                );
+            }
+        }
+        out
+    }
+
+    fn json_fields(&self) -> Vec<(String, Json)> {
+        vec![
+            ("left".to_string(), Json::from(self.left.as_str())),
+            ("right".to_string(), Json::from(self.right.as_str())),
+            (
+                "relation".to_string(),
+                Json::from(self.relation.to_string()),
+            ),
+            ("tests".to_string(), Json::from(self.tests)),
+            (
+                "witnesses".to_string(),
+                Json::array_of(&self.witnesses, |w| {
+                    Json::object([
+                        ("test", Json::from(w.test.as_str())),
+                        ("allowed_by", Json::from(w.allowed_by.as_str())),
+                        ("forbidden_by", Json::from(w.forbidden_by.as_str())),
+                    ])
+                }),
+            ),
+            ("elapsed_ms".to_string(), duration_json(self.elapsed)),
+        ]
+    }
+}

@@ -1,0 +1,235 @@
+//! The paper-figures report: every artifact of the paper as data.
+
+use std::fmt::Write as _;
+
+use mcm_core::json::Json;
+use mcm_core::LitmusTest;
+
+use crate::render::{test_json, Render};
+
+/// Which figures a `figures` query regenerates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FigureSelection {
+    /// Figure 1: Test A and its verdicts.
+    Fig1,
+    /// Figure 2: template samples by critical segment.
+    Fig2,
+    /// Figure 3: the nine contrasting tests.
+    Fig3,
+    /// Figure 4: the dependency-free model space.
+    Fig4,
+    /// §3.4 / Corollary 1 test counts.
+    Counts,
+    /// Everything.
+    All,
+}
+
+impl FigureSelection {
+    /// Resolves a CLI figure name (`fig1` … `fig4`, `counts`, `all`).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<FigureSelection> {
+        match name {
+            "fig1" => Some(FigureSelection::Fig1),
+            "fig2" => Some(FigureSelection::Fig2),
+            "fig3" => Some(FigureSelection::Fig3),
+            "fig4" => Some(FigureSelection::Fig4),
+            "counts" => Some(FigureSelection::Counts),
+            "all" => Some(FigureSelection::All),
+            _ => None,
+        }
+    }
+}
+
+/// Figure 1 as data: Test A and its verdict under three named models.
+#[derive(Clone, Debug)]
+pub struct Fig1Figure {
+    /// The paper's Test A.
+    pub test: LitmusTest,
+    /// `(model name, allowed)` verdicts, in the paper's order.
+    pub verdicts: Vec<(String, bool)>,
+}
+
+/// §3.4 / Corollary 1 counts as data.
+#[derive(Clone, Copy, Debug)]
+pub struct CountsFigure {
+    /// Corollary 1's bound with the DataDep predicate.
+    pub bound_with_deps: u64,
+    /// Corollary 1's bound without it.
+    pub bound_without_deps: u64,
+    /// Naive enumeration of the default box, raw.
+    pub naive_raw: u64,
+    /// Naive enumeration of the default box, canonical orbit leaders.
+    pub naive_canonical: u64,
+    /// Materialized template suite size with dependencies.
+    pub suite_with_deps: usize,
+    /// Materialized template suite size without.
+    pub suite_without_deps: usize,
+}
+
+/// Figure 4 as data: the explored dependency-free space plus its DOT
+/// rendering (the CLI writes [`Fig4Figure::dot`] to disk in text mode).
+#[derive(Clone, Debug)]
+pub struct Fig4Figure {
+    /// Number of models explored (36).
+    pub models: usize,
+    /// Number of equivalence classes (lattice nodes).
+    pub classes: usize,
+    /// Number of covering edges.
+    pub edges: usize,
+    /// Pairs of models merged into one node, by name.
+    pub merged: Vec<(String, String)>,
+    /// The Graphviz rendering of the lattice.
+    pub dot: String,
+}
+
+/// What a figures query produced: the requested figures, each as data.
+#[derive(Clone, Debug)]
+pub struct FiguresReport {
+    /// Figure 1, when requested.
+    pub fig1: Option<Fig1Figure>,
+    /// Figure 2's template samples, when requested.
+    pub fig2: Option<Vec<LitmusTest>>,
+    /// Figure 3's nine tests, when requested.
+    pub fig3: Option<Vec<LitmusTest>>,
+    /// The §3.4 counts, when requested.
+    pub counts: Option<CountsFigure>,
+    /// Figure 4, when requested.
+    pub fig4: Option<Fig4Figure>,
+}
+
+impl Render for FiguresReport {
+    fn kind(&self) -> &'static str {
+        "figures"
+    }
+
+    fn text(&self) -> String {
+        let mut out = String::new();
+        if let Some(fig1) = &self.fig1 {
+            let _ = writeln!(out, "==== Figure 1: Test A (TSO load forwarding) ====");
+            let _ = writeln!(out, "{}", fig1.test);
+            for (model, allowed) in &fig1.verdicts {
+                let _ = writeln!(
+                    out,
+                    "  {:8} {}",
+                    model,
+                    if *allowed { "allowed" } else { "forbidden" }
+                );
+            }
+            out.push('\n');
+        }
+        if let Some(samples) = &self.fig2 {
+            let _ = writeln!(
+                out,
+                "==== Figure 2: litmus test templates by critical segment ===="
+            );
+            for test in samples {
+                let _ = writeln!(out, "{test}");
+                let _ = writeln!(out, "  ({})\n", test.description());
+            }
+        }
+        if let Some(nine) = &self.fig3 {
+            let _ = writeln!(out, "==== Figure 3: the nine contrasting litmus tests ====");
+            for test in nine {
+                let _ = writeln!(out, "{test}\n");
+            }
+        }
+        if let Some(counts) = &self.counts {
+            let _ = writeln!(out, "==== §3.4 / Corollary 1: test counts ====");
+            let _ = writeln!(
+                out,
+                "  with DataDep    : N_WW=4 N_WR=4 N_RW=6 N_RR=6  ->  {} tests",
+                counts.bound_with_deps
+            );
+            let _ = writeln!(
+                out,
+                "  without DataDep : N_WW=4 N_WR=4 N_RW=4 N_RR=4  ->  {} tests",
+                counts.bound_without_deps
+            );
+            let _ = writeln!(
+                out,
+                "  naive enumeration (2 threads, <=3 accesses each, no deps): \
+                 {} tests raw, {} canonical",
+                counts.naive_raw, counts.naive_canonical,
+            );
+            let _ = writeln!(
+                out,
+                "  materialised template suites: {} (with deps), {} (without)",
+                counts.suite_with_deps, counts.suite_without_deps,
+            );
+            out.push('\n');
+        }
+        if let Some(fig4) = &self.fig4 {
+            let _ = writeln!(out, "==== Figure 4: the dependency-free model space ====");
+            let _ = writeln!(
+                out,
+                "  {} models, {} classes, {} covering edges",
+                fig4.models, fig4.classes, fig4.edges,
+            );
+            for (a, b) in &fig4.merged {
+                let _ = writeln!(out, "  merged node: {a} == {b}");
+            }
+        }
+        out
+    }
+
+    fn json_fields(&self) -> Vec<(String, Json)> {
+        let fig1 = match &self.fig1 {
+            None => Json::Null,
+            Some(fig1) => Json::object([
+                ("test", test_json(&fig1.test)),
+                (
+                    "verdicts",
+                    Json::array_of(&fig1.verdicts, |(model, allowed)| {
+                        Json::object([
+                            ("model", Json::from(model.as_str())),
+                            ("allowed", Json::Bool(*allowed)),
+                        ])
+                    }),
+                ),
+            ]),
+        };
+        let tests_or_null = |tests: &Option<Vec<LitmusTest>>| match tests {
+            None => Json::Null,
+            Some(tests) => Json::array_of(tests, test_json),
+        };
+        let counts = match &self.counts {
+            None => Json::Null,
+            Some(c) => Json::object([
+                ("bound_with_deps", Json::from(c.bound_with_deps)),
+                ("bound_without_deps", Json::from(c.bound_without_deps)),
+                ("naive_raw", Json::from(c.naive_raw)),
+                ("naive_canonical", Json::from(c.naive_canonical)),
+                ("suite_with_deps", Json::from(c.suite_with_deps)),
+                ("suite_without_deps", Json::from(c.suite_without_deps)),
+            ]),
+        };
+        let fig4 = match &self.fig4 {
+            None => Json::Null,
+            Some(fig4) => Json::object([
+                ("models", Json::from(fig4.models)),
+                ("classes", Json::from(fig4.classes)),
+                ("edges", Json::from(fig4.edges)),
+                (
+                    "merged",
+                    Json::array_of(&fig4.merged, |(a, b)| {
+                        Json::Array(vec![Json::from(a.as_str()), Json::from(b.as_str())])
+                    }),
+                ),
+                // Text mode writes this to figure4.dot; JSON consumers
+                // get the rendering inline.
+                ("dot", Json::from(fig4.dot.as_str())),
+            ]),
+        };
+        vec![
+            ("fig1".to_string(), fig1),
+            ("fig2".to_string(), tests_or_null(&self.fig2)),
+            ("fig3".to_string(), tests_or_null(&self.fig3)),
+            ("counts".to_string(), counts),
+            ("fig4".to_string(), fig4),
+        ]
+    }
+
+    fn dot(&self) -> Option<String> {
+        self.fig4.as_ref().map(|fig4| fig4.dot.clone())
+    }
+}

@@ -1,0 +1,135 @@
+//! The suite, catalog and parse reports.
+
+use std::fmt::Write as _;
+
+use mcm_core::json::Json;
+use mcm_core::LitmusTest;
+use mcm_models::catalog::CatalogSection;
+
+use crate::render::{test_json, Render};
+
+/// What a suite query produced: the materialized Theorem 1 template
+/// suite with its Corollary 1 bound.
+#[derive(Clone, Debug)]
+pub struct SuiteReport {
+    /// Whether the dependency predicates were included.
+    pub with_deps: bool,
+    /// Corollary 1's bound for these predicates.
+    pub corollary1_bound: u64,
+    /// The materialized tests.
+    pub tests: Vec<LitmusTest>,
+    /// Print full test bodies instead of names in text mode.
+    pub full: bool,
+}
+
+impl Render for SuiteReport {
+    fn kind(&self) -> &'static str {
+        "suite"
+    }
+
+    fn text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "predicates {} DataDep: Corollary 1 bound = {}, materialised = {} tests",
+            if self.with_deps { "with" } else { "without" },
+            self.corollary1_bound,
+            self.tests.len(),
+        );
+        for test in &self.tests {
+            if self.full {
+                let _ = writeln!(out, "{test}");
+            } else {
+                let _ = writeln!(out, "  {}", test.name());
+            }
+        }
+        out
+    }
+
+    fn json_fields(&self) -> Vec<(String, Json)> {
+        vec![
+            ("with_deps".to_string(), Json::Bool(self.with_deps)),
+            (
+                "corollary1_bound".to_string(),
+                Json::from(self.corollary1_bound),
+            ),
+            ("count".to_string(), Json::from(self.tests.len())),
+            ("tests".to_string(), Json::array_of(&self.tests, test_json)),
+        ]
+    }
+}
+
+/// What a catalog query produced: the built-in tests grouped by
+/// provenance (Figure 1, Figure 3, classics).
+#[derive(Clone, Debug)]
+pub struct CatalogReport {
+    /// The catalog sections, in catalog order.
+    pub sections: Vec<CatalogSection>,
+}
+
+impl Render for CatalogReport {
+    fn kind(&self) -> &'static str {
+        "catalog"
+    }
+
+    fn text(&self) -> String {
+        let mut out = String::new();
+        for section in &self.sections {
+            for test in &section.tests {
+                let _ = writeln!(out, "{test}");
+                if !test.description().is_empty() {
+                    let _ = writeln!(out, "  ({})\n", test.description());
+                }
+            }
+        }
+        out
+    }
+
+    fn json_fields(&self) -> Vec<(String, Json)> {
+        vec![(
+            "sections".to_string(),
+            Json::array_of(&self.sections, |section| {
+                Json::object([
+                    ("name", Json::from(section.name)),
+                    ("title", Json::from(section.title)),
+                    (
+                        "tests",
+                        Json::array_of(&section.tests, test_json),
+                    ),
+                ])
+            }),
+        )]
+    }
+}
+
+/// What a parse query produced: the validated tests of a `.litmus` file.
+#[derive(Clone, Debug)]
+pub struct ParseReport {
+    /// Where the tests came from (a path, or `<inline>`).
+    pub source: String,
+    /// The parsed tests, pretty-printed by `text` mode.
+    pub tests: Vec<LitmusTest>,
+}
+
+impl Render for ParseReport {
+    fn kind(&self) -> &'static str {
+        "parse"
+    }
+
+    fn text(&self) -> String {
+        let mut out = String::new();
+        for test in &self.tests {
+            let _ = writeln!(out, "{test}");
+        }
+        let _ = writeln!(out, "{} test(s) parsed successfully", self.tests.len());
+        out
+    }
+
+    fn json_fields(&self) -> Vec<(String, Json)> {
+        vec![
+            ("source".to_string(), Json::from(self.source.as_str())),
+            ("count".to_string(), Json::from(self.tests.len())),
+            ("tests".to_string(), Json::array_of(&self.tests, test_json)),
+        ]
+    }
+}

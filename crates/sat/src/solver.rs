@@ -53,6 +53,19 @@ impl SolverStats {
         self.restarts += other.restarts;
         self.learnt_clauses += other.learnt_clauses;
     }
+
+    /// The counters as stable `(name, value)` pairs — the structured view
+    /// serializable reports render from, so field names live in one place.
+    #[must_use]
+    pub fn counters(&self) -> [(&'static str, u64); 5] {
+        [
+            ("decisions", self.decisions),
+            ("propagations", self.propagations),
+            ("conflicts", self.conflicts),
+            ("restarts", self.restarts),
+            ("learnt_clauses", self.learnt_clauses),
+        ]
+    }
 }
 
 #[derive(Clone, Debug)]

@@ -167,6 +167,25 @@ pub struct SynthStats {
     pub solver: SolverStats,
 }
 
+impl SynthStats {
+    /// The CEGIS counters as stable `(name, value)` pairs — the
+    /// structured view serializable reports render from (the nested
+    /// [`SynthStats::solver`] group has a `counters()` view of its own).
+    #[must_use]
+    pub fn counters(&self) -> [(&'static str, u64); 8] {
+        [
+            ("sat_queries", self.sat_queries),
+            ("structures", self.structures),
+            ("candidates", self.candidates),
+            ("witnesses", self.witnesses),
+            ("shapes_exhausted", self.shapes_exhausted),
+            ("oracle_cache_hits", self.oracle_cache_hits),
+            ("oracle_calls", self.oracle_calls),
+            ("encoding_mismatches", self.encoding_mismatches),
+        ]
+    }
+}
+
 /// Whether `formula` orders a full fence against every access in both
 /// directions — the property that lets the encoding model fences as
 /// "order everything across them" instead of materialising fence events.

@@ -1,81 +1,52 @@
-//! Compares two memory models with the Theorem 1 template suite: reports
-//! the relation (equivalent / stronger / weaker / incomparable) and the
-//! litmus tests witnessing each direction — the workflow of the paper's
-//! tool (§4.1).
+//! Compares two memory models with the Theorem 1 template suite through
+//! the unified query API: the relation (equivalent / stronger / weaker /
+//! incomparable) comes back as a typed [`CompareReport`], rendered here
+//! both as the CLI's text and as a JSON document.
 //!
 //! Run with `cargo run --example compare_models` or pass two model names:
 //! `cargo run --example compare_models -- TSO M4144`.
+//!
+//! [`CompareReport`]: litmus_mcm::query::CompareReport
 
-use litmus_mcm::axiomatic::ExplicitChecker;
-use litmus_mcm::core::MemoryModel;
-use litmus_mcm::explore::paper::comparison_tests;
-use litmus_mcm::explore::{Exploration, Relation};
-use litmus_mcm::models::{named, DigitModel};
-
-fn resolve(name: &str) -> Option<MemoryModel> {
-    match name.to_ascii_uppercase().as_str() {
-        "SC" => Some(named::sc()),
-        "TSO" => Some(named::tso()),
-        "X86" => Some(named::x86()),
-        "PSO" => Some(named::pso()),
-        "IBM370" => Some(named::ibm370()),
-        "RMO" => Some(named::rmo()),
-        "RMO-NODEP" => Some(named::rmo_without_dependencies()),
-        "ALPHA" => Some(named::alpha()),
-        other => other.parse::<DigitModel>().ok().map(|d| d.to_model()),
-    }
-}
+use litmus_mcm::query::{Format, Query, Render};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (left_name, right_name) = match args.as_slice() {
+    let (left, right) = match args.as_slice() {
         [a, b] => (a.clone(), b.clone()),
         _ => ("TSO".to_string(), "IBM370".to_string()),
     };
-    let left = resolve(&left_name).unwrap_or_else(|| {
-        eprintln!("unknown model `{left_name}` (use SC/TSO/x86/PSO/IBM370/RMO/Alpha or M####)");
-        std::process::exit(2);
-    });
-    let right = resolve(&right_name).unwrap_or_else(|| {
-        eprintln!("unknown model `{right_name}`");
-        std::process::exit(2);
-    });
 
-    println!("{left}");
-    println!("{right}");
-
-    let expl = Exploration::run(
-        vec![left, right],
-        comparison_tests(true),
-        &ExplicitChecker::new(),
-    );
-    let relation = expl.relation(0, 1);
-    println!(
-        "\nrelation: {} is {} (with respect to {})",
-        expl.models[0].name(),
-        relation,
-        expl.models[1].name(),
-    );
-    match relation {
-        Relation::Equivalent => {
-            println!("(no litmus test in the complete suite separates them)");
+    let report = match Query::compare(&left, &right).run() {
+        Ok(report) => report,
+        Err(err) => {
+            // Unknown model names are usage errors, like the CLI's exit 2.
+            eprintln!("error: {err}");
+            std::process::exit(2);
         }
-        _ => {
-            println!("\nwitness tests:");
-            for t in expl.distinguishing_tests(0, 1) {
-                let test = &expl.tests[t];
-                let a = expl.verdicts[0].allowed(t);
-                println!(
-                    "  {:40} {} allows, {} forbids",
-                    test.name(),
-                    if a { expl.models[0].name() } else { expl.models[1].name() },
-                    if a { expl.models[1].name() } else { expl.models[0].name() },
-                );
-            }
-            // Show one witness in full.
-            if let Some(&t) = expl.distinguishing_tests(0, 1).first() {
-                println!("\nfirst witness in full:\n{}", expl.tests[t]);
-            }
+    };
+
+    // Typed access to the result ...
+    println!(
+        "relation: {} is {} (with respect to {}, over {} tests)",
+        report.left, report.relation, report.right, report.tests,
+    );
+    if report.witnesses.is_empty() {
+        println!("(no litmus test in the complete suite separates them)");
+    } else {
+        println!("\nwitness tests:");
+        for witness in &report.witnesses {
+            println!(
+                "  {:40} {} allows, {} forbids",
+                witness.test, witness.allowed_by, witness.forbidden_by,
+            );
         }
     }
+
+    // ... and the exact same report as the CLI would print it, then as a
+    // machine-readable document.
+    println!("\n--- text rendering (what `mcm compare` prints) ---");
+    print!("{}", report.text());
+    println!("\n--- JSON rendering (what `mcm compare --format json` prints) ---");
+    print!("{}", report.render(Format::Json).expect("json is total"));
 }

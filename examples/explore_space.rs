@@ -1,62 +1,72 @@
-//! Reproduces the paper's §4.2 exploration: compares all 90 digit models
-//! (and the 36 dependency-free ones of Figure 4), reporting equivalent
-//! pairs, the minimum distinguishing test set, and the Figure 4 lattice as
-//! Graphviz DOT (written to `figure4.dot` in the working directory).
+//! Reproduces the paper's §4.2 exploration through the unified query
+//! API: one declarative [`Query`] per space, typed reports back, and the
+//! same data rendered as text, JSON and Graphviz DOT (written to
+//! `figure4.dot` in the working directory).
 //!
 //! Run with `cargo run --release --example explore_space`.
 
-use std::time::Instant;
-
-use litmus_mcm::explore::dot::{render_dot, DotOptions};
-use litmus_mcm::explore::paper;
+use litmus_mcm::query::{Format, ModelSpec, Query, Render, TestSource};
 
 fn main() {
     // ----- the 90-model space (with dependency predicates) -------------
-    let start = Instant::now();
-    let report = paper::explore_digit_space(true);
-    let elapsed = start.elapsed();
+    let report = Query::sweep()
+        .models(ModelSpec::Full90)
+        .tests(TestSource::TemplateSuite { with_deps: true })
+        .run()
+        .expect("the digit space resolves");
     println!("=== 90-model space (predicates incl. DataDep) ===");
+    // The typed report carries everything §4.2 reports ...
     println!(
         "models: {}   tests: {}   wall-clock: {:.2?}",
         report.exploration.models.len(),
         report.exploration.tests.len(),
-        elapsed
+        report.elapsed,
     );
-    println!(
-        "equivalence classes: {}",
-        report.exploration.equivalence_classes().len()
-    );
+    println!("equivalence classes: {}", report.lattice.classes.len());
     println!("equivalent pairs: {}", report.equivalent_pairs.len());
     for (a, b) in &report.equivalent_pairs {
         println!("  {a} == {b}");
     }
-    let names: Vec<&str> = report
-        .minimal_set
+    let minimal = report.minimal_set.as_ref().expect("materialized sweep");
+    let names: Vec<&str> = minimal
         .tests
         .iter()
         .map(|&t| report.exploration.tests[t].name())
         .collect();
     println!(
         "minimum distinguishing set ({} tests, SAT-certified minimum: {}): {:?}",
-        report.minimal_set.tests.len(),
-        report.minimal_set.proved_minimum,
+        minimal.tests.len(),
+        minimal.proved_minimum,
         names
     );
     println!(
         "paper's nine tests L1–L9 sufficient: {}",
-        report.nine_tests_sufficient
+        report.nine_tests_sufficient.unwrap_or(false)
+    );
+
+    // ... and doubles as a machine-readable document: the same report,
+    // serialized and round-tripped through the in-tree JSON parser.
+    let json = report.render(Format::Json).expect("json is total");
+    let doc = litmus_mcm::core::json::Json::parse(&json).expect("round-trips");
+    println!(
+        "as JSON: {} bytes, kind={}, schema_version={}",
+        json.len(),
+        doc.get("kind").and_then(|k| k.as_str()).unwrap(),
+        doc.get("schema_version").and_then(|v| v.as_u64()).unwrap(),
     );
 
     // ----- the 36-model dependency-free space (Figure 4) ---------------
-    let start = Instant::now();
-    let nodep = paper::explore_digit_space(false);
-    let elapsed = start.elapsed();
+    let nodep = Query::sweep()
+        .models(ModelSpec::Figure4)
+        .tests(TestSource::TemplateSuite { with_deps: false })
+        .run()
+        .expect("the Figure 4 space resolves");
     println!("\n=== 36-model dependency-free space (Figure 4) ===");
     println!(
         "models: {}   tests: {}   wall-clock: {:.2?}",
         nodep.exploration.models.len(),
         nodep.exploration.tests.len(),
-        elapsed
+        nodep.elapsed,
     );
     println!(
         "equivalence classes (Figure 4 nodes): {}",
@@ -68,15 +78,8 @@ fn main() {
         println!("  {a} == {b}");
     }
 
-    let dot = render_dot(
-        &nodep.exploration,
-        &nodep.lattice,
-        &DotOptions {
-            name: "figure4".to_string(),
-            preferred_tests: nodep.nine_test_indices.clone(),
-            ..DotOptions::default()
-        },
-    );
+    // Reports with a graph view render DOT directly.
+    let dot = nodep.dot().expect("sweep reports have a graph view");
     std::fs::write("figure4.dot", &dot).expect("write figure4.dot");
     println!("wrote figure4.dot ({} bytes)", dot.len());
 }

@@ -20,6 +20,9 @@
 //!   (substitute for MiniSat, paper §4.1).
 //! * [`synth`] — CEGIS-based symbolic synthesis of minimal distinguishing
 //!   litmus tests: the dual of enumerate-then-check (extension).
+//! * [`query`] — the unified query API: declarative model/test/checker
+//!   composition returning typed, serializable reports (text, JSON, CSV,
+//!   DOT) — the library face the `mcm` CLI is a thin renderer over.
 //! * [`operational`] — interleaving-SC and store-buffer-TSO reference
 //!   machines that cross-validate the axiomatic semantics (extension).
 //!
@@ -46,6 +49,7 @@ pub use mcm_explore as explore;
 pub use mcm_gen as gen;
 pub use mcm_models as models;
 pub use mcm_operational as operational;
+pub use mcm_query as query;
 pub use mcm_sat as sat;
 pub use mcm_synth as synth;
 
