@@ -13,6 +13,7 @@ use mcm_query::{
     CheckerKind, EngineConfig, Format, ModelSpec, Query, QueryError, Render, StreamBounds,
     SynthBounds, TestSource,
 };
+use mcm_serve::{Server, ServerConfig};
 
 /// A subcommand failure, split along the exit-code contract: usage
 /// errors (malformed request — exit 2) versus run failures (the request
@@ -582,5 +583,74 @@ pub fn figures(args: &[String]) -> Result<(), CliError> {
             println!("  wrote {path}");
         }
     }
+    Ok(())
+}
+
+const SERVE_SPEC: ArgSpec = ArgSpec {
+    flags: &[],
+    options: &[
+        "--addr",
+        "--workers",
+        "--queue-depth",
+        "--max-jobs",
+        "--max-body-bytes",
+        "--max-stream-tests",
+        "--read-timeout-ms",
+    ],
+};
+
+fn serve_usize(args: &[String], name: &str, default: usize) -> Result<usize, CliError> {
+    match option_value(args, name) {
+        None => Ok(default),
+        Some(n) => n
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| usage(format!("{name} needs a positive integer, got `{n}`"))),
+    }
+}
+
+/// `mcm serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+/// [--max-jobs N] [--max-body-bytes N] [--max-stream-tests N]
+/// [--read-timeout-ms N]`.
+///
+/// Runs until SIGTERM/SIGINT (or a fatal bind error), serving
+/// `POST /query` wire-format documents plus `GET /healthz` and
+/// `GET /statsz` — see `mcm_serve` for the request lifecycle.
+pub fn serve(args: &[String]) -> Result<(), CliError> {
+    SERVE_SPEC.validate(args)?;
+    if !SERVE_SPEC.positional(args).is_empty() {
+        return Err(usage("serve takes no positional arguments"));
+    }
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        addr: option_value(args, "--addr")
+            .unwrap_or("127.0.0.1:8323")
+            .to_string(),
+        workers: serve_usize(args, "--workers", defaults.workers)?,
+        queue_depth: serve_usize(args, "--queue-depth", defaults.queue_depth)?,
+        max_jobs: serve_usize(args, "--max-jobs", defaults.max_jobs)?,
+        max_body_bytes: serve_usize(args, "--max-body-bytes", defaults.max_body_bytes)?,
+        max_stream_tests: serve_usize(args, "--max-stream-tests", defaults.max_stream_tests)?,
+        read_timeout: std::time::Duration::from_millis(
+            serve_usize(args, "--read-timeout-ms", 10_000)? as u64,
+        ),
+        ..defaults
+    };
+    let addr = config.addr.clone();
+    let server = Server::bind(config)
+        .map_err(|e| CliError::Run(format!("cannot bind {addr}: {e}")))?;
+    let handle = server.shutdown_handle();
+    if mcm_serve::signal::install() {
+        mcm_serve::signal::spawn_watcher(handle);
+    }
+    // Stderr, so stdout stays a clean report channel for tooling that
+    // wraps the server.
+    eprintln!("mcm serve: listening on http://{}", server.local_addr());
+    eprintln!("mcm serve: POST /query, GET /healthz, GET /statsz; ctrl-c drains and exits");
+    server
+        .run()
+        .map_err(|e| CliError::Run(format!("serve failed: {e}")))?;
+    eprintln!("mcm serve: drained and shut down");
     Ok(())
 }

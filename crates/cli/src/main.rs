@@ -62,6 +62,16 @@ COMMANDS:
     figures <WHICH>           regenerate paper artifacts:
                               fig1 | fig2 | fig3 | fig4 | counts | all
     parse <FILE>              validate and pretty-print a .litmus file
+    serve                     long-lived HTTP query service: POST /query
+                              takes any query as JSON (same reports as
+                              the CLI), with one warm verdict cache
+                              shared across requests, bounded-queue
+                              backpressure (503 + Retry-After) and
+                              graceful drain on SIGTERM/ctrl-c
+                              [--addr HOST:PORT (default 127.0.0.1:8323)]
+                              [--workers N] [--queue-depth N]
+                              [--max-jobs N] [--max-body-bytes N]
+                              [--max-stream-tests N] [--read-timeout-ms N]
     help                      this message
 
 OUTPUT:
@@ -92,6 +102,7 @@ fn main() -> ExitCode {
         Some("catalog") => commands::catalog(&args[1..]),
         Some("figures") => commands::figures(&args[1..]),
         Some("parse") => commands::parse(&args[1..]),
+        Some("serve") => commands::serve(&args[1..]),
         Some("help" | "--help" | "-h") | None => {
             print!("{USAGE}");
             Ok(())

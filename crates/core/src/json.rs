@@ -192,6 +192,29 @@ impl Json {
         }
     }
 
+    /// Removes every object field named in `keys`, at any nesting depth.
+    ///
+    /// Reports carry volatile wall-clock fields (`elapsed_ms`) alongside
+    /// deterministic payloads; black-box harnesses that compare a served
+    /// document against a directly computed one strip the volatile keys
+    /// first and then demand byte identity on the rest.
+    pub fn strip_keys(&mut self, keys: &[&str]) {
+        match self {
+            Json::Object(pairs) => {
+                pairs.retain(|(k, _)| !keys.contains(&k.as_str()));
+                for (_, v) in pairs.iter_mut() {
+                    v.strip_keys(keys);
+                }
+            }
+            Json::Array(items) => {
+                for item in items.iter_mut() {
+                    item.strip_keys(keys);
+                }
+            }
+            _ => {}
+        }
+    }
+
     /// Parses a JSON document. The whole input must be one value plus
     /// optional trailing whitespace.
     ///
@@ -715,6 +738,23 @@ mod tests {
         assert_eq!(Json::from(None::<&str>), Json::Null);
         assert_eq!(Json::from("x".to_string()), Json::Str("x".to_string()));
         assert_eq!(Json::array_of([1i64, 2], Json::from).compact(), "[1,2]");
+    }
+
+    #[test]
+    fn strip_keys_removes_fields_at_every_depth() {
+        let mut doc = Json::parse(
+            r#"{"elapsed_ms": 1.5, "keep": {"elapsed_ms": 2, "x": [{"elapsed_ms": 3, "y": 1}]}}"#,
+        )
+        .unwrap();
+        doc.strip_keys(&["elapsed_ms"]);
+        assert_eq!(
+            doc,
+            Json::parse(r#"{"keep": {"x": [{"y": 1}]}}"#).unwrap()
+        );
+        // Stripping a key that never occurs is a no-op.
+        let before = doc.clone();
+        doc.strip_keys(&["missing"]);
+        assert_eq!(doc, before);
     }
 
     #[test]

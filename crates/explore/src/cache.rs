@@ -166,6 +166,18 @@ impl VerdictCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// The cache totals as stable `(name, value)` pairs — the structured
+    /// view serializable reports and the serve layer's `/statsz` endpoint
+    /// render from, mirroring `SweepStats::counters`.
+    #[must_use]
+    pub fn counters(&self) -> [(&'static str, u64); 3] {
+        [
+            ("entries", self.len() as u64),
+            ("hits", self.hits()),
+            ("misses", self.misses()),
+        ]
+    }
+
     /// Drops all entries and statistics.
     pub fn clear(&self) {
         for shard in &self.shards {
@@ -215,6 +227,18 @@ mod tests {
         // 40 lookups: hits for the inserted keys, misses for the rest.
         assert_eq!(cache.hits() + cache.misses(), 40);
         assert_eq!(cache.misses(), model_fps.iter().filter(|m| *m % 3 == 0).count() as u64);
+    }
+
+    #[test]
+    fn counters_mirror_the_accessors() {
+        let cache = VerdictCache::new();
+        cache.insert((1, 2), true);
+        let _ = cache.get((1, 2));
+        let _ = cache.get((9, 9));
+        assert_eq!(
+            cache.counters(),
+            [("entries", 1), ("hits", 1), ("misses", 1)]
+        );
     }
 
     #[test]

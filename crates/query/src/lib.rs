@@ -60,6 +60,7 @@ mod render;
 pub mod reports;
 pub mod resolve;
 mod source;
+pub mod wire;
 
 pub use error::QueryError;
 pub use query::{

@@ -1,5 +1,6 @@
 //! The [`Query`] constructors and per-kind builders.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use mcm_axiomatic::{explain, Checker, CheckerKind, ExplicitChecker};
@@ -47,6 +48,7 @@ impl Query {
             checker: CheckerKind::Explicit,
             config: EngineConfig::default(),
             cache: false,
+            shared: None,
             warm_figure4_demo: false,
         }
     }
@@ -71,6 +73,7 @@ impl Query {
             checker: CheckerKind::Explicit,
             config: EngineConfig::default(),
             cache: false,
+            shared: None,
         }
     }
 
@@ -155,6 +158,7 @@ pub struct SweepQuery {
     checker: CheckerKind,
     config: EngineConfig,
     cache: bool,
+    shared: Option<Arc<VerdictCache>>,
     warm_figure4_demo: bool,
 }
 
@@ -196,6 +200,17 @@ impl SweepQuery {
         self
     }
 
+    /// Memoize verdicts in an **externally owned** cache instead of a
+    /// fresh one — the cross-request sharing hook the serve layer uses so
+    /// one process-wide warm cache accelerates every sweep. Takes
+    /// precedence over [`SweepQuery::cache`]; the reported cache summary
+    /// then carries the shared cache's process-wide totals.
+    #[must_use]
+    pub fn cache_with(mut self, cache: Arc<VerdictCache>) -> Self {
+        self.shared = Some(cache);
+        self
+    }
+
     /// After a cached full-space template sweep, re-sweep the Figure 4
     /// subspace to demonstrate cross-sweep memoization (ignored unless
     /// both the cache and the with-deps template suite are in play).
@@ -214,7 +229,8 @@ impl SweepQuery {
     /// sources.
     pub fn run(self) -> Result<SweepReport, QueryError> {
         let models = self.models.resolve()?;
-        let cache = self.cache.then(VerdictCache::new);
+        let owned = (self.shared.is_none() && self.cache).then(VerdictCache::new);
+        let cache: Option<&VerdictCache> = self.shared.as_deref().or(owned.as_ref());
         let checker = self.checker;
         if let TestSource::Stream { bounds, limit } = &self.source {
             let raw_space = mcm_gen::stream::try_count_raw(bounds, 20_000_000);
@@ -225,7 +241,7 @@ impl SweepQuery {
                 stream,
                 || checker.build_batch(),
                 &self.config,
-                cache.as_ref(),
+                cache,
             );
             let elapsed = start.elapsed();
             let lattice = Lattice::build(&exploration);
@@ -238,7 +254,7 @@ impl SweepQuery {
                 minimal_set: None,
                 nine_test_indices: Vec::new(),
                 nine_tests_sufficient: None,
-                cache: cache.as_ref().map(cache_summary),
+                cache: cache.map(cache_summary),
                 warm: None,
                 stream: Some(StreamSummary {
                     bounds: *bounds,
@@ -255,14 +271,14 @@ impl SweepQuery {
             tests,
             || checker.build_batch(),
             &self.config,
-            cache.as_ref(),
+            cache,
         );
         let space = paper::report_from(exploration);
         let elapsed = start.elapsed();
         // The warm re-sweep demo is only honest after a sweep that covered
         // the full 90-model digit space and its dependency-bearing suite —
         // anything smaller leaves the Figure 4 subspace cold.
-        let warm = match (&cache, self.warm_figure4_demo, &self.source) {
+        let warm = match (cache, self.warm_figure4_demo, &self.source) {
             (Some(cache), true, TestSource::TemplateSuite { with_deps: true }) => {
                 let warm_start = Instant::now();
                 let (_, warm_stats) = Exploration::run_engine(
@@ -288,7 +304,7 @@ impl SweepQuery {
             minimal_set: Some(space.minimal_set),
             nine_test_indices: space.nine_test_indices,
             nine_tests_sufficient: Some(space.nine_tests_sufficient),
-            cache: cache.as_ref().map(cache_summary),
+            cache: cache.map(cache_summary),
             warm,
             stream: None,
             elapsed,
@@ -363,6 +379,7 @@ pub struct DistinguishQuery {
     checker: CheckerKind,
     config: EngineConfig,
     cache: bool,
+    shared: Option<Arc<VerdictCache>>,
 }
 
 impl DistinguishQuery {
@@ -401,6 +418,15 @@ impl DistinguishQuery {
         self
     }
 
+    /// Memoize verdicts in an externally owned cache (see
+    /// [`SweepQuery::cache_with`]); takes precedence over
+    /// [`DistinguishQuery::cache`].
+    #[must_use]
+    pub fn cache_with(mut self, cache: Arc<VerdictCache>) -> Self {
+        self.shared = Some(cache);
+        self
+    }
+
     /// Runs the sweep and computes the certified minimum set.
     ///
     /// # Errors
@@ -414,7 +440,8 @@ impl DistinguishQuery {
                 "distinguish needs at least two models".to_string(),
             ));
         }
-        let cache = self.cache.then(VerdictCache::new);
+        let owned = (self.shared.is_none() && self.cache).then(VerdictCache::new);
+        let cache: Option<&VerdictCache> = self.shared.as_deref().or(owned.as_ref());
         let checker = self.checker;
         let tests = paper::comparison_tests(self.with_deps);
         let start = Instant::now();
@@ -423,7 +450,7 @@ impl DistinguishQuery {
             tests,
             || checker.build_batch(),
             &self.config,
-            cache.as_ref(),
+            cache,
         );
         let elapsed = start.elapsed();
         let classes = exploration.equivalence_classes();
@@ -433,7 +460,7 @@ impl DistinguishQuery {
             stats,
             classes,
             minimal,
-            cache: cache.as_ref().map(cache_summary),
+            cache: cache.map(cache_summary),
             elapsed,
         })
     }

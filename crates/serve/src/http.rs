@@ -1,0 +1,418 @@
+//! A deliberately small HTTP/1.1 subset: parse one request, write one
+//! response, close the connection.
+//!
+//! The server speaks `Connection: close` only — one request per TCP
+//! connection — which keeps the state machine trivial and makes the
+//! adversarial surface auditable: every way a request can be malformed
+//! maps to one [`HttpError`] variant and thus one status code, and no
+//! input may panic or wedge a worker (socket timeouts bound every read).
+//!
+//! Intentional limits, all of which fail **closed**:
+//!
+//! * request heads are capped at [`MAX_HEAD_BYTES`];
+//! * bodies require an exact `Content-Length` (no chunked transfer —
+//!   that is answered with `501`);
+//! * bodies are capped by the server's configured maximum (`413`);
+//! * a read that times out mid-request is `408`, not a hung worker.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+use mcm_core::json::Json;
+
+/// Upper bound on the request line + headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Everything that can go wrong while reading a request, each mapping
+/// to exactly one response status.
+#[derive(Debug)]
+pub enum HttpError {
+    /// `400` — syntactically broken request (line, headers, length
+    /// mismatch, truncation, oversized head).
+    BadRequest(String),
+    /// `411` — a body-bearing method without `Content-Length`.
+    LengthRequired,
+    /// `413` — declared body larger than the server's cap (payload).
+    PayloadTooLarge(usize),
+    /// `501` — a transfer mechanism this server does not implement.
+    NotImplemented(String),
+    /// `408` — the socket timed out before a full request arrived.
+    Timeout,
+    /// The peer vanished before sending anything useful; there is
+    /// nobody left to answer, so no response is written.
+    Disconnected,
+}
+
+impl HttpError {
+    /// The status code this error is answered with (`0` for
+    /// [`HttpError::Disconnected`], which gets no answer).
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::LengthRequired => 411,
+            HttpError::PayloadTooLarge(_) => 413,
+            HttpError::NotImplemented(_) => 501,
+            HttpError::Timeout => 408,
+            HttpError::Disconnected => 0,
+        }
+    }
+
+    /// The human-facing message for the error document.
+    #[must_use]
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::BadRequest(why) => why.clone(),
+            HttpError::LengthRequired => "POST requires a Content-Length header".to_string(),
+            HttpError::PayloadTooLarge(limit) => {
+                format!("request body exceeds the {limit}-byte limit")
+            }
+            HttpError::NotImplemented(what) => what.clone(),
+            HttpError::Timeout => "timed out waiting for the request".to_string(),
+            HttpError::Disconnected => "peer disconnected".to_string(),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// The request method, verbatim (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target, verbatim (`/query`).
+    pub target: String,
+    /// Header `(name, value)` pairs in arrival order, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (first match).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn bad(why: impl Into<String>) -> HttpError {
+    HttpError::BadRequest(why.into())
+}
+
+fn io_error(e: &std::io::Error, started: bool) -> HttpError {
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => HttpError::Timeout,
+        _ if !started => HttpError::Disconnected,
+        _ => bad("connection error mid-request"),
+    }
+}
+
+/// Reads and parses one request from `stream`. The caller must have set
+/// a read timeout; a slow or silent peer surfaces as
+/// [`HttpError::Timeout`], never as a blocked worker.
+///
+/// # Errors
+///
+/// An [`HttpError`] naming the response status to write.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    // Accumulate until the blank line that ends the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            // The terminator may arrive mid-chunk after the head has
+            // already blown past the cap; the cap applies regardless.
+            if pos > MAX_HEAD_BYTES {
+                return Err(bad(format!(
+                    "request head exceeds the {MAX_HEAD_BYTES}-byte limit"
+                )));
+            }
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(bad(format!(
+                "request head exceeds the {MAX_HEAD_BYTES}-byte limit"
+            )));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| io_error(&e, !buf.is_empty()))?;
+        if n == 0 {
+            return Err(if buf.is_empty() {
+                HttpError::Disconnected
+            } else {
+                bad("truncated request head")
+            });
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| bad("request head is not valid UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let (method, target) = parse_request_line(request_line)?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad(format!("malformed header line `{}`", sanitize(line))))?;
+        if name.is_empty() || name.contains(' ') || name.bytes().any(|b| b.is_ascii_control()) {
+            return Err(bad(format!("malformed header name `{}`", sanitize(name))));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+
+    let mut request = Request {
+        method,
+        target,
+        headers,
+        body: Vec::new(),
+    };
+
+    if let Some(te) = request.header("Transfer-Encoding") {
+        return Err(HttpError::NotImplemented(format!(
+            "Transfer-Encoding `{}` is not supported; send a Content-Length body",
+            sanitize(te)
+        )));
+    }
+
+    let declared = match request.header("Content-Length") {
+        Some(raw) => Some(parse_content_length(raw, max_body)?),
+        None if request.method == "POST" => return Err(HttpError::LengthRequired),
+        None => None,
+    };
+
+    if let Some(length) = declared {
+        // Bytes past the head already sit in `buf`.
+        let mut body = buf[head_end + 4..].to_vec();
+        if body.len() > length {
+            return Err(bad("request body longer than Content-Length"));
+        }
+        while body.len() < length {
+            let n = stream.read(&mut chunk).map_err(|e| io_error(&e, true))?;
+            if n == 0 {
+                return Err(bad(format!(
+                    "truncated body: Content-Length {length} but only {} bytes sent",
+                    body.len()
+                )));
+            }
+            body.extend_from_slice(&chunk[..n]);
+            if body.len() > length {
+                return Err(bad("request body longer than Content-Length"));
+            }
+        }
+        request.body = body;
+    }
+    Ok(request)
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_request_line(line: &str) -> Result<(String, String), HttpError> {
+    let mut parts = line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(bad(format!("malformed request line `{}`", sanitize(line))));
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(bad(format!("malformed method `{}`", sanitize(method))));
+    }
+    if target.is_empty() || !target.starts_with('/') {
+        return Err(bad(format!("malformed target `{}`", sanitize(target))));
+    }
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(bad(format!(
+            "unsupported protocol `{}`; this server speaks HTTP/1.1",
+            sanitize(version)
+        )));
+    }
+    Ok((method.to_string(), target.to_string()))
+}
+
+fn parse_content_length(raw: &str, max_body: usize) -> Result<usize, HttpError> {
+    if raw.is_empty() || !raw.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(bad(format!("invalid Content-Length `{}`", sanitize(raw))));
+    }
+    // All-digits but unparseable means overflow — larger than any cap.
+    let length: usize = raw.parse().map_err(|_| HttpError::PayloadTooLarge(max_body))?;
+    if length > max_body {
+        return Err(HttpError::PayloadTooLarge(max_body));
+    }
+    Ok(length)
+}
+
+/// Clips untrusted text for inclusion in an error message.
+fn sanitize(text: &str) -> String {
+    text.chars()
+        .take(64)
+        .map(|c| if c.is_control() { '.' } else { c })
+        .collect()
+}
+
+/// A response ready to serialize: status, body and any extra headers
+/// (`Retry-After`, `Allow`).
+#[derive(Debug)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers beyond the standard set.
+    pub extra: Vec<(String, String)>,
+    /// The response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` with the given content type.
+    #[must_use]
+    pub fn ok(content_type: &'static str, body: String) -> Response {
+        Response {
+            status: 200,
+            content_type,
+            extra: Vec::new(),
+            body,
+        }
+    }
+
+    /// An error response whose body is the standard JSON error document
+    /// (`kind: "error"`, schema-versioned like every other report).
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Response {
+        let doc = Json::object([
+            ("schema_version", Json::Int(1)),
+            ("kind", Json::from("error")),
+            ("status", Json::Int(i64::from(status))),
+            ("reason", Json::from(reason(status))),
+            ("message", Json::from(message)),
+        ]);
+        Response {
+            status,
+            content_type: "application/json",
+            extra: Vec::new(),
+            body: doc.pretty(),
+        }
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.extra.push((name.to_string(), value.into()));
+        self
+    }
+}
+
+/// The canonical reason phrase for the status codes this server emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes `response` to `stream`. Always `Connection: close`.
+///
+/// # Errors
+///
+/// Propagates socket write failures (a vanished peer is not worth more
+/// than a dropped connection).
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut out = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+    );
+    for (name, value) in &response.extra {
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    out.push_str(&response.body);
+    stream.write_all(out.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_parses_and_rejects() {
+        assert_eq!(
+            parse_request_line("GET /healthz HTTP/1.1").unwrap(),
+            ("GET".to_string(), "/healthz".to_string())
+        );
+        for bad_line in [
+            "",
+            "GET",
+            "GET /x",
+            "GET /x HTTP/1.1 extra",
+            "get /x HTTP/1.1",
+            "GET x HTTP/1.1",
+            "GET /x HTTP/2",
+            "GET /x SPDY/3",
+        ] {
+            assert!(parse_request_line(bad_line).is_err(), "`{bad_line}`");
+        }
+    }
+
+    #[test]
+    fn content_length_is_strict() {
+        assert_eq!(parse_content_length("42", 100).unwrap(), 42);
+        assert!(matches!(
+            parse_content_length("101", 100),
+            Err(HttpError::PayloadTooLarge(100))
+        ));
+        assert!(matches!(
+            parse_content_length("99999999999999999999999999", 100),
+            Err(HttpError::PayloadTooLarge(100))
+        ));
+        for invalid in ["", "-1", "4.2", "0x10", " 5", "5 "] {
+            assert!(
+                matches!(parse_content_length(invalid, 100), Err(HttpError::BadRequest(_))),
+                "`{invalid}`"
+            );
+        }
+    }
+
+    #[test]
+    fn error_documents_are_valid_json() {
+        let response = Response::error(413, "too big");
+        let doc = Json::parse(&response.body).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_i64), Some(413));
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("error"));
+        assert_eq!(doc.get("reason").and_then(Json::as_str), Some("Payload Too Large"));
+    }
+
+    #[test]
+    fn sanitize_clips_and_strips_controls() {
+        let evil = "a\r\nb".to_string() + &"x".repeat(200);
+        let clean = sanitize(&evil);
+        assert_eq!(clean.len(), 64);
+        assert!(!clean.contains('\r') && !clean.contains('\n'));
+    }
+}

@@ -1,0 +1,176 @@
+//! A bounded multi-producer/multi-consumer queue — the backpressure
+//! point between the acceptor and the worker pool.
+//!
+//! The acceptor **never blocks** on a full queue: [`Bounded::try_push`]
+//! hands the item straight back so the caller can turn it into a `503`
+//! instead of letting latency pile up invisibly. Consumers block in
+//! [`Bounded::pop`] until an item arrives or the queue is closed *and*
+//! drained — closing therefore lets in-flight and already-queued work
+//! finish while refusing anything new, which is exactly the graceful-
+//! shutdown contract.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused, carrying the item back to the producer.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the caller should shed load.
+    Full(T),
+    /// The queue was closed; the caller should stop producing.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity MPMC queue with blocking consumers and
+/// non-blocking producers.
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    takers: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// An empty queue holding at most `capacity` items (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Bounded<T> {
+        Bounded {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            takers: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`Bounded::close`]; both return the item.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.takers.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues, blocking while the queue is open and empty. Returns
+    /// `None` only once the queue is closed **and** fully drained, so
+    /// every accepted item is still handed to a consumer after close.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.takers.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: future pushes fail, consumers drain what is
+    /// already queued and then observe `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.takers.notify_all();
+    }
+
+    /// Items currently queued (racy; for monitoring only).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether nothing is queued (racy; for monitoring only).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn push_pop_fifo() {
+        let queue = Bounded::new(4);
+        queue.try_push(1).unwrap();
+        queue.try_push(2).unwrap();
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_returns_the_item() {
+        let queue = Bounded::new(2);
+        queue.try_push("a").unwrap();
+        queue.try_push("b").unwrap();
+        match queue.try_push("c") {
+            Err(PushError::Full(item)) => assert_eq!(item, "c"),
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_drains_then_signals_none() {
+        let queue = Bounded::new(8);
+        queue.try_push(1).unwrap();
+        queue.try_push(2).unwrap();
+        queue.close();
+        match queue.try_push(3) {
+            Err(PushError::Closed(item)) => assert_eq!(item, 3),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        // Already-queued items survive the close...
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), Some(2));
+        // ...and only then does the queue report exhaustion.
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_close() {
+        let queue = Arc::new(Bounded::new(4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                thread::spawn(move || queue.pop())
+            })
+            .collect();
+        queue.try_push(7).unwrap();
+        queue.close();
+        let mut got: Vec<Option<i32>> = consumers
+            .into_iter()
+            .map(|consumer| consumer.join().unwrap())
+            .collect();
+        got.sort();
+        assert_eq!(got, vec![None, None, Some(7)]);
+    }
+
+    #[test]
+    fn capacity_has_a_floor_of_one() {
+        let queue = Bounded::new(0);
+        queue.try_push(1).unwrap();
+        assert!(matches!(queue.try_push(2), Err(PushError::Full(2))));
+    }
+}

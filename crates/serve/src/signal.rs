@@ -1,0 +1,98 @@
+//! SIGINT/SIGTERM → graceful shutdown, with no `libc` crate.
+//!
+//! The workspace forbids new external dependencies, so the two signal
+//! registrations the server needs are declared directly against the C
+//! library that `std` already links. The handler does the only thing an
+//! async-signal-safe handler may: store into a static atomic. A watcher
+//! thread polls that flag and triggers the [`ShutdownHandle`], so all
+//! real shutdown work happens on a normal thread.
+//!
+//! On non-Unix targets [`install`] is a no-op returning `false`; the
+//! server still shuts down via its handle (ctrl-c then kills the
+//! process the ordinary way).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use crate::ShutdownHandle;
+
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    use super::SIGNALLED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // `sighandler_t signal(int signum, sighandler_t handler)` from
+        // the libc that std links; handlers are passed as raw addresses
+        // to avoid declaring a second foreign type.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() -> bool {
+        const SIG_ERR: usize = usize::MAX;
+        // SAFETY: `signal` is the POSIX libc entry point and `on_signal`
+        // is async-signal-safe (a single atomic store).
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize) != SIG_ERR
+                && signal(SIGTERM, on_signal as *const () as usize) != SIG_ERR
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub fn install() -> bool {
+        false
+    }
+}
+
+/// Registers SIGINT and SIGTERM handlers that mark the process for
+/// shutdown. Returns whether registration succeeded.
+pub fn install() -> bool {
+    sys::install()
+}
+
+/// Whether a shutdown signal has arrived since the last call
+/// (consuming it).
+pub fn pending() -> bool {
+    SIGNALLED.swap(false, Ordering::SeqCst)
+}
+
+/// Spawns the watcher thread: polls [`pending`] and fires
+/// `handle.shutdown()` once a signal lands. The thread also exits when
+/// the handle is shut down by other means, so it never outlives the
+/// server by more than one poll interval.
+pub fn spawn_watcher(handle: ShutdownHandle) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        if pending() {
+            handle.shutdown();
+            return;
+        }
+        if handle.is_shutdown() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_consumes_the_flag() {
+        SIGNALLED.store(true, Ordering::SeqCst);
+        assert!(pending());
+        assert!(!pending());
+    }
+}

@@ -1,0 +1,221 @@
+//! Lock-free service counters and the `/statsz` document.
+//!
+//! Everything here is an `AtomicU64` bumped with relaxed ordering on
+//! the request path — observability must never contend with the work
+//! it observes. The `/statsz` endpoint renders three sections from
+//! existing structured views: request/queue counters owned by this
+//! module, engine totals accumulated from each sweep's
+//! [`SweepStats::counters`], and the shared [`VerdictCache::counters`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mcm_core::json::Json;
+use mcm_explore::{SweepStats, VerdictCache};
+
+/// Query kinds tracked per-kind, in wire-format order.
+pub const KINDS: [&str; 9] = [
+    "sweep",
+    "compare",
+    "distinguish",
+    "synth",
+    "synth_matrix",
+    "check",
+    "suite",
+    "catalog",
+    "figures",
+];
+
+/// Engine counter names, index-aligned with [`SweepStats::counters`]
+/// (checked by a test, so drift fails loudly).
+const ENGINE_COUNTERS: [&str; 8] = [
+    "total_pairs",
+    "unique_pairs",
+    "cache_hits",
+    "checker_calls",
+    "canonical_tests",
+    "distinct_models",
+    "tests_streamed",
+    "peak_batch",
+];
+
+/// The service-wide counter set. One instance lives for the whole
+/// server; every worker and the acceptor share it.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    client_errors: AtomicU64,
+    server_errors: AtomicU64,
+    hangups: AtomicU64,
+    kinds: [AtomicU64; KINDS.len()],
+    engine: [AtomicU64; ENGINE_COUNTERS.len()],
+}
+
+impl ServeStats {
+    /// All counters at zero.
+    #[must_use]
+    pub fn new() -> ServeStats {
+        ServeStats::default()
+    }
+
+    /// A connection was accepted (before any queueing decision).
+    pub fn record_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was shed with `503` because the queue was full.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The peer vanished before a response could be written.
+    pub fn record_hangup(&self) {
+        self.hangups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A response with `status` was written.
+    pub fn record_response(&self, status: u16) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        match status {
+            400..=499 => self.client_errors.fetch_add(1, Ordering::Relaxed),
+            500..=599 => self.server_errors.fetch_add(1, Ordering::Relaxed),
+            _ => 0,
+        };
+    }
+
+    /// A query of `kind` was admitted for execution.
+    pub fn record_kind(&self, kind: &str) {
+        if let Some(i) = KINDS.iter().position(|k| *k == kind) {
+            self.kinds[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds one sweep's engine counters into the service totals.
+    pub fn absorb_engine(&self, stats: &SweepStats) {
+        for (i, (_, value)) in stats.counters().iter().enumerate() {
+            self.engine[i].fetch_add(*value, Ordering::Relaxed);
+        }
+    }
+
+    /// Responses written so far (any status).
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed with `503` so far.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// The `/statsz` document: requests, per-kind query counts, engine
+    /// totals and the shared cache's counters.
+    #[must_use]
+    pub fn snapshot(&self, cache: &VerdictCache, queue_depth: usize) -> Json {
+        let load = |counter: &AtomicU64| Json::Int(counter.load(Ordering::Relaxed) as i64);
+        Json::object([
+            ("schema_version", Json::Int(1)),
+            ("kind", Json::from("serve_stats")),
+            (
+                "requests",
+                Json::object([
+                    ("accepted", load(&self.accepted)),
+                    ("completed", load(&self.completed)),
+                    ("rejected_503", load(&self.rejected)),
+                    ("client_errors", load(&self.client_errors)),
+                    ("server_errors", load(&self.server_errors)),
+                    ("hangups", load(&self.hangups)),
+                    ("queued_now", Json::Int(queue_depth as i64)),
+                ]),
+            ),
+            (
+                "queries",
+                Json::Object(
+                    KINDS
+                        .iter()
+                        .zip(&self.kinds)
+                        .map(|(name, counter)| ((*name).to_string(), load(counter)))
+                        .collect(),
+                ),
+            ),
+            (
+                "engine",
+                Json::Object(
+                    ENGINE_COUNTERS
+                        .iter()
+                        .zip(&self.engine)
+                        .map(|(name, counter)| ((*name).to_string(), load(counter)))
+                        .collect(),
+                ),
+            ),
+            (
+                "cache",
+                Json::Object(
+                    cache
+                        .counters()
+                        .iter()
+                        .map(|(name, value)| ((*name).to_string(), Json::Int(*value as i64)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_counter_names_stay_aligned_with_sweep_stats() {
+        let names: Vec<&str> = SweepStats::default()
+            .counters()
+            .iter()
+            .map(|(name, _)| *name)
+            .collect();
+        assert_eq!(names, ENGINE_COUNTERS);
+    }
+
+    #[test]
+    fn snapshot_reflects_recorded_events() {
+        let stats = ServeStats::new();
+        let cache = VerdictCache::new();
+        cache.insert((1, 2), true);
+        stats.record_accepted();
+        stats.record_accepted();
+        stats.record_rejected();
+        stats.record_response(200);
+        stats.record_response(400);
+        stats.record_response(500);
+        stats.record_kind("sweep");
+        stats.record_kind("sweep");
+        stats.record_kind("catalog");
+        stats.record_kind("nonsense"); // ignored, never panics
+        let sweep = SweepStats {
+            total_pairs: 10,
+            checker_calls: 4,
+            ..SweepStats::default()
+        };
+        stats.absorb_engine(&sweep);
+        stats.absorb_engine(&sweep);
+
+        let doc = stats.snapshot(&cache, 3);
+        let requests = doc.get("requests").unwrap();
+        assert_eq!(requests.get("accepted").and_then(Json::as_i64), Some(2));
+        assert_eq!(requests.get("rejected_503").and_then(Json::as_i64), Some(1));
+        assert_eq!(requests.get("completed").and_then(Json::as_i64), Some(3));
+        assert_eq!(requests.get("client_errors").and_then(Json::as_i64), Some(1));
+        assert_eq!(requests.get("server_errors").and_then(Json::as_i64), Some(1));
+        assert_eq!(requests.get("queued_now").and_then(Json::as_i64), Some(3));
+        let queries = doc.get("queries").unwrap();
+        assert_eq!(queries.get("sweep").and_then(Json::as_i64), Some(2));
+        assert_eq!(queries.get("catalog").and_then(Json::as_i64), Some(1));
+        let engine = doc.get("engine").unwrap();
+        assert_eq!(engine.get("total_pairs").and_then(Json::as_i64), Some(20));
+        assert_eq!(engine.get("checker_calls").and_then(Json::as_i64), Some(8));
+        let cache_doc = doc.get("cache").unwrap();
+        assert_eq!(cache_doc.get("entries").and_then(Json::as_i64), Some(1));
+    }
+}

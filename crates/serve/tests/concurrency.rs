@@ -1,0 +1,214 @@
+//! Concurrency contract: N client threads hammering one server with
+//! interleaved mixed queries must each see exactly the answer a
+//! single-threaded direct run produces, the **shared** cache's hit
+//! counter must only ever grow, and a repeat of an identical sweep must
+//! be served without a single checker call.
+//!
+//! Normalization: concurrent runs share the verdict cache, so engine
+//! counters (`stats`), cache summaries and wall-clock fields are
+//! warmth-dependent; `Json::strip_keys` removes `elapsed_ms`, `stats`,
+//! `cache` and `warm` before comparison. Everything else — verdicts,
+//! lattices, witnesses, orderings — must match exactly.
+
+use std::net::SocketAddr;
+
+use mcm_core::json::Json;
+use mcm_query::wire::WireRequest;
+use mcm_serve::{client, Server, ServerConfig, ShutdownHandle};
+
+/// Keys whose values legitimately differ between a cold direct run and
+/// a warm shared-cache run.
+const VOLATILE: [&str; 4] = ["elapsed_ms", "stats", "cache", "warm"];
+
+fn boot(workers: usize) -> (SocketAddr, ShutdownHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    let runner = std::thread::spawn(move || server.run().expect("server runs"));
+    (addr, handle, runner)
+}
+
+fn normalized(body: &str) -> Json {
+    let mut doc = Json::parse(body).expect("valid JSON body");
+    doc.strip_keys(&VOLATILE);
+    doc
+}
+
+/// Single-threaded ground truth: the same document, run directly.
+fn ground_truth(request: &str) -> Json {
+    let wire = WireRequest::parse(request).expect("parses");
+    let outcome = wire.spec.run(None).expect("runs");
+    normalized(&outcome.report.render(wire.format).expect("renders"))
+}
+
+fn statsz(addr: SocketAddr) -> Json {
+    let response = client::get(addr, "/statsz").expect("statsz");
+    assert_eq!(response.status, 200);
+    Json::parse(&response.body).expect("statsz is valid JSON")
+}
+
+fn cache_hits(addr: SocketAddr) -> i64 {
+    statsz(addr)
+        .get("cache")
+        .and_then(|cache| cache.get("hits"))
+        .and_then(Json::as_i64)
+        .expect("cache.hits present")
+}
+
+fn checker_calls(addr: SocketAddr) -> i64 {
+    statsz(addr)
+        .get("engine")
+        .and_then(|engine| engine.get("checker_calls"))
+        .and_then(Json::as_i64)
+        .expect("engine.checker_calls present")
+}
+
+const MIXED: [&str; 6] = [
+    r#"{"query": "sweep", "models": ["SC", "TSO", "PSO", "RMO"], "tests": "catalog"}"#,
+    r#"{"query": "compare", "left": "TSO", "right": "x86"}"#,
+    r#"{"query": "check", "model": "SC", "tests": "catalog", "witness": true}"#,
+    r#"{"query": "distinguish", "models": ["SC", "TSO", "PSO"]}"#,
+    r#"{"query": "suite"}"#,
+    r#"{"query": "sweep", "engine": {"jobs": 2}}"#,
+];
+
+#[test]
+fn interleaved_mixed_queries_all_match_single_threaded_ground_truth() {
+    let (addr, handle, runner) = boot(4);
+    let expected: Vec<Json> = MIXED.iter().map(|request| ground_truth(request)).collect();
+
+    let hits_start = cache_hits(addr);
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 3;
+    std::thread::scope(|scope| {
+        for client_id in 0..CLIENTS {
+            let expected = &expected;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    // Every client walks the mix from a different offset,
+                    // so distinct kinds genuinely interleave.
+                    for i in 0..MIXED.len() {
+                        let pick = (client_id + round + i) % MIXED.len();
+                        let response = client::post_query(addr, MIXED[pick])
+                            .expect("request reaches server");
+                        assert_eq!(response.status, 200, "{}", response.body);
+                        assert_eq!(
+                            normalized(&response.body),
+                            expected[pick],
+                            "client {client_id} round {round}: {}",
+                            MIXED[pick]
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // 8 clients × 3 rounds of sweeps over shared fingerprinted work:
+    // the shared cache must have been hit, and hits only ever grow.
+    let hits_end = cache_hits(addr);
+    assert!(
+        hits_end > hits_start,
+        "shared cache hits must strictly grow under a repeated workload \
+         ({hits_start} -> {hits_end})"
+    );
+    handle.shutdown();
+    runner.join().expect("clean shutdown");
+}
+
+#[test]
+fn cache_hit_counter_is_monotone_across_interleaved_observations() {
+    let (addr, handle, runner) = boot(4);
+    let mut observed = vec![cache_hits(addr)];
+    std::thread::scope(|scope| {
+        let worker = scope.spawn(move || {
+            for _ in 0..6 {
+                let response = client::post_query(
+                    addr,
+                    r#"{"query": "sweep", "models": ["SC", "TSO", "PSO"], "tests": "catalog"}"#,
+                )
+                .expect("sweep");
+                assert_eq!(response.status, 200);
+            }
+        });
+        // Sample the counter while the sweeps run; every observation
+        // must be >= the previous one (atomics only go up).
+        for _ in 0..20 {
+            observed.push(cache_hits(addr));
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        worker.join().expect("sweeps complete");
+    });
+    observed.push(cache_hits(addr));
+    assert!(
+        observed.windows(2).all(|w| w[0] <= w[1]),
+        "cache hit counter regressed: {observed:?}"
+    );
+    assert!(
+        observed.last() > observed.first(),
+        "repeated identical sweeps must produce cache hits: {observed:?}"
+    );
+    handle.shutdown();
+    runner.join().expect("clean shutdown");
+}
+
+#[test]
+fn second_identical_sweep_is_served_with_zero_checker_calls() {
+    let (addr, handle, runner) = boot(2);
+    let sweep = r#"{"query": "sweep", "engine": {"jobs": 1}}"#;
+
+    let first = client::post_query(addr, sweep).expect("first sweep");
+    assert_eq!(first.status, 200);
+    let calls_after_first = checker_calls(addr);
+    assert!(
+        calls_after_first > 0,
+        "the cold sweep must have exercised the checker"
+    );
+
+    let second = client::post_query(addr, sweep).expect("second sweep");
+    assert_eq!(second.status, 200);
+    let calls_after_second = checker_calls(addr);
+    assert_eq!(
+        calls_after_second, calls_after_first,
+        "an identical sweep must be answered entirely from the shared cache"
+    );
+
+    // The two responses agree on everything but warmth artifacts.
+    assert_eq!(normalized(&first.body), normalized(&second.body));
+
+    // And the per-request stats visible in the second response must
+    // themselves show a fully warm run: zero checker calls.
+    let doc = Json::parse(&second.body).unwrap();
+    let stats = doc.get("stats").expect("sweep report embeds stats");
+    assert_eq!(
+        stats.get("checker_calls").and_then(Json::as_i64),
+        Some(0),
+        "second sweep stats: {}",
+        stats.pretty()
+    );
+    handle.shutdown();
+    runner.join().expect("clean shutdown");
+}
+
+#[test]
+fn explicit_cache_false_opts_a_request_out_of_the_shared_cache() {
+    let (addr, handle, runner) = boot(2);
+    let warmer = r#"{"query": "sweep", "models": ["SC", "TSO"], "tests": "catalog"}"#;
+    let loner = r#"{"query": "sweep", "models": ["SC", "TSO"], "tests": "catalog",
+                    "cache": false}"#;
+    assert_eq!(client::post_query(addr, warmer).unwrap().status, 200);
+    let hits_before = cache_hits(addr);
+    let response = client::post_query(addr, loner).unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(
+        cache_hits(addr),
+        hits_before,
+        "cache:false requests must not touch the shared cache"
+    );
+    handle.shutdown();
+    runner.join().expect("clean shutdown");
+}

@@ -1,0 +1,180 @@
+//! Black-box end-to-end harness: boot the real server on an ephemeral
+//! port, drive **every query kind** over real TCP, and assert each
+//! response body is bit-identical to executing the same wire document
+//! directly through `mcm-query` — the server must add transport, never
+//! interpretation.
+//!
+//! Determinism notes: requests pin `engine.jobs = 1` and `cache: false`
+//! so engine counters match a direct uncached run exactly; the only
+//! normalization applied before comparison is stripping the wall-clock
+//! `elapsed_ms` fields (via `Json::strip_keys`), which no two runs can
+//! share. Text-format responses for reports without embedded durations
+//! are compared byte-for-byte with zero normalization.
+
+use std::net::SocketAddr;
+
+use mcm_core::json::Json;
+use mcm_query::wire::WireRequest;
+use mcm_query::Format;
+use mcm_serve::{client, Server, ServerConfig, ShutdownHandle};
+
+fn boot() -> (SocketAddr, ShutdownHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServerConfig::default()).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    let runner = std::thread::spawn(move || server.run().expect("server runs"));
+    (addr, handle, runner)
+}
+
+/// Executes `request` directly through the query layer (no server, no
+/// shared cache) and renders it in the request's format.
+fn direct(request: &str) -> String {
+    let wire = WireRequest::parse(request).expect("request parses");
+    let outcome = wire.spec.run(None).expect("request runs");
+    outcome.report.render(wire.format).expect("request renders")
+}
+
+fn normalized(body: &str) -> Json {
+    let mut doc = Json::parse(body).expect("body is valid JSON");
+    doc.strip_keys(&["elapsed_ms"]);
+    doc
+}
+
+/// Every query kind, deterministic form: one wire document each.
+const ALL_KINDS: [&str; 11] = [
+    // sweep over the default template suite
+    r#"{"query": "sweep", "cache": false, "engine": {"jobs": 1}}"#,
+    // sweep of named models over the catalog
+    r#"{"query": "sweep", "models": ["SC", "TSO", "PSO"], "tests": "catalog",
+        "cache": false, "engine": {"jobs": 1}}"#,
+    // sweep of a bounded stream source
+    r#"{"query": "sweep", "tests": {"stream": {"max_accesses": 2, "max_locs": 2,
+        "limit": 40}}, "cache": false, "engine": {"jobs": 1}}"#,
+    r#"{"query": "compare", "left": "TSO", "right": "x86"}"#,
+    r#"{"query": "distinguish", "models": ["SC", "TSO", "PSO", "RMO"],
+        "cache": false, "engine": {"jobs": 1}}"#,
+    r#"{"query": "synth", "left": "SC", "right": "TSO",
+        "bounds": {"max_accesses": 2, "max_locs": 2}}"#,
+    r#"{"query": "synth_matrix", "models": ["SC", "TSO", "PSO"],
+        "bounds": {"max_accesses": 2, "max_locs": 2}}"#,
+    r#"{"query": "check", "model": "SC", "tests": "catalog", "witness": true}"#,
+    r#"{"query": "suite", "full": true}"#,
+    r#"{"query": "catalog"}"#,
+    r#"{"query": "figures", "which": "all"}"#,
+];
+
+#[test]
+fn every_query_kind_round_trips_bit_identical_to_direct_execution() {
+    let (addr, handle, runner) = boot();
+    for request in ALL_KINDS {
+        let response = client::post_query(addr, request).expect("request reaches server");
+        assert_eq!(response.status, 200, "{request} -> {}", response.body);
+        assert_eq!(response.header("content-type"), Some("application/json"));
+        assert_eq!(
+            normalized(&response.body),
+            normalized(&direct(request)),
+            "served and direct bodies diverge for {request}"
+        );
+    }
+    handle.shutdown();
+    runner.join().expect("clean shutdown");
+}
+
+#[test]
+fn inline_litmus_sources_round_trip() {
+    let (addr, handle, runner) = boot();
+    // The store-buffering test, shipped inline — the hermetic wire
+    // format's replacement for file sources.
+    let request = r#"{"query": "check", "model": "TSO",
+        "tests": {"inline": "test SB {\n thread { write X = 1; read Y -> r1 }\n thread { write Y = 1; read X -> r2 }\n outcome { T1:r1 = 0; T2:r2 = 0 }\n}\n"},
+        "witness": true}"#;
+    let response = client::post_query(addr, request).expect("request reaches server");
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert_eq!(normalized(&response.body), normalized(&direct(request)));
+    // TSO allows store buffering; the verdict must actually say so.
+    let doc = Json::parse(&response.body).unwrap();
+    let tests = doc.get("tests").expect("check report lists its tests");
+    let Json::Array(entries) = tests else {
+        panic!("tests is an array: {}", tests.pretty());
+    };
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].get("test").and_then(Json::as_str), Some("SB"));
+    assert_eq!(entries[0].get("allowed").and_then(Json::as_bool), Some(true));
+    handle.shutdown();
+    runner.join().expect("clean shutdown");
+}
+
+#[test]
+fn duration_free_reports_are_byte_identical_in_text_format() {
+    let (addr, handle, runner) = boot();
+    for request in [
+        r#"{"query": "check", "model": "SC", "tests": "catalog", "format": "text"}"#,
+        r#"{"query": "suite", "full": true, "format": "text"}"#,
+        r#"{"query": "catalog", "format": "text"}"#,
+        r#"{"query": "figures", "which": "fig1", "format": "text"}"#,
+        r#"{"query": "figures", "which": "counts", "format": "text"}"#,
+    ] {
+        let response = client::post_query(addr, request).expect("request reaches server");
+        assert_eq!(response.status, 200, "{request}");
+        assert_eq!(response.header("content-type"), Some("text/plain"));
+        assert_eq!(response.body, direct(request), "{request}");
+    }
+    handle.shutdown();
+    runner.join().expect("clean shutdown");
+}
+
+#[test]
+fn csv_and_dot_formats_are_served_where_reports_support_them() {
+    let (addr, handle, runner) = boot();
+    let csv = client::post_query(
+        addr,
+        r#"{"query": "sweep", "models": ["SC", "TSO", "PSO"], "tests": "catalog",
+            "cache": false, "engine": {"jobs": 1}, "format": "csv"}"#,
+    )
+    .expect("csv request");
+    assert_eq!(csv.status, 200, "{}", csv.body);
+    assert_eq!(csv.header("content-type"), Some("text/csv"));
+    assert!(csv.body.lines().count() >= 4, "one header plus a row per model");
+
+    // A report with no tabular view answers 400, not 500.
+    let unsupported = client::post_query(addr, r#"{"query": "catalog", "format": "dot"}"#)
+        .expect("dot request");
+    assert_eq!(unsupported.status, 400, "{}", unsupported.body);
+    handle.shutdown();
+    runner.join().expect("clean shutdown");
+}
+
+#[test]
+fn responses_validate_against_the_report_schema() {
+    let (addr, handle, runner) = boot();
+    for request in ALL_KINDS {
+        let response = client::post_query(addr, request).expect("request reaches server");
+        let doc = Json::parse(&response.body).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_i64),
+            Some(1),
+            "{request}"
+        );
+        assert!(doc.get("kind").and_then(Json::as_str).is_some(), "{request}");
+    }
+    handle.shutdown();
+    runner.join().expect("clean shutdown");
+}
+
+#[test]
+fn wire_format_default_matches_explicit_json() {
+    // `format` defaults to json on the wire; a server response with no
+    // format field must equal one that says "json" outright.
+    let (addr, handle, runner) = boot();
+    let implied = client::post_query(addr, r#"{"query": "catalog"}"#).unwrap();
+    let explicit = client::post_query(addr, r#"{"query": "catalog", "format": "json"}"#).unwrap();
+    assert_eq!(implied.status, 200);
+    assert_eq!(implied.body, explicit.body);
+    assert_eq!(
+        Format::Json.name(),
+        "json",
+        "wire default format is documented as json"
+    );
+    handle.shutdown();
+    runner.join().expect("clean shutdown");
+}

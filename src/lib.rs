@@ -23,6 +23,9 @@
 //! * [`query`] — the unified query API: declarative model/test/checker
 //!   composition returning typed, serializable reports (text, JSON, CSV,
 //!   DOT) — the library face the `mcm` CLI is a thin renderer over.
+//! * [`serve`] — the query API as a long-lived HTTP service: shared warm
+//!   verdict cache, bounded-queue backpressure, graceful shutdown
+//!   (`mcm serve`).
 //! * [`operational`] — interleaving-SC and store-buffer-TSO reference
 //!   machines that cross-validate the axiomatic semantics (extension).
 //!
@@ -51,6 +54,7 @@ pub use mcm_models as models;
 pub use mcm_operational as operational;
 pub use mcm_query as query;
 pub use mcm_sat as sat;
+pub use mcm_serve as serve;
 pub use mcm_synth as synth;
 
 /// Crate version, re-exported for tooling.
