@@ -1,0 +1,221 @@
+//! Minimized positive-DNF normal form.
+//!
+//! Every formula in the class is positive, so it has a positive DNF —
+//! a disjunction of atom conjunctions. This module computes an
+//! **irredundant** one directly from the truth table:
+//!
+//! 1. for every feasible true valuation, seed a term with *every* atom
+//!    true there (the most specific description of that valuation);
+//! 2. shrink each term to a prime implicant by dropping atoms while the
+//!    term still implies the table over feasible valuations —
+//!    feasibility acts as a don't-care set, which is how `Read(x) ∧
+//!    DataDep` minimizes to `DataDep` alone;
+//! 3. greedily cover the true valuations with the fewest terms
+//!    (deterministic order, so the normal form is stable).
+//!
+//! The result evaluates identically to the input on every feasible
+//! valuation — and therefore forces the same program-order edges on
+//! every execution: a verdict-preserving drop-in for any checker.
+
+use mcm_core::formula::{ArgPos, Atom, Formula};
+
+use crate::table::TruthTable;
+use crate::universe::AtomUniverse;
+
+/// The candidate atoms of a universe, in the fixed order minimization
+/// drops them in (least specific first, so `Access(x)` gives way to
+/// `Read(x)` when both could stay).
+fn candidate_atoms(universe: &AtomUniverse) -> Vec<Atom> {
+    let mut atoms = vec![
+        Atom::IsAccess(ArgPos::First),
+        Atom::IsAccess(ArgPos::Second),
+    ];
+    for pos in [ArgPos::First, ArgPos::Second] {
+        atoms.push(Atom::IsRead(pos));
+        atoms.push(Atom::IsWrite(pos));
+        atoms.push(Atom::IsFence(pos));
+        for flavour in universe.named_flavours() {
+            atoms.push(Atom::IsSpecialFence(flavour, pos));
+        }
+    }
+    atoms.extend([Atom::SameAddr, Atom::DataDep, Atom::CtrlDep]);
+    atoms
+}
+
+/// The table of a conjunction of atoms.
+fn term_table(term: &[Atom], universe: &AtomUniverse) -> TruthTable {
+    let mut table = TruthTable::empty(universe);
+    for v in universe.feasible_valuations() {
+        if term.iter().all(|&a| v.eval_atom(a)) {
+            table.set(universe.index(&v));
+        }
+    }
+    table
+}
+
+/// Computes the minimized positive DNF of `table` over `universe`.
+///
+/// The input table must be realizable by a positive formula over the
+/// universe's atoms (always the case when it was built from one);
+/// realizability is asserted by construction of the cover.
+///
+/// # Panics
+///
+/// Panics if the table is not realizable by a positive formula — e.g. a
+/// hand-built table that is false on a valuation strictly above a true
+/// one. Tables built from formulas never trip this.
+#[must_use]
+pub fn minimized_dnf_of_table(table: &TruthTable, universe: &AtomUniverse) -> Formula {
+    if table.count_ones() == 0 {
+        return Formula::never();
+    }
+    let atoms = candidate_atoms(universe);
+
+    // 1–2. One prime implicant per true valuation.
+    let mut terms: Vec<Vec<Atom>> = Vec::new();
+    for v in universe.feasible_valuations() {
+        if !table.get(universe.index(&v)) {
+            continue;
+        }
+        let mut term: Vec<Atom> = atoms.iter().copied().filter(|&a| v.eval_atom(a)).collect();
+        assert!(
+            term_table(&term, universe).implies(table),
+            "table must be realizable by a positive formula"
+        );
+        // Drop atoms front to back while the term still implies the table.
+        let mut i = 0;
+        while i < term.len() {
+            let mut shrunk = term.clone();
+            shrunk.remove(i);
+            if term_table(&shrunk, universe).implies(table) {
+                term = shrunk;
+            } else {
+                i += 1;
+            }
+        }
+        if !terms.contains(&term) {
+            terms.push(term);
+        }
+    }
+
+    // 3. Greedy cover, preferring broad then short then early terms.
+    let tables: Vec<TruthTable> = terms.iter().map(|t| term_table(t, universe)).collect();
+    let mut uncovered: Vec<usize> = (0..universe.size())
+        .filter(|&i| table.get(i))
+        .collect();
+    let mut chosen: Vec<usize> = Vec::new();
+    while !uncovered.is_empty() {
+        let best = (0..terms.len())
+            .filter(|i| !chosen.contains(i))
+            .max_by_key(|&i| {
+                let covers = uncovered.iter().filter(|&&s| tables[i].get(s)).count();
+                (covers, std::cmp::Reverse(terms[i].len()), std::cmp::Reverse(i))
+            })
+            .expect("every true valuation has a covering term");
+        chosen.push(best);
+        uncovered.retain(|&s| !tables[best].get(s));
+    }
+    chosen.sort_unstable();
+
+    let disjuncts: Vec<Formula> = chosen
+        .into_iter()
+        .map(|i| match terms[i].len() {
+            0 => Formula::always(),
+            1 => Formula::atom(terms[i][0]),
+            _ => Formula::and(terms[i].iter().copied().map(Formula::atom)),
+        })
+        .collect();
+    match disjuncts.len() {
+        1 => disjuncts.into_iter().next().expect("one disjunct"),
+        _ => Formula::or(disjuncts),
+    }
+}
+
+/// Computes the minimized positive DNF of `formula` (over the universe
+/// of its own flavours).
+#[must_use]
+pub fn minimized_dnf(formula: &Formula) -> Formula {
+    let universe = AtomUniverse::for_formulas([formula]);
+    minimized_dnf_of_table(&TruthTable::build(formula, &universe), &universe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_of(f: &Formula) -> (TruthTable, AtomUniverse) {
+        let u = AtomUniverse::for_formulas([f]);
+        (TruthTable::build(f, &u), u)
+    }
+
+    fn assert_drop_in(f: &Formula) {
+        let dnf = minimized_dnf(f);
+        let u = AtomUniverse::for_formulas([f, &dnf]);
+        assert_eq!(
+            TruthTable::build(f, &u),
+            TruthTable::build(&dnf, &u),
+            "{f} minimized to {dnf}"
+        );
+    }
+
+    #[test]
+    fn constants_minimize_to_constants() {
+        assert_eq!(minimized_dnf(&Formula::always()), Formula::always());
+        assert_eq!(minimized_dnf(&Formula::never()), Formula::never());
+        // A tautology over feasible valuations also collapses.
+        let (t, u) = table_of(&Formula::always());
+        assert_eq!(minimized_dnf_of_table(&t, &u), Formula::always());
+    }
+
+    #[test]
+    fn feasibility_prunes_redundant_guards() {
+        use mcm_core::formula::{ArgPos, Atom};
+        // Read(x) ∧ DataDep: the guard is implied by feasibility.
+        let f = Formula::and([
+            Formula::atom(Atom::IsRead(ArgPos::First)),
+            Formula::atom(Atom::DataDep),
+        ]);
+        assert_eq!(minimized_dnf(&f), Formula::atom(Atom::DataDep));
+    }
+
+    #[test]
+    fn absorbed_disjuncts_disappear() {
+        use mcm_core::formula::{ArgPos, Atom};
+        let read_x = Formula::atom(Atom::IsRead(ArgPos::First));
+        let absorbed = Formula::or([
+            read_x.clone(),
+            Formula::and([read_x.clone(), Formula::atom(Atom::SameAddr)]),
+        ]);
+        assert_eq!(minimized_dnf(&absorbed), read_x);
+    }
+
+    #[test]
+    fn minimization_is_a_semantic_drop_in() {
+        use mcm_core::formula::{ArgPos, Atom};
+        assert_drop_in(&Formula::fence_either());
+        assert_drop_in(&Formula::or([
+            Formula::fence_either(),
+            Formula::pair(
+                Atom::IsWrite(ArgPos::First),
+                Atom::IsWrite(ArgPos::Second),
+                Formula::atom(Atom::SameAddr),
+            ),
+            Formula::pair(
+                Atom::IsRead(ArgPos::First),
+                Atom::IsWrite(ArgPos::Second),
+                Formula::or([Formula::atom(Atom::SameAddr), Formula::atom(Atom::DataDep)]),
+            ),
+        ]));
+        assert_drop_in(&Formula::atom(Atom::IsSpecialFence(2, ArgPos::First)));
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        let f = Formula::or([
+            Formula::fence_either(),
+            Formula::atom(mcm_core::formula::Atom::SameAddr),
+        ]);
+        let once = minimized_dnf(&f);
+        assert_eq!(minimized_dnf(&once), once);
+    }
+}

@@ -1,0 +1,255 @@
+//! Theorem A: conditional elision of the same-address `W(x) → R(y)`
+//! ordering.
+//!
+//! Pointwise truth-table equality is sound but incomplete: the paper's 8
+//! equivalent pairs in the 90-model space (`M1010 ≡ M1110`, …) differ
+//! *pointwise* — the `wr` digit orders the same-address write→read pair
+//! in one model and not the other — yet no litmus test distinguishes
+//! them. The reason is behavioural: under the happens-before axioms, a
+//! same-address `W → R` program-order edge can only close a cycle that
+//! the coherence/from-read edges of some *other* ordering already close,
+//! provided the rest of the formula has the right shape. (It is **not**
+//! unconditional: TSO = `M4044` and IBM370 = `M4144` differ in exactly
+//! the same row and are distinguishable by a 6-access test.)
+//!
+//! **Theorem A.** Let `F` be a formula whose table satisfies the guard
+//! below. Then the model with the `(Write x, Read y, SameAddr)` slot set
+//! to *false* allows exactly the same outcomes as the model with it set
+//! to *true*. Guard (over feasible valuations):
+//!
+//! 1. every pair involving a full fence is ordered;
+//! 2. no other pair involving an op/branch or a special fence is ordered;
+//! 3. no different-address `W→R` pair is ordered;
+//! 4. no different-address `R→R` pair is ordered (any dependencies);
+//! 5. every same-address `W→W` and `R→W` pair is ordered (these are
+//!    forced by coherence + from-read anyway);
+//! 6. the table is independent of `ControlDep`;
+//! 7. either **all** different-address `W→W` pairs are ordered, or
+//!    **no** different-address `R→W` pair is (any dependencies).
+//!
+//! Within the paper's model class the guarded fragment is *finite*: the
+//! free slots are `(R,R,same-addr)` × data-dep (monotone), `(R,W,
+//! diff-addr)` × data-dep (monotone) and `(W,W, diff-addr)` — twelve
+//! guard-satisfying tables in the base universe. The cross-layer test
+//! `elision_theorem_exhaustive` in `mcm-explore` checks every one of
+//! them against the complete dependency template suite (which decides
+//! equivalence for the class by Corollary 1), so the theorem is
+//! machine-verified over its entire domain of application, not sampled.
+//!
+//! Restricted to the digit models `M{ww}{wr}{rw}{rr}` the guard reads
+//! `wr ∈ {0,1} ∧ rr ∈ {0,1} ∧ (ww = 4 ∨ rw = 1)` — exactly the paper's
+//! 8 equivalent pairs, and nothing else.
+
+use crate::table::TruthTable;
+use crate::universe::{AtomUniverse, Kind, Valuation};
+
+/// Whether Theorem A applies to `table`: see the module docs for the
+/// guard. When true, [`normalize`] may soundly clear the same-address
+/// `W→R` slot.
+#[must_use]
+pub fn elidable(table: &TruthTable, universe: &AtomUniverse) -> bool {
+    let mut all_ww_diff = true;
+    let mut any_rw_diff = false;
+    for v in universe.feasible_valuations() {
+        let value = table.get(universe.index(&v));
+        // 6. Control-dependency independence.
+        if v.ctrl_dep {
+            let base = Valuation {
+                ctrl_dep: false,
+                ..v
+            };
+            if value != table.get(universe.index(&base)) {
+                return false;
+            }
+        }
+        match (v.first, v.second) {
+            // 1. Full-fence pairs must be ordered.
+            (Kind::FullFence, _) | (_, Kind::FullFence) => {
+                if !value {
+                    return false;
+                }
+            }
+            // 2. Remaining op/branch/special pairs must not be.
+            (k, _) | (_, k) if !k.is_access() => {
+                if value {
+                    return false;
+                }
+            }
+            (Kind::Write, Kind::Read) => {
+                // 3. Different-address W→R unordered; same-address free
+                // (it is the slot being elided).
+                if !v.same_addr && value {
+                    return false;
+                }
+            }
+            (Kind::Read, Kind::Read) => {
+                // 4. Different-address R→R unordered.
+                if !v.same_addr && value {
+                    return false;
+                }
+            }
+            (Kind::Write, Kind::Write) => {
+                // 5. Same-address W→W ordered.
+                if v.same_addr && !value {
+                    return false;
+                }
+                if !v.same_addr && !value {
+                    all_ww_diff = false;
+                }
+            }
+            (Kind::Read, Kind::Write) => {
+                // 5. Same-address R→W ordered.
+                if v.same_addr && !value {
+                    return false;
+                }
+                if !v.same_addr && value {
+                    any_rw_diff = true;
+                }
+            }
+            _ => unreachable!("all kind pairs are covered"),
+        }
+    }
+    // 7. All different-address W→W ordered, or no different-address R→W.
+    all_ww_diff || !any_rw_diff
+}
+
+/// The behavioural normal form of `table`: when Theorem A applies, the
+/// same-address `W→R` slot is cleared; otherwise the table is returned
+/// unchanged. Two formulas with equal normalized tables specify
+/// behaviourally equivalent models.
+#[must_use]
+pub fn normalize(table: &TruthTable, universe: &AtomUniverse) -> TruthTable {
+    if !elidable(table, universe) {
+        return table.clone();
+    }
+    let mut normalized = table.clone();
+    normalized.clear(universe.index(&Valuation {
+        first: Kind::Write,
+        second: Kind::Read,
+        same_addr: true,
+        data_dep: false,
+        ctrl_dep: false,
+    }));
+    normalized
+}
+
+/// The twelve guard-satisfying tables of the base universe, each as the
+/// flag triple `(rr_same_addr_dep_bits, rw_diff_addr_dep_bits,
+/// ww_diff_addr)` of its free slots — the exhaustive domain the
+/// cross-layer theorem test enumerates. Dependency bits are monotone
+/// (`0b00`, `0b01` = dep-only, `0b11`), mirroring positivity.
+#[must_use]
+pub fn guarded_fragment() -> Vec<(u8, u8, bool)> {
+    let mut out = Vec::new();
+    for rr in [0b00u8, 0b01, 0b11] {
+        for rw in [0b00u8, 0b01, 0b11] {
+            for ww in [false, true] {
+                // Guard condition 7.
+                if ww || rw == 0 {
+                    out.push((rr, rw, ww));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_core::formula::{ArgPos, Atom, Formula};
+
+    fn pair(first: Atom, second: Atom, extra: Formula) -> Formula {
+        Formula::pair(first, second, extra)
+    }
+
+    /// The digit-model shape with explicit per-pair conditions.
+    fn digit_like(ww: Formula, wr: Formula, rw: Formula, rr: Formula) -> Formula {
+        let w = |p| Atom::IsWrite(p);
+        let r = |p| Atom::IsRead(p);
+        Formula::or([
+            Formula::fence_either(),
+            pair(w(ArgPos::First), w(ArgPos::Second), ww),
+            pair(w(ArgPos::First), r(ArgPos::Second), wr),
+            pair(r(ArgPos::First), w(ArgPos::Second), rw),
+            pair(r(ArgPos::First), r(ArgPos::Second), rr),
+        ])
+    }
+
+    fn same_addr() -> Formula {
+        Formula::atom(Atom::SameAddr)
+    }
+
+    #[test]
+    fn pso_like_models_are_elidable() {
+        // M1010 / M1110 (RMO without dependencies, ± same-addr W→R).
+        let u = AtomUniverse::base();
+        let without = digit_like(same_addr(), Formula::never(), same_addr(), Formula::never());
+        let with = digit_like(same_addr(), same_addr(), same_addr(), Formula::never());
+        let a = TruthTable::build(&without, &u);
+        let b = TruthTable::build(&with, &u);
+        assert!(elidable(&a, &u) && elidable(&b, &u));
+        assert_ne!(a, b, "the pair differs pointwise");
+        assert_eq!(normalize(&a, &u), normalize(&b, &u), "but not behaviourally");
+    }
+
+    #[test]
+    fn tso_vs_ibm370_is_not_elidable() {
+        // M4044 (TSO) vs M4144 (IBM370): rr = 4 breaks guard condition 4,
+        // and indeed a 6-access test distinguishes them.
+        let u = AtomUniverse::base();
+        let tso = digit_like(
+            Formula::always(),
+            Formula::never(),
+            Formula::always(),
+            Formula::always(),
+        );
+        let ibm = digit_like(
+            Formula::always(),
+            same_addr(),
+            Formula::always(),
+            Formula::always(),
+        );
+        let a = TruthTable::build(&tso, &u);
+        let b = TruthTable::build(&ibm, &u);
+        assert!(!elidable(&a, &u) && !elidable(&b, &u));
+        assert_ne!(normalize(&a, &u), normalize(&b, &u));
+    }
+
+    #[test]
+    fn weak_ww_with_strong_rw_breaks_the_guard() {
+        // ww = 1 (same-addr only) with rw = 4 (always): condition 7.
+        let u = AtomUniverse::base();
+        let f = digit_like(
+            same_addr(),
+            Formula::never(),
+            Formula::always(),
+            Formula::never(),
+        );
+        assert!(!elidable(&TruthTable::build(&f, &u), &u));
+    }
+
+    #[test]
+    fn sc_is_not_elidable() {
+        let u = AtomUniverse::base();
+        // True orders different-address W→R pairs: condition 3.
+        assert!(!elidable(&TruthTable::build(&Formula::always(), &u), &u));
+    }
+
+    #[test]
+    fn the_guarded_fragment_has_twelve_tables() {
+        let fragment = guarded_fragment();
+        assert_eq!(fragment.len(), 12);
+        // ww=false admits only rw=0b00 (three rr choices).
+        assert_eq!(fragment.iter().filter(|(_, _, ww)| !ww).count(), 3);
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        let u = AtomUniverse::base();
+        let f = digit_like(same_addr(), same_addr(), same_addr(), same_addr());
+        let t = TruthTable::build(&f, &u);
+        let once = normalize(&t, &u);
+        assert_eq!(normalize(&once, &u), once);
+    }
+}

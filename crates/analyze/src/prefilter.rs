@@ -1,0 +1,160 @@
+//! The sweep prefilter: group models that provably agree on a test.
+//!
+//! A checker's verdict depends on the model only through the
+//! program-order edges its formula forces — and the formula sees each
+//! same-thread pair only through its valuation. So per test, the set of
+//! valuations realized by its po pairs (the test's **relaxation
+//! signature**) is all that matters: two models whose tables agree on
+//! that restriction force identical edges and share the verdict. The
+//! sweep engine calls the checker once per group and fans the verdict
+//! out, strengthening the `forced_po_pairs` quotient of the batched
+//! checkers — the agreement is decided by one bitmask AND per model
+//! instead of re-evaluating formulas over every pair.
+
+use std::collections::HashMap;
+
+use mcm_core::{Execution, MemoryModel};
+
+use crate::table::TruthTable;
+use crate::universe::{AtomUniverse, Valuation};
+
+/// Precomputed per-sweep state: one truth table per model row, all in
+/// one shared universe.
+#[derive(Clone, Debug)]
+pub struct SweepPrefilter {
+    universe: AtomUniverse,
+    tables: Vec<TruthTable>,
+}
+
+impl SweepPrefilter {
+    /// Builds the prefilter for the (row-representative) models of a
+    /// sweep.
+    #[must_use]
+    pub fn new(models: &[&MemoryModel]) -> Self {
+        let universe = AtomUniverse::for_formulas(models.iter().map(|m| m.formula()));
+        let tables = models
+            .iter()
+            .map(|m| TruthTable::build(m.formula(), &universe))
+            .collect();
+        SweepPrefilter { universe, tables }
+    }
+
+    /// Number of model rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the prefilter covers no models.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// The relaxation signature of an execution: the mask of valuations
+    /// realized by its same-thread program-order pairs.
+    #[must_use]
+    pub fn relaxation_signature(&self, exec: &Execution) -> TruthTable {
+        let mut mask = TruthTable::empty(&self.universe);
+        for thread in 0..exec.num_threads() {
+            let events = exec.thread_events(mcm_core::ThreadId(
+                u8::try_from(thread).expect("at most 255 threads"),
+            ));
+            for (i, &x) in events.iter().enumerate() {
+                for &y in &events[i + 1..] {
+                    let v = Valuation {
+                        first: self.universe.event_kind(exec.event(x)),
+                        second: self.universe.event_kind(exec.event(y)),
+                        same_addr: match (exec.event(x).loc(), exec.event(y).loc()) {
+                            (Some(a), Some(b)) => a == b,
+                            _ => false,
+                        },
+                        data_dep: exec.data_dep(x, y),
+                        ctrl_dep: exec.ctrl_dep(x, y),
+                    };
+                    mask.set(self.universe.index(&v));
+                }
+            }
+        }
+        mask
+    }
+
+    /// Groups the given model rows by their table restricted to the
+    /// execution's relaxation signature. Rows in one group provably
+    /// share the verdict; each group's first element is its
+    /// representative. Groups preserve the input row order.
+    #[must_use]
+    pub fn group_rows(&self, exec: &Execution, rows: &[usize]) -> Vec<Vec<usize>> {
+        let mask = self.relaxation_signature(exec);
+        let mut order: Vec<Vec<usize>> = Vec::new();
+        let mut index: HashMap<Vec<u64>, usize> = HashMap::new();
+        for &row in rows {
+            let key = self.tables[row].restrict(&mask).words().to_vec();
+            match index.get(&key) {
+                Some(&g) => order[g].push(row),
+                None => {
+                    index.insert(key, order.len());
+                    order.push(vec![row]);
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_models::{catalog, named, DigitModel};
+
+    fn prefilter_for(models: &[MemoryModel]) -> SweepPrefilter {
+        let refs: Vec<&MemoryModel> = models.iter().collect();
+        SweepPrefilter::new(&refs)
+    }
+
+    #[test]
+    fn signature_masks_only_realized_valuations() {
+        let models = vec![named::sc()];
+        let pf = prefilter_for(&models);
+        // L1: two threads of write;write / write;read-style pairs — far
+        // fewer realized valuations than the whole universe.
+        let exec = catalog::l1().execution();
+        let mask = pf.relaxation_signature(&exec);
+        assert!(mask.count_ones() > 0);
+        assert!(mask.count_ones() < 20);
+    }
+
+    #[test]
+    fn models_agreeing_on_a_test_share_a_group() {
+        // M1010 and M1110 differ only on same-address W→R pairs; a test
+        // with none of those must put them in one group.
+        let models = vec![
+            "M1010".parse::<DigitModel>().unwrap().to_model(),
+            "M1110".parse::<DigitModel>().unwrap().to_model(),
+            named::sc(),
+        ];
+        let pf = prefilter_for(&models);
+        // L1 (store buffering shape) has no same-address W→R po pair.
+        let exec = catalog::l1().execution();
+        let groups = pf.group_rows(&exec, &[0, 1, 2]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], vec![0, 1]);
+        assert_eq!(groups[1], vec![2]);
+    }
+
+    #[test]
+    fn groups_preserve_row_order_and_partition() {
+        let models: Vec<MemoryModel> = ["M4444", "M4044", "M1010"]
+            .iter()
+            .map(|s| s.parse::<DigitModel>().unwrap().to_model())
+            .collect();
+        let pf = prefilter_for(&models);
+        let exec = catalog::test_a().execution();
+        let groups = pf.group_rows(&exec, &[2, 0, 1]);
+        let flattened: Vec<usize> = groups.iter().flatten().copied().collect();
+        let mut sorted = flattened.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        assert_eq!(flattened[0], 2, "first input row leads the first group");
+    }
+}

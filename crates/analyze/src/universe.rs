@@ -1,0 +1,312 @@
+//! The feasible atom-valuation universe.
+//!
+//! A formula `F(x, y)` only ever sees an event pair through the atom
+//! predicates: the kind of each event, address equality, and the two
+//! dependency relations. A **valuation** packs exactly that view; the
+//! structural constraints of real executions (derived from
+//! `mcm_core::execution`) say which valuations are *feasible*:
+//!
+//! * `SameAddr` requires both events to be memory accesses;
+//! * `DataDep(x, y)` requires `x` to be a read (register taint originates
+//!   only at reads) and `y` not to be a fence (fences have no operands);
+//! * `ControlDep(x, y)` requires `x` to be a read.
+//!
+//! Special-fence flavours need one subtlety: no atom can tell apart two
+//! flavours it does not name, so the universe carries one kind per
+//! *named* flavour plus a single [`Kind::OtherSpecial`] standing for
+//! every unnamed flavour. Agreement over this finite universe is
+//! therefore agreement over **all** executions.
+
+use mcm_core::formula::{ArgPos, Atom, Formula};
+use mcm_core::{Event, EventKind};
+
+/// The observable kind of one event — everything a unary atom can see.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Kind {
+    /// A memory read.
+    Read,
+    /// A memory write.
+    Write,
+    /// A full fence.
+    FullFence,
+    /// A non-memory event (register op or dependency branch); no unary
+    /// atom is true of it.
+    Op,
+    /// A special fence of a flavour some formula in the universe names.
+    Special(u8),
+    /// A special fence of a flavour no formula names; all such flavours
+    /// are indistinguishable to every formula in the universe.
+    OtherSpecial,
+}
+
+impl Kind {
+    /// Whether the kind is a memory access.
+    #[must_use]
+    pub fn is_access(self) -> bool {
+        matches!(self, Kind::Read | Kind::Write)
+    }
+
+    /// Whether the kind is any fence (full or special).
+    #[must_use]
+    pub fn is_fence(self) -> bool {
+        matches!(self, Kind::FullFence | Kind::Special(_) | Kind::OtherSpecial)
+    }
+}
+
+/// One feasible (or not) view of an event pair `(x, y)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Valuation {
+    /// Kind of the program-order-earlier event `x`.
+    pub first: Kind,
+    /// Kind of the program-order-later event `y`.
+    pub second: Kind,
+    /// `SameAddr(x, y)`.
+    pub same_addr: bool,
+    /// `DataDep(x, y)`.
+    pub data_dep: bool,
+    /// `ControlDep(x, y)`.
+    pub ctrl_dep: bool,
+}
+
+impl Valuation {
+    /// Evaluates one atom on this valuation.
+    #[must_use]
+    pub fn eval_atom(&self, atom: Atom) -> bool {
+        let pick = |pos: ArgPos| match pos {
+            ArgPos::First => self.first,
+            ArgPos::Second => self.second,
+        };
+        match atom {
+            Atom::IsRead(p) => pick(p) == Kind::Read,
+            Atom::IsWrite(p) => pick(p) == Kind::Write,
+            Atom::IsFence(p) => pick(p) == Kind::FullFence,
+            Atom::IsAccess(p) => pick(p).is_access(),
+            Atom::IsSpecialFence(flavour, p) => pick(p) == Kind::Special(flavour),
+            Atom::SameAddr => self.same_addr,
+            Atom::DataDep => self.data_dep,
+            Atom::CtrlDep => self.ctrl_dep,
+        }
+    }
+
+    /// Evaluates a whole formula on this valuation.
+    #[must_use]
+    pub fn eval(&self, formula: &Formula) -> bool {
+        match formula {
+            Formula::Const(b) => *b,
+            Formula::Atom(a) => self.eval_atom(*a),
+            Formula::And(children) => children.iter().all(|c| self.eval(c)),
+            Formula::Or(children) => children.iter().any(|c| self.eval(c)),
+        }
+    }
+}
+
+/// The finite valuation universe for a set of formulas: the base kinds
+/// plus one [`Kind::Special`] per named flavour plus [`Kind::OtherSpecial`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AtomUniverse {
+    kinds: Vec<Kind>,
+}
+
+/// Flag combinations per kind pair: `same_addr`, `data_dep`, `ctrl_dep`.
+const FLAG_COMBOS: usize = 8;
+
+impl AtomUniverse {
+    /// The universe for formulas naming no special-fence flavours.
+    #[must_use]
+    pub fn base() -> Self {
+        AtomUniverse::with_flavours(&[])
+    }
+
+    /// The universe whose named flavours are exactly `flavours`
+    /// (deduplicated and sorted).
+    #[must_use]
+    pub fn with_flavours(flavours: &[u8]) -> Self {
+        let mut named: Vec<u8> = flavours.to_vec();
+        named.sort_unstable();
+        named.dedup();
+        let mut kinds = vec![Kind::Read, Kind::Write, Kind::FullFence, Kind::Op];
+        kinds.extend(named.into_iter().map(Kind::Special));
+        kinds.push(Kind::OtherSpecial);
+        AtomUniverse { kinds }
+    }
+
+    /// The universe naming every special flavour any of `formulas`
+    /// mentions — the shared universe of a sweep's model set.
+    #[must_use]
+    pub fn for_formulas<'a, I: IntoIterator<Item = &'a Formula>>(formulas: I) -> Self {
+        let mut flavours = Vec::new();
+        for formula in formulas {
+            for atom in formula.atoms() {
+                if let Atom::IsSpecialFence(f, _) = atom {
+                    flavours.push(f);
+                }
+            }
+        }
+        AtomUniverse::with_flavours(&flavours)
+    }
+
+    /// The kinds, in code order.
+    #[must_use]
+    pub fn kinds(&self) -> &[Kind] {
+        &self.kinds
+    }
+
+    /// The named special flavours, sorted.
+    #[must_use]
+    pub fn named_flavours(&self) -> Vec<u8> {
+        self.kinds
+            .iter()
+            .filter_map(|k| match k {
+                Kind::Special(f) => Some(*f),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The code of a kind; unnamed special flavours collapse to
+    /// [`Kind::OtherSpecial`].
+    #[must_use]
+    pub fn code(&self, kind: Kind) -> usize {
+        let effective = match kind {
+            Kind::Special(f) if !self.kinds.contains(&Kind::Special(f)) => Kind::OtherSpecial,
+            k => k,
+        };
+        self.kinds
+            .iter()
+            .position(|&k| k == effective)
+            .expect("every kind has a code")
+    }
+
+    /// The kind an execution event maps to in this universe.
+    #[must_use]
+    pub fn event_kind(&self, event: &Event) -> Kind {
+        match event.kind {
+            EventKind::Read { .. } => Kind::Read,
+            EventKind::Write { .. } => Kind::Write,
+            EventKind::Fence(mcm_core::instr::FenceKind::Full) => Kind::FullFence,
+            EventKind::Fence(mcm_core::instr::FenceKind::Special(f)) => {
+                if self.kinds.contains(&Kind::Special(f)) {
+                    Kind::Special(f)
+                } else {
+                    Kind::OtherSpecial
+                }
+            }
+            EventKind::Op | EventKind::Branch => Kind::Op,
+        }
+    }
+
+    /// Number of valuation slots (feasible or not).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.kinds.len() * self.kinds.len() * FLAG_COMBOS
+    }
+
+    /// The slot index of a valuation.
+    #[must_use]
+    pub fn index(&self, v: &Valuation) -> usize {
+        let flags = usize::from(v.same_addr) << 2
+            | usize::from(v.data_dep) << 1
+            | usize::from(v.ctrl_dep);
+        (self.code(v.first) * self.kinds.len() + self.code(v.second)) * FLAG_COMBOS + flags
+    }
+
+    /// The valuation of a slot index.
+    #[must_use]
+    pub fn valuation(&self, index: usize) -> Valuation {
+        let flags = index % FLAG_COMBOS;
+        let pair = index / FLAG_COMBOS;
+        Valuation {
+            first: self.kinds[pair / self.kinds.len()],
+            second: self.kinds[pair % self.kinds.len()],
+            same_addr: flags & 0b100 != 0,
+            data_dep: flags & 0b010 != 0,
+            ctrl_dep: flags & 0b001 != 0,
+        }
+    }
+
+    /// Whether a valuation can arise from a real execution pair.
+    #[must_use]
+    pub fn feasible(&self, v: &Valuation) -> bool {
+        (!v.same_addr || (v.first.is_access() && v.second.is_access()))
+            && (!v.data_dep || (v.first == Kind::Read && !v.second.is_fence()))
+            && (!v.ctrl_dep || v.first == Kind::Read)
+    }
+
+    /// Every feasible valuation, in slot order.
+    pub fn feasible_valuations(&self) -> impl Iterator<Item = Valuation> + '_ {
+        (0..self.size())
+            .map(|i| self.valuation(i))
+            .filter(|v| self.feasible(v))
+    }
+
+    /// Whether the universe names every special flavour `formula` tests —
+    /// the precondition for evaluating it over this universe.
+    #[must_use]
+    pub fn supports(&self, formula: &Formula) -> bool {
+        formula.atoms().iter().all(|atom| match atom {
+            Atom::IsSpecialFence(f, _) => self.kinds.contains(&Kind::Special(*f)),
+            _ => true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_universe_has_128_slots() {
+        let u = AtomUniverse::base();
+        // Read, Write, FullFence, Op, OtherSpecial.
+        assert_eq!(u.kinds().len(), 5);
+        assert_eq!(u.size(), 5 * 5 * 8);
+    }
+
+    #[test]
+    fn index_valuation_roundtrip() {
+        let u = AtomUniverse::with_flavours(&[3, 1, 3]);
+        assert_eq!(u.named_flavours(), vec![1, 3]);
+        for i in 0..u.size() {
+            assert_eq!(u.index(&u.valuation(i)), i);
+        }
+    }
+
+    #[test]
+    fn feasibility_encodes_structural_constraints() {
+        let u = AtomUniverse::base();
+        let v = |first, second, sa, dd, cd| Valuation {
+            first,
+            second,
+            same_addr: sa,
+            data_dep: dd,
+            ctrl_dep: cd,
+        };
+        // SameAddr needs two accesses.
+        assert!(u.feasible(&v(Kind::Read, Kind::Write, true, false, false)));
+        assert!(!u.feasible(&v(Kind::FullFence, Kind::Write, true, false, false)));
+        // DataDep needs a read x and a non-fence y.
+        assert!(u.feasible(&v(Kind::Read, Kind::Op, false, true, false)));
+        assert!(!u.feasible(&v(Kind::Write, Kind::Write, false, true, false)));
+        assert!(!u.feasible(&v(Kind::Read, Kind::FullFence, false, true, false)));
+        assert!(!u.feasible(&v(Kind::Read, Kind::OtherSpecial, false, true, false)));
+        // CtrlDep needs a read x (any y, fences included).
+        assert!(u.feasible(&v(Kind::Read, Kind::FullFence, false, false, true)));
+        assert!(!u.feasible(&v(Kind::Op, Kind::Read, false, false, true)));
+    }
+
+    #[test]
+    fn unnamed_flavours_collapse_to_other_special() {
+        let u = AtomUniverse::with_flavours(&[2]);
+        assert_eq!(u.code(Kind::Special(2)), u.kinds().len() - 2);
+        assert_eq!(u.code(Kind::Special(7)), u.code(Kind::OtherSpecial));
+    }
+
+    #[test]
+    fn formula_support_tracks_named_flavours() {
+        use mcm_core::formula::{ArgPos, Atom, Formula};
+        let special = Formula::atom(Atom::IsSpecialFence(4, ArgPos::First));
+        assert!(!AtomUniverse::base().supports(&special));
+        assert!(AtomUniverse::with_flavours(&[4]).supports(&special));
+        assert!(AtomUniverse::base().supports(&Formula::fence_either()));
+    }
+}

@@ -1,0 +1,63 @@
+//! The analyzer against the full 90-model digit space: the paper's 8
+//! equivalent pairs must fall out of Theorem A with zero tests executed.
+
+use mcm_analyze::StrengthAnalysis;
+use mcm_models::DigitModel;
+
+/// The ground truth from the paper (Mador-Haim, Alur, Martin, DAC 2011):
+/// exactly these unordered pairs of the 90 models are indistinguishable
+/// by litmus tests.
+const EXPECTED: [(&str, &str); 8] = [
+    ("M1010", "M1110"),
+    ("M1011", "M1111"),
+    ("M4010", "M4110"),
+    ("M4011", "M4111"),
+    ("M4030", "M4130"),
+    ("M4031", "M4131"),
+    ("M4040", "M4140"),
+    ("M4041", "M4141"),
+];
+
+#[test]
+fn the_paper_s_eight_pairs_fall_out_statically() {
+    let models: Vec<_> = DigitModel::all().into_iter().map(|d| d.to_model()).collect();
+    let analysis = StrengthAnalysis::build(&models);
+
+    let mut pairs: Vec<(String, String, &'static str)> = analysis
+        .equivalent_pairs()
+        .into_iter()
+        .map(|(i, j, how)| {
+            (
+                analysis.models[i].name.clone(),
+                analysis.models[j].name.clone(),
+                how,
+            )
+        })
+        .collect();
+    pairs.sort();
+
+    let expected: Vec<(String, String, &'static str)> = EXPECTED
+        .iter()
+        .map(|&(a, b)| (a.to_string(), b.to_string(), "theorem-a"))
+        .collect();
+    assert_eq!(pairs, expected);
+    assert_eq!(analysis.classes.len(), 82, "90 models, 8 merged pairs");
+}
+
+#[test]
+fn sc_is_the_unique_top_of_the_ninety_model_lattice() {
+    let models: Vec<_> = DigitModel::all().into_iter().map(|d| d.to_model()).collect();
+    let analysis = StrengthAnalysis::build(&models);
+
+    let tops = analysis.maximal_classes();
+    assert_eq!(tops.len(), 1);
+    let top = &analysis.classes[tops[0]];
+    assert_eq!(top.len(), 1);
+    assert_eq!(analysis.models[top[0]].name, "M4444", "M4444 is SC");
+
+    let bottoms = analysis.minimal_classes();
+    assert_eq!(bottoms.len(), 1, "the M1010 class is the unique bottom");
+    assert!(analysis.classes[bottoms[0]]
+        .iter()
+        .any(|&m| analysis.models[m].name == "M1010"));
+}

@@ -515,6 +515,39 @@ pub fn distinguish_cmd(args: &[String]) -> Result<(), CliError> {
     emit(&report, args)
 }
 
+const ANALYZE_SPEC: ArgSpec = ArgSpec {
+    flags: &[],
+    options: &["--models", "--tests"],
+};
+
+/// `mcm analyze [MODEL...] [--models figure4|90|named|LIST]
+/// [--tests FILE]`.
+///
+/// Purely static: builds the semantic strength lattice over the model
+/// set, reports every statically proven equivalent pair and minimized
+/// formula, and lints models (and, with `--tests`, a litmus file) —
+/// without executing a single litmus test.
+pub fn analyze(args: &[String]) -> Result<(), CliError> {
+    ANALYZE_SPEC.validate(args)?;
+    let names = ANALYZE_SPEC.positional(args);
+    if !names.is_empty() && option_value(args, "--models").is_some() {
+        return Err(usage("name models positionally or via --models, not both"));
+    }
+    let models = if !names.is_empty() {
+        ModelSpec::List(names.iter().map(|n| n.to_string()).collect())
+    } else {
+        match option_value(args, "--models") {
+            Some(spec) => ModelSpec::parse(spec),
+            None => ModelSpec::Full90,
+        }
+    };
+    let mut query = Query::analyze().models(models);
+    if let Some(path) = option_value(args, "--tests") {
+        query = query.tests(TestSource::File(path.into()));
+    }
+    emit(&query.run()?, args)
+}
+
 const SUITE_SPEC: ArgSpec = ArgSpec {
     flags: &["--no-deps", "--print"],
     options: &[],

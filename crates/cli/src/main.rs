@@ -45,6 +45,13 @@ COMMANDS:
                               given models (or the whole digit space)
                               [--models SPEC] [--checker C] [--no-deps]
                               [--canonicalize] [--cache] [--jobs N]
+    analyze [MODEL...]        static semantic analysis — no litmus test
+                              is ever executed: the strength lattice
+                              over the model set, statically proven
+                              equivalent pairs, minimized formulas, and
+                              lints for redundant or degenerate formulas
+                              (--format dot renders the lattice)
+                              [--models SPEC] [--tests FILE (lint too)]
     synth <MODEL> <MODEL>     CEGIS-synthesize a minimal distinguishing
                               litmus test for the pair: the unknown test
                               becomes SAT variables, the axiomatic
@@ -97,6 +104,7 @@ fn main() -> ExitCode {
         Some("compare") => commands::compare(&args[1..]),
         Some("explore") => commands::explore(&args[1..]),
         Some("distinguish") => commands::distinguish_cmd(&args[1..]),
+        Some("analyze") => commands::analyze(&args[1..]),
         Some("synth") => commands::synth(&args[1..]),
         Some("suite") => commands::suite(&args[1..]),
         Some("catalog") => commands::catalog(&args[1..]),

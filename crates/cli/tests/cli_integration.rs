@@ -332,6 +332,43 @@ fn distinguish_model_set_matches_positional() {
 }
 
 #[test]
+fn analyze_finds_the_papers_eight_pairs_statically() {
+    let (ok, stdout, _) = mcm(&["analyze", "--models", "90"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("0 litmus tests executed"), "{stdout}");
+    assert!(stdout.contains("equivalent pairs: 8"), "{stdout}");
+    // Left-hand names may carry aliases ("M1010 (RMO (no deps))"), so
+    // match each pair by its unaliased right-hand member.
+    for right in [
+        "M1110", "M1111", "M4110", "M4111", "M4130", "M4131", "M4140", "M4141",
+    ] {
+        let pair = format!("== {right}  (theorem-a)");
+        assert!(stdout.contains(&pair), "missing {pair}: {stdout}");
+    }
+}
+
+#[test]
+fn analyze_renders_the_lattice_and_lints_tests() {
+    let (ok, stdout, _) = mcm(&["analyze", "SC", "TSO", "PSO", "--format", "dot"]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph strength"), "{stdout}");
+    let dir = std::env::temp_dir().join("mcm-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("dead-write.litmus");
+    std::fs::write(
+        &path,
+        "test DeadWrite {\n thread { write X = 1; read Y -> r1 }\n thread { write Y = 1 }\n outcome { T1:r1 = 0 }\n}\n",
+    )
+    .unwrap();
+    let (ok, stdout, _) = mcm(&["analyze", "SC", "TSO", "--tests", path.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("never-read-write"), "{stdout}");
+    let (ok, _, stderr) = mcm(&["analyze", "SC", "TSO", "--models", "named"]);
+    assert!(!ok);
+    assert!(stderr.contains("not both"), "{stderr}");
+}
+
+#[test]
 fn parse_validates_files() {
     let dir = std::env::temp_dir().join("mcm-cli-test");
     std::fs::create_dir_all(&dir).unwrap();
@@ -437,6 +474,9 @@ fn every_subcommand_speaks_json() {
     assert!(!doc.get("stream").unwrap().is_null(), "streamed sweep documents carry bounds");
     let doc = parsed_json(&["distinguish", "SC", "TSO", "--format", "json"]);
     assert_eq!(kind(&doc), "distinguish");
+    let doc = parsed_json(&["analyze", "SC", "TSO", "--format", "json"]);
+    assert_eq!(kind(&doc), "analyze");
+    assert_eq!(doc.get("models").and_then(mcm_core::json::Json::as_array).unwrap().len(), 2);
     let doc = parsed_json(&[
         "synth", "SC", "TSO", "--max-accesses", "2", "--max-locs", "2", "--format", "json",
     ]);

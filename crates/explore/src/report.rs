@@ -88,6 +88,16 @@ pub fn sweep_stats_text(stats: &SweepStats) -> String {
         stats.checker_calls,
         stats.reduction_factor(),
     );
+    if stats.semantic_merged_models > 0 || stats.prefilter_saved_calls > 0 {
+        let _ = writeln!(
+            out,
+            "sweep analysis: {} models merged semantically, {} prefilter groups \
+             saved {} checker calls",
+            stats.semantic_merged_models,
+            stats.prefilter_groups,
+            stats.prefilter_saved_calls,
+        );
+    }
     if stats.batch.rows > 0 {
         let _ = writeln!(
             out,
@@ -130,6 +140,12 @@ pub fn streaming_summary(stats: &SweepStats) -> String {
         stats.checker_calls,
         stats.reduction_factor(),
     );
+    if stats.semantic_merged_models > 0 || stats.prefilter_saved_calls > 0 {
+        line.push_str(&format!(
+            "; {} models merged semantically, prefilter saved {} calls",
+            stats.semantic_merged_models, stats.prefilter_saved_calls,
+        ));
+    }
     if stats.batch.rows > 0 {
         line.push_str(&format!(
             "; batched {} rows into {} model groups ({:.1}x row collapse)",
@@ -246,6 +262,9 @@ mod tests {
             distinct_models: 2,
             tests_streamed: 100,
             peak_batch: 8,
+            semantic_merged_models: 1,
+            prefilter_groups: 30,
+            prefilter_saved_calls: 10,
             sat: Default::default(),
             batch: mcm_axiomatic::BatchStats {
                 rows: 50,
@@ -259,6 +278,8 @@ mod tests {
         assert!(line.contains("50 kept"));
         assert!(line.contains("peak 8 tests in memory"));
         assert!(line.contains("60 checker calls"));
+        assert!(line.contains("1 models merged semantically"));
+        assert!(line.contains("prefilter saved 10 calls"));
         assert!(line.contains("batched 50 rows into 25 model groups"));
         assert!(line.contains("4.0x row collapse"));
     }

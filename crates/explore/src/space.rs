@@ -25,6 +25,7 @@
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
+use mcm_analyze::SweepPrefilter;
 use mcm_axiomatic::{BatchChecker, BatchExplicitChecker, BatchStats, Checker};
 use mcm_core::{Execution, LitmusTest, MemoryModel};
 use mcm_gen::canon;
@@ -53,6 +54,13 @@ pub struct EngineConfig {
     /// Tests materialized per chunk by the streaming engine — the memory
     /// high-water mark of a streamed sweep.
     pub stream_chunk: usize,
+    /// Group models that provably agree on a test before calling the
+    /// checker ([`mcm_analyze::SweepPrefilter`]): per test, models whose
+    /// truth tables coincide on the valuations its program-order pairs
+    /// realize force identical edges, so one group representative is
+    /// checked and the verdict fanned out. Sound unconditionally; the
+    /// skipped calls are counted in [`SweepStats::prefilter_saved_calls`].
+    pub prefilter: bool,
 }
 
 impl Default for EngineConfig {
@@ -62,6 +70,7 @@ impl Default for EngineConfig {
             jobs: None,
             batch_size: 4,
             stream_chunk: 4096,
+            prefilter: true,
         }
     }
 }
@@ -100,6 +109,16 @@ pub struct SweepStats {
     /// Largest number of input tests materialized at once: one chunk for
     /// the streaming engine, the whole deduplicated suite otherwise.
     pub peak_batch: usize,
+    /// Models merged into a shared verdict row *beyond* syntactic formula
+    /// equality — semantically identical formulas spelled differently,
+    /// found by the analyzer's truth-table key.
+    pub semantic_merged_models: usize,
+    /// Model groups the sweep prefilter formed across all checked tests
+    /// (each group costs one checker call).
+    pub prefilter_groups: u64,
+    /// Checker calls the prefilter proved unnecessary: group members
+    /// beyond the representative, answered by fan-out.
+    pub prefilter_saved_calls: u64,
     /// SAT-solver work totals, summed over every worker's checker. All
     /// zeros when the sweep ran a solver-free checker (the explicit one).
     pub sat: SolverStats,
@@ -124,7 +143,7 @@ impl SweepStats {
     /// [`SweepStats::sat`] and [`SweepStats::batch`] groups have
     /// `counters()` views of their own).
     #[must_use]
-    pub fn counters(&self) -> [(&'static str, u64); 8] {
+    pub fn counters(&self) -> [(&'static str, u64); 11] {
         [
             ("total_pairs", self.total_pairs),
             ("unique_pairs", self.unique_pairs),
@@ -134,6 +153,9 @@ impl SweepStats {
             ("distinct_models", self.distinct_models as u64),
             ("tests_streamed", self.tests_streamed),
             ("peak_batch", self.peak_batch as u64),
+            ("semantic_merged_models", self.semantic_merged_models as u64),
+            ("prefilter_groups", self.prefilter_groups),
+            ("prefilter_saved_calls", self.prefilter_saved_calls),
         ]
     }
 }
@@ -149,8 +171,11 @@ pub struct Exploration {
     pub verdicts: Vec<VerdictVector>,
 }
 
-/// Layer 1 of every engine sweep: models with structurally identical
-/// must-not-reorder formulas share a verdict row.
+/// Layer 1 of every engine sweep: models with *semantically* identical
+/// must-not-reorder formulas share a verdict row. Identity is the
+/// analyzer's truth-table key ([`mcm_analyze::SemanticKey`]), which
+/// subsumes structural equality — `Access(x)` and `Read(x) ∨ Write(x)`
+/// share a row even though the formulas differ syntactically.
 struct FormulaRows {
     /// Model index -> row index.
     row_of: Vec<usize>,
@@ -158,20 +183,29 @@ struct FormulaRows {
     row_models: Vec<usize>,
     /// Cache fingerprints, parallel to `row_models`.
     model_fps: Vec<u64>,
+    /// Models merged beyond what syntactic formula equality finds.
+    semantic_merged: usize,
 }
 
 fn formula_rows(models: &[MemoryModel]) -> FormulaRows {
     let mut row_of: Vec<usize> = Vec::with_capacity(models.len());
     let mut row_models: Vec<usize> = Vec::new();
+    let mut keys: Vec<mcm_analyze::SemanticKey> = Vec::new();
+    let mut syntactic_rows = 0usize;
     for (m, model) in models.iter().enumerate() {
-        let row = row_models
+        if !models[..m]
             .iter()
-            .position(|&first| models[first].formula() == model.formula());
-        match row {
+            .any(|prior| prior.formula() == model.formula())
+        {
+            syntactic_rows += 1;
+        }
+        let key = mcm_analyze::semantic_key(model.formula());
+        match keys.iter().position(|k| *k == key) {
             Some(r) => row_of.push(r),
             None => {
                 row_of.push(row_models.len());
                 row_models.push(m);
+                keys.push(key);
             }
         }
     }
@@ -180,10 +214,25 @@ fn formula_rows(models: &[MemoryModel]) -> FormulaRows {
         .map(|&m| VerdictCache::model_fingerprint(&models[m]))
         .collect();
     FormulaRows {
+        semantic_merged: syntactic_rows - row_models.len(),
         row_of,
         row_models,
         model_fps,
     }
+}
+
+/// Builds the sweep prefilter for the distinct-formula rows, when the
+/// config asks for one and there is anything to group.
+fn build_prefilter(
+    models: &[MemoryModel],
+    rows: &FormulaRows,
+    config: &EngineConfig,
+) -> Option<SweepPrefilter> {
+    if !config.prefilter || rows.row_models.len() < 2 {
+        return None;
+    }
+    let refs: Vec<&MemoryModel> = rows.row_models.iter().map(|&m| &models[m]).collect();
+    Some(SweepPrefilter::new(&refs))
 }
 
 fn resolve_jobs(config: &EngineConfig) -> usize {
@@ -197,27 +246,53 @@ fn resolve_jobs(config: &EngineConfig) -> usize {
         .max(1)
 }
 
+/// The model side of a sweep, fixed across every chunk: the full model
+/// list, its distinct-formula rows, and the optional prefilter over them.
+struct ModelSide<'a> {
+    models: &'a [MemoryModel],
+    rows: &'a FormulaRows,
+    prefilter: Option<&'a SweepPrefilter>,
+}
+
+/// What one `sweep_grid` call produced: the row-major allowed bits plus
+/// the layer counters the engines fold into [`SweepStats`].
+struct GridOutcome {
+    /// `bits[row * execs.len() + rep]`: is the outcome allowed?
+    bits: Vec<bool>,
+    cache_hits: u64,
+    checker_calls: u64,
+    prefilter_groups: u64,
+    prefilter_saved_calls: u64,
+    sat: SolverStats,
+    batch: BatchStats,
+}
+
 /// The shared sweep core, test-major: the unit of parallel work is a
 /// **test row** — one execution checked against every distinct-formula
 /// model at once through a [`BatchChecker`] — scheduled work-stealing
 /// across workers. Cache lookups are row-keyed ([`VerdictCache::get_row`]
 /// takes each shard lock once per row) and only the missing models of a
-/// row reach the checker, so warm rows cost no checker work and cold rows
-/// amortize candidate enumeration / encoding across the whole model
-/// space. Returns the row-major allowed bits plus `(cache hits, checker
-/// calls, solver totals, batch amortization totals)`.
+/// row reach the checker; with a [`SweepPrefilter`] those are further
+/// grouped into provably-agreeing sets, so the checker sees one
+/// representative per group and the verdict fans out (and is cached once
+/// per member). Warm rows cost no checker work and cold rows amortize
+/// candidate enumeration / encoding across the whole model space.
 fn sweep_grid<F>(
-    models: &[MemoryModel],
-    rows: &FormulaRows,
+    side: &ModelSide<'_>,
     execs: &[Execution],
     fps: &[u64],
     make_checker: &F,
     config: &EngineConfig,
     cache: Option<&VerdictCache>,
-) -> (Vec<bool>, u64, u64, SolverStats, BatchStats)
+) -> GridOutcome
 where
     F: Fn() -> Box<dyn BatchChecker> + Sync,
 {
+    let ModelSide {
+        models,
+        rows,
+        prefilter,
+    } = *side;
     let jobs = resolve_jobs(config);
     let reps = execs.len();
     let row_count = rows.row_models.len();
@@ -238,10 +313,14 @@ where
     let results: Vec<AtomicU8> = (0..row_count * reps).map(|_| AtomicU8::new(0)).collect();
     let cache_hits = AtomicU64::new(0);
     let checker_calls = AtomicU64::new(0);
+    let prefilter_groups = AtomicU64::new(0);
+    let prefilter_saved = AtomicU64::new(0);
 
     let sweep = |local_batch: &mut Vec<((u64, u64), bool)>, checker: &dyn BatchChecker| {
         let mut hits = 0u64;
         let mut calls = 0u64;
+        let mut groups_formed = 0u64;
+        let mut saved = 0u64;
         let mut missing_rows: Vec<usize> = Vec::new();
         let mut missing_models: Vec<MemoryModel> = Vec::new();
         loop {
@@ -272,27 +351,41 @@ where
                 if missing_rows.is_empty() {
                     continue;
                 }
-                calls += missing_rows.len() as u64;
-                let verdicts = if missing_rows.len() == row_count {
+                // Layer 3: group rows whose formulas provably agree on
+                // this test; only group representatives reach the checker.
+                let groups: Vec<Vec<usize>> = match prefilter {
+                    Some(pf) if missing_rows.len() > 1 => pf.group_rows(&execs[rep], &missing_rows),
+                    _ => missing_rows.iter().map(|&r| vec![r]).collect(),
+                };
+                if prefilter.is_some() {
+                    groups_formed += groups.len() as u64;
+                    saved += (missing_rows.len() - groups.len()) as u64;
+                }
+                calls += groups.len() as u64;
+                let verdicts = if groups.len() == row_count {
                     checker.check_all_executions(&execs[rep], &row_models)
                 } else {
-                    // Partial cache coverage: batch only the missing
-                    // models (cloned — rare next to all-hit / all-miss).
+                    // Partial coverage: batch only the representatives
+                    // (cloned — rare next to all-hit / all-miss).
                     missing_models.clear();
-                    missing_models.extend(missing_rows.iter().map(|&r| row_models[r].clone()));
+                    missing_models.extend(groups.iter().map(|g| row_models[g[0]].clone()));
                     checker.check_all_executions(&execs[rep], &missing_models)
                 };
-                for (&row, verdict) in missing_rows.iter().zip(&verdicts) {
-                    results[row * reps + rep]
-                        .store(if verdict.allowed { 2 } else { 1 }, Ordering::Relaxed);
-                    if cache.is_some() {
-                        local_batch.push(((rows.model_fps[row], fps[rep]), verdict.allowed));
+                for (group, verdict) in groups.iter().zip(&verdicts) {
+                    for &row in group {
+                        results[row * reps + rep]
+                            .store(if verdict.allowed { 2 } else { 1 }, Ordering::Relaxed);
+                        if cache.is_some() {
+                            local_batch.push(((rows.model_fps[row], fps[rep]), verdict.allowed));
+                        }
                     }
                 }
             }
         }
         cache_hits.fetch_add(hits, Ordering::Relaxed);
         checker_calls.fetch_add(calls, Ordering::Relaxed);
+        prefilter_groups.fetch_add(groups_formed, Ordering::Relaxed);
+        prefilter_saved.fetch_add(saved, Ordering::Relaxed);
     };
 
     let mut sat = SolverStats::default();
@@ -342,13 +435,15 @@ where
         .into_iter()
         .map(|slot| slot.into_inner() == 2)
         .collect();
-    (
+    GridOutcome {
         bits,
-        cache_hits.load(Ordering::Relaxed),
-        checker_calls.load(Ordering::Relaxed),
+        cache_hits: cache_hits.load(Ordering::Relaxed),
+        checker_calls: checker_calls.load(Ordering::Relaxed),
+        prefilter_groups: prefilter_groups.load(Ordering::Relaxed),
+        prefilter_saved_calls: prefilter_saved.load(Ordering::Relaxed),
         sat,
-        amortized,
-    )
+        batch: amortized,
+    }
 }
 
 impl Exploration {
@@ -454,9 +549,13 @@ impl Exploration {
             };
 
         let reps = rep_execs.len();
-        let (bits, cache_hits, checker_calls, sat, batch) = sweep_grid(
-            &models,
-            &rows,
+        let prefilter = build_prefilter(&models, &rows, config);
+        let grid = sweep_grid(
+            &ModelSide {
+                models: &models,
+                rows: &rows,
+                prefilter: prefilter.as_ref(),
+            },
             &rep_execs,
             &rep_fps,
             &make_checker,
@@ -471,7 +570,7 @@ impl Exploration {
             .map(|&row| {
                 let mut vector = VerdictVector::new(tests.len());
                 for (t, &rep) in rep_of.iter().enumerate() {
-                    vector.set(t, bits[row * reps + rep]);
+                    vector.set(t, grid.bits[row * reps + rep]);
                 }
                 vector
             })
@@ -480,14 +579,17 @@ impl Exploration {
         let stats = SweepStats {
             total_pairs: (models.len() * tests.len()) as u64,
             unique_pairs: (rows.row_models.len() * reps) as u64,
-            cache_hits,
-            checker_calls,
+            cache_hits: grid.cache_hits,
+            checker_calls: grid.checker_calls,
             canonical_tests: reps,
             distinct_models: rows.row_models.len(),
             tests_streamed: tests.len() as u64,
             peak_batch: reps,
-            sat,
-            batch,
+            semantic_merged_models: rows.semantic_merged,
+            prefilter_groups: grid.prefilter_groups,
+            prefilter_saved_calls: grid.prefilter_saved_calls,
+            sat: grid.sat,
+            batch: grid.batch,
         };
         (
             Exploration {
@@ -529,6 +631,7 @@ impl Exploration {
         F: Fn() -> Box<dyn BatchChecker> + Sync,
     {
         let rows = formula_rows(&models);
+        let prefilter = build_prefilter(&models, &rows, config);
         let jobs = resolve_jobs(config);
         let chunk_size = config.stream_chunk.max(1);
         let mut iter = tests.into_iter();
@@ -540,6 +643,8 @@ impl Exploration {
         let mut peak_batch = 0usize;
         let mut cache_hits = 0u64;
         let mut checker_calls = 0u64;
+        let mut prefilter_groups = 0u64;
+        let mut prefilter_saved_calls = 0u64;
         let mut sat = SolverStats::default();
         let mut batched = BatchStats::default();
         loop {
@@ -571,22 +676,27 @@ impl Exploration {
                 continue;
             }
             let execs: Vec<Execution> = batch.iter().map(LitmusTest::execution).collect();
-            let (bits, hits, calls, grid_sat, grid_batch) = sweep_grid(
-                &models,
-                &rows,
+            let grid = sweep_grid(
+                &ModelSide {
+                    models: &models,
+                    rows: &rows,
+                    prefilter: prefilter.as_ref(),
+                },
                 &execs,
                 &fps,
                 &make_checker,
                 config,
                 cache,
             );
-            cache_hits += hits;
-            checker_calls += calls;
-            sat.absorb(grid_sat);
-            batched.absorb(grid_batch);
+            cache_hits += grid.cache_hits;
+            checker_calls += grid.checker_calls;
+            prefilter_groups += grid.prefilter_groups;
+            prefilter_saved_calls += grid.prefilter_saved_calls;
+            sat.absorb(grid.sat);
+            batched.absorb(grid.batch);
             for (r, vector) in row_verdicts.iter_mut().enumerate() {
                 for t in 0..batch.len() {
-                    vector.push(bits[r * batch.len() + t]);
+                    vector.push(grid.bits[r * batch.len() + t]);
                 }
             }
             kept.extend(batch);
@@ -605,6 +715,9 @@ impl Exploration {
             distinct_models: rows.row_models.len(),
             tests_streamed: streamed,
             peak_batch,
+            semantic_merged_models: rows.semantic_merged,
+            prefilter_groups,
+            prefilter_saved_calls,
             sat,
             batch: batched,
         };
@@ -756,7 +869,10 @@ mod tests {
         assert!(stats.canonical_tests < engine.tests.len());
         assert!(stats.unique_pairs < stats.total_pairs);
         assert_eq!(stats.cache_hits, 0);
-        assert_eq!(stats.checker_calls, stats.unique_pairs);
+        assert_eq!(
+            stats.checker_calls + stats.prefilter_saved_calls,
+            stats.unique_pairs
+        );
         assert_eq!(stats.tests_streamed, engine.tests.len() as u64);
         assert_eq!(stats.peak_batch, stats.canonical_tests);
     }
@@ -774,9 +890,10 @@ mod tests {
             None,
         );
         assert_eq!(seq.verdicts, engine.verdicts);
-        // One batched row per test, covering the 4 distinct formulas.
+        // One batched row per test; the prefilter may shrink what each
+        // row hands the checker, so count against actual calls.
         assert_eq!(stats.batch.rows, engine.tests.len() as u64);
-        assert_eq!(stats.batch.models_checked, stats.unique_pairs);
+        assert_eq!(stats.batch.models_checked, stats.checker_calls);
         assert!(
             stats.batch.model_groups <= stats.batch.models_checked,
             "grouping never exceeds the model count"
@@ -848,7 +965,10 @@ mod tests {
             None,
         );
         assert_eq!(seq.verdicts, engine.verdicts);
-        assert_eq!(stats.checker_calls, stats.unique_pairs);
+        assert_eq!(
+            stats.checker_calls + stats.prefilter_saved_calls,
+            stats.unique_pairs
+        );
     }
 
     #[test]
@@ -871,7 +991,10 @@ mod tests {
         assert_eq!(streamed.tests.len(), tests.len());
         assert_eq!(stats.tests_streamed, tests.len() as u64);
         assert!(stats.peak_batch <= 3);
-        assert_eq!(stats.checker_calls, stats.unique_pairs);
+        assert_eq!(
+            stats.checker_calls + stats.prefilter_saved_calls,
+            stats.unique_pairs
+        );
     }
 
     #[test]
@@ -927,6 +1050,69 @@ mod tests {
         assert_eq!(warm.checker_calls, 0, "warm streamed sweep must be checker-free");
         assert_eq!(warm.cache_hits, warm.unique_pairs);
         assert!(!warm_expl.tests.is_empty());
+    }
+
+    #[test]
+    fn prefilter_is_sound_and_saves_calls() {
+        use mcm_models::DigitModel;
+        // M1010/M1110 agree on every test without a same-address W→R po
+        // pair; plenty of the catalog qualifies.
+        let models: Vec<MemoryModel> = ["M1010", "M1110", "M4044", "M4444"]
+            .iter()
+            .map(|s| s.parse::<DigitModel>().unwrap().to_model())
+            .collect();
+        let tests = catalog::all_tests();
+        let (on, on_stats) = Exploration::run_engine(
+            models.clone(),
+            tests.clone(),
+            || Box::new(BatchExplicitChecker::new()),
+            &EngineConfig::default(),
+            None,
+        );
+        let (off, off_stats) = Exploration::run_engine(
+            models,
+            tests,
+            || Box::new(BatchExplicitChecker::new()),
+            &EngineConfig {
+                prefilter: false,
+                ..EngineConfig::default()
+            },
+            None,
+        );
+        assert_eq!(on.verdicts, off.verdicts, "the prefilter must be invisible");
+        assert_eq!(off_stats.prefilter_groups, 0);
+        assert_eq!(off_stats.prefilter_saved_calls, 0);
+        assert!(on_stats.prefilter_saved_calls > 0, "some tests must group models");
+        assert_eq!(
+            on_stats.checker_calls + on_stats.prefilter_saved_calls,
+            off_stats.checker_calls
+        );
+    }
+
+    #[test]
+    fn semantically_equal_formulas_share_a_row() {
+        use mcm_core::formula::{ArgPos, Atom, Formula};
+        // Access(x) spelled two ways: syntactically different, one row.
+        let spelled_out = Formula::or([
+            Formula::atom(Atom::IsRead(ArgPos::First)),
+            Formula::atom(Atom::IsWrite(ArgPos::First)),
+        ]);
+        let models = vec![
+            MemoryModel::new("direct", Formula::atom(Atom::IsAccess(ArgPos::First))),
+            MemoryModel::new("spelled", spelled_out),
+        ];
+        let tests = vec![catalog::l1(), catalog::test_a()];
+        let seq = Exploration::run(models.clone(), tests.clone(), &ExplicitChecker::new());
+        let (engine, stats) = Exploration::run_engine(
+            models,
+            tests,
+            || Box::new(ExplicitChecker::new()),
+            &EngineConfig::default(),
+            None,
+        );
+        assert_eq!(seq.verdicts, engine.verdicts);
+        assert_eq!(stats.distinct_models, 1);
+        assert_eq!(stats.semantic_merged_models, 1);
     }
 
     #[test]

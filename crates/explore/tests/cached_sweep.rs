@@ -60,7 +60,12 @@ fn second_sweep_hits_the_cache_for_every_pair() {
     assert!(first_calls > 0, "cold sweep must invoke the checker");
     assert_eq!(first_stats.checker_calls, first_calls);
     assert_eq!(first_stats.cache_hits, 0, "cold cache cannot hit");
-    assert_eq!(cache.len() as u64, first_stats.checker_calls);
+    // The prefilter fans each group verdict out to every member, so the
+    // cache holds one entry per (row, test) pair, not per checker call.
+    assert_eq!(
+        cache.len() as u64,
+        first_stats.checker_calls + first_stats.prefilter_saved_calls
+    );
 
     let (second, second_stats) =
         Exploration::run_engine(models, tests, factory, &config, Some(&cache));

@@ -64,14 +64,15 @@ pub mod wire;
 
 pub use error::QueryError;
 pub use query::{
-    CheckQuery, CompareQuery, DistinguishQuery, Query, SuiteQuery, SweepQuery, SynthQuery,
+    AnalyzeQuery, CheckQuery, CompareQuery, DistinguishQuery, Query, SuiteQuery, SweepQuery,
+    SynthQuery,
 };
 pub use render::{Format, Render, SCHEMA_VERSION};
 pub use reports::{
-    CacheSummary, CatalogReport, CheckEntry, CheckReport, CompareReport, CompareWitness,
-    CountsFigure, DistinguishReport, Fig1Figure, Fig4Figure, FigureSelection, FiguresReport,
-    ParseReport, StreamSummary, SuiteReport, SweepReport, SynthMatrix, SynthPair, SynthReport,
-    WarmSummary,
+    AnalyzeFinding, AnalyzeModelEntry, AnalyzePair, AnalyzeReport, CacheSummary, CatalogReport,
+    CheckEntry, CheckReport, CompareReport, CompareWitness, CountsFigure, DistinguishReport,
+    Fig1Figure, Fig4Figure, FigureSelection, FiguresReport, ParseReport, StreamSummary,
+    SuiteReport, SweepReport, SynthMatrix, SynthPair, SynthReport, WarmSummary,
 };
 pub use resolve::{model_set, models_use_dependencies, ModelSpec};
 pub use source::TestSource;

@@ -12,10 +12,10 @@ use mcm_synth::SynthBounds;
 
 use crate::error::QueryError;
 use crate::reports::{
-    CacheSummary, CatalogReport, CheckEntry, CheckReport, CompareReport, CompareWitness,
-    CountsFigure, DistinguishReport, Fig1Figure, Fig4Figure, FigureSelection, FiguresReport,
-    ParseReport, StreamSummary, SuiteReport, SweepReport, SynthMatrix, SynthPair, SynthReport,
-    WarmSummary,
+    AnalyzeFinding, AnalyzeModelEntry, AnalyzePair, AnalyzeReport, CacheSummary, CatalogReport,
+    CheckEntry, CheckReport, CompareReport, CompareWitness, CountsFigure, DistinguishReport,
+    Fig1Figure, Fig4Figure, FigureSelection, FiguresReport, ParseReport, StreamSummary,
+    SuiteReport, SweepReport, SynthMatrix, SynthPair, SynthReport, WarmSummary,
 };
 use crate::resolve::{self, ModelSpec};
 use crate::source::TestSource;
@@ -50,6 +50,17 @@ impl Query {
             cache: false,
             shared: None,
             warm_figure4_demo: false,
+        }
+    }
+
+    /// Static semantic analysis of a model set: the strength lattice,
+    /// equivalent pairs, minimized normal forms and lint findings — with
+    /// zero litmus tests executed.
+    #[must_use]
+    pub fn analyze() -> AnalyzeQuery {
+        AnalyzeQuery {
+            models: ModelSpec::Full90,
+            tests: None,
         }
     }
 
@@ -308,6 +319,99 @@ impl SweepQuery {
             warm,
             stream: None,
             elapsed,
+        })
+    }
+}
+
+/// Builder for [`Query::analyze`].
+#[derive(Clone, Debug)]
+pub struct AnalyzeQuery {
+    models: ModelSpec,
+    tests: Option<TestSource>,
+}
+
+impl AnalyzeQuery {
+    /// The model set to analyze.
+    #[must_use]
+    pub fn models(mut self, models: ModelSpec) -> Self {
+        self.models = models;
+        self
+    }
+
+    /// Also lint the tests of a (materialized) source: never-read writes,
+    /// non-canonical form.
+    #[must_use]
+    pub fn tests(mut self, source: TestSource) -> Self {
+        self.tests = Some(source);
+        self
+    }
+
+    /// Runs the analysis. Purely static: no checker is built, no litmus
+    /// test is executed.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidSpec`] for unresolvable models or a streamed
+    /// test source; [`QueryError::Io`] / [`QueryError::Parse`] for
+    /// file-backed test sources.
+    pub fn run(self) -> Result<AnalyzeReport, QueryError> {
+        let models = self.models.resolve()?;
+        let start = Instant::now();
+        let analysis = mcm_analyze::StrengthAnalysis::build(&models);
+
+        let mut findings: Vec<AnalyzeFinding> = Vec::new();
+        let mut absorb = |batch: Vec<mcm_analyze::Finding>| {
+            findings.extend(batch.into_iter().map(|f| AnalyzeFinding {
+                target: f.target,
+                code: f.code.to_string(),
+                message: f.message,
+            }));
+        };
+        absorb(mcm_analyze::lint_models(&models));
+        for model in &models {
+            absorb(mcm_analyze::lint_formula(model.name(), model.formula()));
+        }
+        let mut tests_linted = 0;
+        if let Some(source) = &self.tests {
+            let tests = source.load()?;
+            tests_linted = tests.len();
+            for test in &tests {
+                absorb(mcm_analyze::lint_test(test));
+            }
+        }
+
+        let entries: Vec<AnalyzeModelEntry> = analysis
+            .models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| AnalyzeModelEntry {
+                name: m.name.clone(),
+                formula: m.formula.to_string(),
+                minimized: m.minimized.to_string(),
+                fingerprint: format!("{:016x}", m.key.fingerprint()),
+                class: analysis.class_of(i),
+                elided: m.elided,
+            })
+            .collect();
+        let equivalent_pairs = analysis
+            .equivalent_pairs()
+            .into_iter()
+            .map(|(i, j, how)| AnalyzePair {
+                left: analysis.models[i].name.clone(),
+                right: analysis.models[j].name.clone(),
+                how: how.to_string(),
+            })
+            .collect();
+        Ok(AnalyzeReport {
+            models: entries,
+            classes: analysis.classes.clone(),
+            edges: analysis.edges.clone(),
+            minimal_classes: analysis.minimal_classes(),
+            maximal_classes: analysis.maximal_classes(),
+            equivalent_pairs,
+            findings,
+            tests_linted,
+            elapsed: start.elapsed(),
         })
     }
 }

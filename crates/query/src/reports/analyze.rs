@@ -1,0 +1,232 @@
+//! The static-analysis report: strength lattice, normal forms and lints.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use mcm_core::json::Json;
+
+use crate::render::{duration_json, duration_text, Render};
+
+/// What the analyzer derived about one model — all strings, so the
+/// report serializes without dragging formula types across the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnalyzeModelEntry {
+    /// The model's name.
+    pub name: String,
+    /// Its must-not-reorder formula, as written.
+    pub formula: String,
+    /// The minimized positive-DNF drop-in.
+    pub minimized: String,
+    /// Hex fingerprint of the semantic key (pointwise identity).
+    pub fingerprint: String,
+    /// Index of the model's behavioural equivalence class.
+    pub class: usize,
+    /// Whether Theorem A elided an unobservable same-address `W→R`
+    /// ordering from this model.
+    pub elided: bool,
+}
+
+/// One statically proven equivalence between two models.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnalyzePair {
+    /// First model (input order).
+    pub left: String,
+    /// Second model.
+    pub right: String,
+    /// How the equivalence was established: `pointwise` (equal truth
+    /// tables) or `theorem-a` (equal only after sound elision).
+    pub how: String,
+}
+
+/// One lint finding (model, formula or test level).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnalyzeFinding {
+    /// The model or test the finding is about.
+    pub target: String,
+    /// The stable lint code.
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// What an analyze query produced: the static strength lattice over the
+/// model set, per-model normal forms, and the lint findings — with zero
+/// litmus tests executed.
+#[derive(Clone, Debug)]
+pub struct AnalyzeReport {
+    /// Per-model results, in input order.
+    pub models: Vec<AnalyzeModelEntry>,
+    /// Equivalence classes as model indices, ordered by first member.
+    pub classes: Vec<Vec<usize>>,
+    /// Hasse edges `weaker → stronger` between class indices.
+    pub edges: Vec<(usize, usize)>,
+    /// Class indices with no weaker class (lattice bottoms).
+    pub minimal_classes: Vec<usize>,
+    /// Class indices with no stronger class (lattice tops).
+    pub maximal_classes: Vec<usize>,
+    /// All statically proven equivalent pairs.
+    pub equivalent_pairs: Vec<AnalyzePair>,
+    /// Lint findings over models, formulas and (optionally) tests.
+    pub findings: Vec<AnalyzeFinding>,
+    /// How many tests the lint pass inspected (0 when none were given).
+    pub tests_linted: usize,
+    /// Wall-clock of the analysis.
+    pub elapsed: Duration,
+}
+
+impl AnalyzeReport {
+    fn class_label(&self, class: usize) -> String {
+        self.classes[class]
+            .iter()
+            .map(|&m| self.models[m].name.as_str())
+            .collect::<Vec<_>>()
+            .join("/")
+    }
+}
+
+impl Render for AnalyzeReport {
+    fn kind(&self) -> &'static str {
+        "analyze"
+    }
+
+    fn text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "analyzed {} models statically in {} — 0 litmus tests executed",
+            self.models.len(),
+            duration_text(self.elapsed),
+        );
+        let _ = writeln!(
+            out,
+            "strength lattice: {} classes, {} covering edges, bottom {}, top {}",
+            self.classes.len(),
+            self.edges.len(),
+            self.minimal_classes
+                .iter()
+                .map(|&c| self.class_label(c))
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.maximal_classes
+                .iter()
+                .map(|&c| self.class_label(c))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        let _ = writeln!(out, "equivalent pairs: {}", self.equivalent_pairs.len());
+        for pair in &self.equivalent_pairs {
+            let _ = writeln!(out, "  {} == {}  ({})", pair.left, pair.right, pair.how);
+        }
+        let elided: Vec<&str> = self
+            .models
+            .iter()
+            .filter(|m| m.elided)
+            .map(|m| m.name.as_str())
+            .collect();
+        if !elided.is_empty() {
+            let _ = writeln!(
+                out,
+                "theorem-a elisions (unobservable same-address W->R ordering): {}",
+                elided.join(", ")
+            );
+        }
+        let rewritten: Vec<&AnalyzeModelEntry> = self
+            .models
+            .iter()
+            .filter(|m| m.minimized != m.formula)
+            .collect();
+        if !rewritten.is_empty() {
+            let _ = writeln!(out, "minimized formulas ({} differ):", rewritten.len());
+            for entry in rewritten {
+                let _ = writeln!(out, "  {}: {}", entry.name, entry.minimized);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "lints: {} findings over {} models and {} tests",
+            self.findings.len(),
+            self.models.len(),
+            self.tests_linted,
+        );
+        for finding in &self.findings {
+            let _ = writeln!(
+                out,
+                "  {} [{}]: {}",
+                finding.target, finding.code, finding.message
+            );
+        }
+        out
+    }
+
+    fn json_fields(&self) -> Vec<(String, Json)> {
+        vec![
+            (
+                "models".to_string(),
+                Json::array_of(&self.models, |m| {
+                    Json::object([
+                        ("name", Json::from(m.name.as_str())),
+                        ("formula", Json::from(m.formula.as_str())),
+                        ("minimized", Json::from(m.minimized.as_str())),
+                        ("fingerprint", Json::from(m.fingerprint.as_str())),
+                        ("class", Json::from(m.class)),
+                        ("elided", Json::from(m.elided)),
+                    ])
+                }),
+            ),
+            (
+                "classes".to_string(),
+                Json::array_of(&self.classes, |class| {
+                    Json::array_of(class, |&m| Json::from(self.models[m].name.as_str()))
+                }),
+            ),
+            (
+                "edges".to_string(),
+                Json::array_of(&self.edges, |&(weaker, stronger)| {
+                    Json::object([
+                        ("weaker", Json::from(weaker)),
+                        ("stronger", Json::from(stronger)),
+                    ])
+                }),
+            ),
+            (
+                "equivalent_pairs".to_string(),
+                Json::array_of(&self.equivalent_pairs, |p| {
+                    Json::object([
+                        ("left", Json::from(p.left.as_str())),
+                        ("right", Json::from(p.right.as_str())),
+                        ("how", Json::from(p.how.as_str())),
+                    ])
+                }),
+            ),
+            (
+                "findings".to_string(),
+                Json::array_of(&self.findings, |f| {
+                    Json::object([
+                        ("target", Json::from(f.target.as_str())),
+                        ("code", Json::from(f.code.as_str())),
+                        ("message", Json::from(f.message.as_str())),
+                    ])
+                }),
+            ),
+            ("tests_linted".to_string(), Json::from(self.tests_linted)),
+            ("elapsed_ms".to_string(), duration_json(self.elapsed)),
+        ]
+    }
+
+    fn dot(&self) -> Option<String> {
+        let mut out = String::from("digraph strength {\n  rankdir=BT;\n");
+        let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+        for c in 0..self.classes.len() {
+            let _ = writeln!(
+                out,
+                "  c{c} [label=\"{}\"];",
+                self.class_label(c).replace('"', "\\\"")
+            );
+        }
+        for &(weaker, stronger) in &self.edges {
+            let _ = writeln!(out, "  c{weaker} -> c{stronger};");
+        }
+        out.push_str("}\n");
+        Some(out)
+    }
+}

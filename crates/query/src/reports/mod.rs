@@ -5,6 +5,7 @@
 //! producing the CLI's human-readable text, a schema-versioned JSON
 //! document, and (where natural) CSV and Graphviz DOT views.
 
+mod analyze;
 mod check;
 mod compare;
 mod distinguish;
@@ -13,6 +14,7 @@ mod misc;
 mod sweep;
 mod synth;
 
+pub use analyze::{AnalyzeFinding, AnalyzeModelEntry, AnalyzePair, AnalyzeReport};
 pub use check::{CheckEntry, CheckReport};
 pub use compare::{CompareReport, CompareWitness};
 pub use distinguish::DistinguishReport;

@@ -23,8 +23,8 @@
 //! }
 //! ```
 //!
-//! Kinds: `sweep`, `compare`, `distinguish`, `synth`, `synth_matrix`,
-//! `check`, `suite`, `catalog`, `figures`. Test sources: `"catalog"`,
+//! Kinds: `sweep`, `compare`, `distinguish`, `analyze`, `synth`,
+//! `synth_matrix`, `check`, `suite`, `catalog`, `figures`. Test sources: `"catalog"`,
 //! `"template_suite"`, `{"template_suite": {"with_deps": bool}}`,
 //! `{"stream": {"max_accesses": N, "max_locs": N, "fences": bool,
 //! "deps": bool, "limit": N}}`, `{"inline": "<litmus text>"}`. The wire
@@ -116,6 +116,8 @@ pub enum QuerySpec {
     Compare(CompareSpec),
     /// [`Query::distinguish`].
     Distinguish(DistinguishSpec),
+    /// [`Query::analyze`].
+    Analyze(AnalyzeSpec),
     /// [`Query::synth`].
     Synth(SynthSpec),
     /// [`Query::synth_matrix`].
@@ -173,6 +175,17 @@ pub struct DistinguishSpec {
     pub engine: EngineConfig,
     /// Verdict memoization (see [`SweepSpec::cache`]).
     pub cache: Option<bool>,
+}
+
+/// Wire form of [`Query::analyze`] — a purely static query: it builds
+/// the strength lattice and lint findings without executing any litmus
+/// test, so it needs no checker, engine or cache fields.
+#[derive(Clone, Debug)]
+pub struct AnalyzeSpec {
+    /// The model space.
+    pub models: ModelSpec,
+    /// Tests to lint, if any (materializable sources only).
+    pub source: Option<TestSource>,
 }
 
 /// Wire form of [`Query::synth`].
@@ -244,6 +257,7 @@ impl QuerySpec {
             QuerySpec::Sweep(_) => "sweep",
             QuerySpec::Compare(_) => "compare",
             QuerySpec::Distinguish(_) => "distinguish",
+            QuerySpec::Analyze(_) => "analyze",
             QuerySpec::Synth(_) => "synth",
             QuerySpec::SynthMatrix(_) => "synth_matrix",
             QuerySpec::Check(_) => "check",
@@ -269,6 +283,7 @@ impl QuerySpec {
             "sweep" => parse_sweep(pairs),
             "compare" => parse_compare(pairs),
             "distinguish" => parse_distinguish(pairs),
+            "analyze" => parse_analyze(pairs),
             "synth" => parse_synth(pairs),
             "synth_matrix" => parse_synth_matrix(pairs),
             "check" => parse_check(pairs),
@@ -279,8 +294,8 @@ impl QuerySpec {
             }
             "figures" => parse_figures(pairs),
             other => Err(invalid(format!(
-                "unknown query kind `{other}`; try sweep|compare|distinguish|synth|\
-                 synth_matrix|check|suite|catalog|figures"
+                "unknown query kind `{other}`; try sweep|compare|distinguish|analyze|\
+                 synth|synth_matrix|check|suite|catalog|figures"
             ))),
         }
     }
@@ -340,6 +355,16 @@ impl QuerySpec {
                 Ok(WireOutcome {
                     report: Box::new(report),
                     stats: Some(stats),
+                })
+            }
+            QuerySpec::Analyze(spec) => {
+                let mut query = Query::analyze().models(spec.models.clone());
+                if let Some(source) = &spec.source {
+                    query = query.tests(source.clone());
+                }
+                Ok(WireOutcome {
+                    report: Box::new(query.run()?),
+                    stats: None,
                 })
             }
             QuerySpec::Synth(spec) => {
@@ -436,6 +461,23 @@ fn parse_distinguish(pairs: &[(String, Json)]) -> Result<QuerySpec, QueryError> 
         checker: parse_checker(pairs)?,
         engine: parse_engine(pairs)?,
         cache: opt_bool(pairs, "cache")?,
+    }))
+}
+
+fn parse_analyze(pairs: &[(String, Json)]) -> Result<QuerySpec, QueryError> {
+    check_fields(pairs, &["models", "tests"])?;
+    let source = match get(pairs, "tests") {
+        None => None,
+        Some(v) => Some(parse_source(v)?),
+    };
+    if matches!(source, Some(TestSource::Stream { .. })) {
+        return Err(invalid(
+            "analyze lints a materializable test source, not a stream",
+        ));
+    }
+    Ok(QuerySpec::Analyze(AnalyzeSpec {
+        models: parse_models(pairs, ModelSpec::Full90)?,
+        source,
     }))
 }
 
@@ -775,6 +817,7 @@ mod tests {
             (r#"{"query": "sweep"}"#, "sweep"),
             (r#"{"query": "compare", "left": "SC", "right": "TSO"}"#, "compare"),
             (r#"{"query": "distinguish"}"#, "distinguish"),
+            (r#"{"query": "analyze", "models": ["SC", "TSO"]}"#, "analyze"),
             (r#"{"query": "synth", "left": "SC", "right": "TSO"}"#, "synth"),
             (r#"{"query": "synth_matrix", "models": ["SC", "TSO"]}"#, "synth_matrix"),
             (
@@ -865,6 +908,9 @@ mod tests {
             r#"{"query": "sweep", "format": "yaml"}"#,
             r#"{"query": "compare", "left": "SC"}"#,
             r#"{"query": "compare", "left": "SC", "right": 4}"#,
+            r#"{"query": "analyze", "models": 7}"#,
+            r#"{"query": "analyze", "tests": {"stream": {}}}"#,
+            r#"{"query": "analyze", "checker": "sat"}"#,
             r#"{"query": "check", "model": "SC"}"#,
             r#"{"query": "check", "model": "SC", "tests": {"stream": {}}}"#,
             r#"{"query": "synth", "left": "SC", "right": "TSO", "max_size": 99}"#,

@@ -122,6 +122,23 @@ fn distinguish_report_schema() {
 }
 
 #[test]
+fn analyze_report_schema() {
+    let mut report = Query::analyze()
+        .models(ModelSpec::List(vec![
+            "SC".into(),
+            "TSO".into(),
+            "IBM370".into(),
+            "M4040".into(),
+            "M4140".into(),
+        ]))
+        .tests(TestSource::Inline(SB.to_string()))
+        .run()
+        .unwrap();
+    report.elapsed = Duration::ZERO;
+    assert_golden("analyze", &report);
+}
+
+#[test]
 fn synth_report_schema() {
     let mut report = Query::synth("SC", "TSO").verbose(true).run().unwrap();
     report.elapsed = Duration::ZERO;

@@ -13,10 +13,11 @@ use mcm_core::json::Json;
 use mcm_explore::{SweepStats, VerdictCache};
 
 /// Query kinds tracked per-kind, in wire-format order.
-pub const KINDS: [&str; 9] = [
+pub const KINDS: [&str; 10] = [
     "sweep",
     "compare",
     "distinguish",
+    "analyze",
     "synth",
     "synth_matrix",
     "check",
@@ -27,7 +28,7 @@ pub const KINDS: [&str; 9] = [
 
 /// Engine counter names, index-aligned with [`SweepStats::counters`]
 /// (checked by a test, so drift fails loudly).
-const ENGINE_COUNTERS: [&str; 8] = [
+const ENGINE_COUNTERS: [&str; 11] = [
     "total_pairs",
     "unique_pairs",
     "cache_hits",
@@ -36,6 +37,9 @@ const ENGINE_COUNTERS: [&str; 8] = [
     "distinct_models",
     "tests_streamed",
     "peak_batch",
+    "semantic_merged_models",
+    "prefilter_groups",
+    "prefilter_saved_calls",
 ];
 
 /// The service-wide counter set. One instance lives for the whole

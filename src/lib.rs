@@ -16,6 +16,10 @@
 //!   Corollary 1 counting, and the naive enumeration baseline (paper §3).
 //! * [`explore`] — model comparison, equivalence, the Figure 4 lattice, and
 //!   minimal distinguishing test sets (paper §4.2).
+//! * [`analyze`] — static semantic analysis of the formulas themselves:
+//!   feasible-valuation truth tables, the static strength lattice (the
+//!   paper's 8 equivalent pairs with zero tests executed), minimized
+//!   normal forms, the sweep prefilter, and the lint pass (extension).
 //! * [`sat`] — the CDCL SAT solver used as the admissibility oracle
 //!   (substitute for MiniSat, paper §4.1).
 //! * [`synth`] — CEGIS-based symbolic synthesis of minimal distinguishing
@@ -46,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use mcm_analyze as analyze;
 pub use mcm_axiomatic as axiomatic;
 pub use mcm_core as core;
 pub use mcm_explore as explore;
