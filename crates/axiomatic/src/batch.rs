@@ -102,6 +102,22 @@ impl BatchStats {
     }
 }
 
+/// Records one answered row into the global metric registry: latency
+/// into `mcm_check_latency_us{checker=…}` and the row's shared-work
+/// unit count (explicit: candidate executions; SAT: assumption solves;
+/// per-cell adapters: cells) into `mcm_check_candidates_total`.
+/// No-op when `mcm_obs` instrumentation is disabled — the stopwatch
+/// never started, so this costs one branch.
+fn observe_row(checker: &'static str, started: mcm_obs::Stopwatch, candidates: u64) {
+    if let Some(us) = started.elapsed_us() {
+        mcm_obs::metrics::histogram("mcm_check_latency_us", &[("checker", checker)]).record(us);
+        if candidates > 0 {
+            mcm_obs::metrics::counter("mcm_check_candidates_total", &[("checker", checker)])
+                .add(candidates);
+        }
+    }
+}
+
 /// An admissibility checker that answers a whole row of models against
 /// one test, amortizing the model-independent work across the row.
 ///
@@ -142,10 +158,13 @@ impl<C: Checker> BatchChecker for C {
     }
 
     fn check_all_executions(&self, exec: &Execution, models: &[MemoryModel]) -> Vec<Verdict> {
-        models
+        let started = mcm_obs::Stopwatch::start();
+        let verdicts: Vec<Verdict> = models
             .iter()
             .map(|model| self.check_execution(model, exec))
-            .collect()
+            .collect();
+        observe_row(Checker::name(self), started, models.len() as u64);
+        verdicts
     }
 
     fn solver_stats(&self) -> Option<SolverStats> {
@@ -206,7 +225,9 @@ impl BatchChecker for BatchExplicitChecker {
     }
 
     fn check_all_executions(&self, exec: &Execution, models: &[MemoryModel]) -> Vec<Verdict> {
+        let started = mcm_obs::Stopwatch::start();
         let mut stats = self.stats.get();
+        let candidates_before = stats.shared_candidates;
         stats.rows += 1;
         stats.models_checked += models.len() as u64;
 
@@ -215,6 +236,7 @@ impl BatchChecker for BatchExplicitChecker {
             // Value-infeasible outcome: forbidden everywhere, no grouping
             // or coherence enumeration needed.
             self.stats.set(stats);
+            observe_row(BatchChecker::name(self), started, 0);
             return models.iter().map(|_| Verdict::forbidden()).collect();
         }
 
@@ -259,6 +281,11 @@ impl BatchChecker for BatchExplicitChecker {
         }
 
         self.stats.set(stats);
+        observe_row(
+            BatchChecker::name(self),
+            started,
+            stats.shared_candidates - candidates_before,
+        );
         group_of
             .iter()
             .map(|&g| verdicts[g].clone().unwrap_or_else(Verdict::forbidden))
@@ -301,13 +328,16 @@ impl BatchChecker for BatchSatChecker {
     }
 
     fn check_all_executions(&self, exec: &Execution, models: &[MemoryModel]) -> Vec<Verdict> {
+        let started = mcm_obs::Stopwatch::start();
         let mut stats = self.stats.get();
+        let solves_before = stats.assumption_solves;
         stats.rows += 1;
         stats.models_checked += models.len() as u64;
 
         let candidates = read_candidates(exec);
         if candidates.iter().any(|(_, sources)| sources.is_empty()) {
             self.stats.set(stats);
+            observe_row(BatchChecker::name(self), started, 0);
             return models.iter().map(|_| Verdict::forbidden()).collect();
         }
 
@@ -364,6 +394,11 @@ impl BatchChecker for BatchSatChecker {
         sat.absorb(solver.stats());
         self.solver_stats.set(sat);
         self.stats.set(stats);
+        observe_row(
+            BatchChecker::name(self),
+            started,
+            stats.assumption_solves - solves_before,
+        );
         group_of
             .iter()
             .map(|&g| group_verdicts[g].clone())

@@ -1,0 +1,128 @@
+//! Observability must be close to free: the full 90-model streamed
+//! sweep with `mcm-obs` instrumentation **enabled** (the default —
+//! every check call records into latency histograms, the cache mirrors
+//! its counters, spans take their two atomic loads) must produce
+//! **bit-identical verdicts** to the same sweep with
+//! `mcm_obs::set_enabled(false)`, within a 3% wall-clock overhead
+//! budget (best-of-3 on both sides, so scheduler noise does not decide
+//! the verdict).
+//!
+//! Asserted before the timed benches run, so CI catches an
+//! instrumentation point that drifts onto a hot path. Run with
+//! `cargo bench -p mcm-bench --bench obs_overhead`; CI runs it with
+//! `-- --test`, which executes everything once, untimed.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcm_explore::{paper, EngineConfig, Exploration, SweepStats};
+use mcm_gen::stream::{self, StreamBounds};
+use mcm_query::CheckerKind;
+
+/// The acceptance workload: `mcm explore --models 90 --stream` —
+/// the full digit space against the streamed leader enumeration.
+fn bounds() -> StreamBounds {
+    StreamBounds::default()
+}
+
+/// Fixed worker count: both sides schedule identically.
+fn config() -> EngineConfig {
+    EngineConfig {
+        jobs: Some(2),
+        ..EngineConfig::default()
+    }
+}
+
+fn streamed_sweep() -> (Exploration, SweepStats) {
+    Exploration::run_engine_streaming(
+        paper::digit_space_models(true),
+        stream::leaders(&bounds()),
+        || CheckerKind::Explicit.build_batch(),
+        &config(),
+        None,
+    )
+}
+
+/// The verdict matrix as plain bits, for exact comparison.
+fn verdict_bits(exploration: &Exploration) -> Vec<bool> {
+    let tests = exploration.tests.len();
+    exploration
+        .verdicts
+        .iter()
+        .flat_map(|row| (0..tests).map(move |t| row.allowed(t)))
+        .collect()
+}
+
+/// Best-of-N wall clock of one sweep, returning the last exploration.
+fn best_of(n: usize) -> (Duration, Exploration, SweepStats) {
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..n {
+        let start = Instant::now();
+        let (exploration, stats) = streamed_sweep();
+        best = best.min(start.elapsed());
+        last = Some((exploration, stats));
+    }
+    let (exploration, stats) = last.unwrap();
+    (best, exploration, stats)
+}
+
+fn assert_obs_is_nearly_free() {
+    assert!(mcm_obs::enabled(), "instrumentation starts enabled");
+    let (on_time, on_expl, on_stats) = best_of(3);
+
+    mcm_obs::set_enabled(false);
+    let (off_time, off_expl, off_stats) = best_of(3);
+    mcm_obs::set_enabled(true);
+
+    // Identical answers first: instrumentation observes, never steers.
+    assert_eq!(
+        on_expl.models.len(),
+        off_expl.models.len(),
+        "same model space"
+    );
+    assert_eq!(on_expl.tests.len(), off_expl.tests.len(), "same leaders");
+    assert_eq!(
+        verdict_bits(&on_expl),
+        verdict_bits(&off_expl),
+        "verdicts must be bit-identical with obs on and off"
+    );
+    assert_eq!(
+        on_stats, off_stats,
+        "engine counters must not depend on instrumentation"
+    );
+
+    // Then the budget. Sub-millisecond sweeps cannot resolve a 3%
+    // ratio, so grant a small absolute floor alongside the headline
+    // relative budget.
+    let budget = (off_time.mul_f64(1.03)).max(off_time + Duration::from_millis(5));
+    println!(
+        "obs_overhead: enabled {on_time:.2?} vs disabled {off_time:.2?} \
+         (best of 3; {} models x {} streamed leaders; budget {budget:.2?})",
+        on_expl.models.len(),
+        on_expl.tests.len(),
+    );
+    assert!(
+        on_time <= budget,
+        "instrumentation overhead exceeds 3%: enabled {on_time:?} vs \
+         disabled {off_time:?}"
+    );
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    assert_obs_is_nearly_free();
+    let mut group = c.benchmark_group("obs_overhead");
+    group.bench_function("streamed_sweep_obs_on", |b| {
+        b.iter(|| black_box(streamed_sweep()));
+    });
+    group.bench_function("streamed_sweep_obs_off", |b| {
+        mcm_obs::set_enabled(false);
+        b.iter(|| black_box(streamed_sweep()));
+        mcm_obs::set_enabled(true);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

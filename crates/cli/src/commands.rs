@@ -680,7 +680,10 @@ pub fn serve(args: &[String]) -> Result<(), CliError> {
     // Stderr, so stdout stays a clean report channel for tooling that
     // wraps the server.
     eprintln!("mcm serve: listening on http://{}", server.local_addr());
-    eprintln!("mcm serve: POST /query, GET /healthz, GET /statsz; ctrl-c drains and exits");
+    eprintln!(
+        "mcm serve: POST /query, GET /healthz, GET /statsz, GET /metricsz; \
+         ctrl-c drains and exits"
+    );
     server
         .run()
         .map_err(|e| CliError::Run(format!("serve failed: {e}")))?;

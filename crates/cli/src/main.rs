@@ -21,6 +21,7 @@ Memory Consistency Models: How Long Do They Need to Be?\", DAC 2011)
 
 USAGE:
     mcm <COMMAND> [ARGS] [--format text|json|csv|dot] [--out FILE]
+                         [--trace-out FILE]
 
 COMMANDS:
     check <MODEL> <FILE>      verdict of every test in a .litmus file
@@ -87,6 +88,14 @@ OUTPUT:
     in-tree parser (mcm_core::json); csv renders verdict matrices and
     dot renders lattices, where the report has one.
 
+OBSERVABILITY:
+    Every command accepts --trace-out FILE: the run's engine, solver
+    and serve phases are recorded as hierarchical spans and written as
+    a Chrome trace_event JSON file — open it at chrome://tracing or
+    https://ui.perfetto.dev. `mcm serve` additionally exposes
+    GET /metricsz (Prometheus text: counters, gauges and latency
+    histograms with estimated p50/p90/p99 series).
+
 MODELS:
     SC, TSO, x86, PSO, IBM370, RMO, RMO-nodep, Alpha, or any digit model
     M{ww}{wr}{rw}{rr} (e.g. M4044) with digits 0=always reorder,
@@ -97,9 +106,71 @@ EXIT CODES:
     2 usage error (unknown command, flag, model or format).
 ";
 
+/// Strips the global `--trace-out FILE` (or `--trace-out=FILE`) flag
+/// from the argument list, wherever it appears — it is shared by every
+/// subcommand, so the per-command parsers never see it.
+fn take_trace_out(args: &mut Vec<String>) -> Result<Option<String>, CliError> {
+    let mut found = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--trace-out" {
+            if i + 1 >= args.len() {
+                return Err(CliError::Usage(
+                    "--trace-out needs a FILE argument".to_string(),
+                ));
+            }
+            args.remove(i);
+            found = Some(args.remove(i));
+        } else if let Some(value) = args[i].strip_prefix("--trace-out=") {
+            found = Some(value.to_string());
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(found)
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = match take_trace_out(&mut args) {
+        Ok(trace_out) => trace_out,
+        Err(CliError::Usage(message)) | Err(CliError::Run(message)) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &trace_out {
+        mcm_obs::trace::install(path.as_str());
+    }
+    let command = args.first().cloned();
+    let result = {
+        let _span = command
+            .as_deref()
+            .map(|c| mcm_obs::trace::span(&format!("cli.{c}")));
+        dispatch(&args)
+    };
+    if trace_out.is_some() {
+        if let Err(e) = mcm_obs::trace::finish() {
+            eprintln!("error: could not write trace file: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Run(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
         Some("check") => commands::check(&args[1..]),
         Some("compare") => commands::compare(&args[1..]),
         Some("explore") => commands::explore(&args[1..]),
@@ -118,16 +189,5 @@ fn main() -> ExitCode {
         Some(other) => Err(CliError::Usage(format!(
             "unknown command `{other}`; try `mcm help`"
         ))),
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(CliError::Run(message)) => {
-            eprintln!("error: {message}");
-            ExitCode::from(1)
-        }
-        Err(CliError::Usage(message)) => {
-            eprintln!("error: {message}");
-            ExitCode::from(2)
-        }
     }
 }

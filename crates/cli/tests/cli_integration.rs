@@ -526,3 +526,48 @@ fn csv_and_dot_formats_render_where_supported() {
     assert!(stderr.contains("cannot be rendered"), "{stderr}");
     assert_eq!(mcm_code(&["compare", "TSO", "x86", "--format", "csv"]), 2);
 }
+
+#[test]
+fn trace_out_writes_a_balanced_chrome_trace() {
+    use mcm_core::json::Json;
+    let dir = std::env::temp_dir().join("mcm-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("explore-trace.json");
+    let trace_str = trace.to_str().unwrap();
+    let (ok, _, stderr) = mcm(&[
+        "explore", "--models", "SC,TSO", "--trace-out", trace_str,
+    ]);
+    assert!(ok, "{stderr}");
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let doc = Json::parse(&text).expect("trace re-parses with the in-tree parser");
+    assert_eq!(doc.get("kind").and_then(Json::as_str), Some("trace"));
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let phase_count = |name: &str, ph: &str| {
+        events
+            .iter()
+            .filter(|e| {
+                e.get("name").and_then(Json::as_str) == Some(name)
+                    && e.get("ph").and_then(Json::as_str) == Some(ph)
+            })
+            .count()
+    };
+    // The CLI wraps the whole command in one span; the engine adds its
+    // phases underneath. Every begin has its end.
+    for name in ["cli.explore", "engine.run", "engine.grid"] {
+        assert_eq!(phase_count(name, "B"), phase_count(name, "E"), "{name}");
+        assert!(phase_count(name, "B") >= 1, "missing span {name}");
+    }
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn trace_out_without_a_file_is_a_usage_error() {
+    let (ok, _, stderr) = mcm(&["explore", "--models", "SC,TSO", "--trace-out"]);
+    assert!(!ok);
+    assert!(stderr.contains("--trace-out"), "{stderr}");
+    assert_eq!(mcm_code(&["explore", "--models", "SC,TSO", "--trace-out"]), 2);
+}

@@ -26,7 +26,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, TryLockError};
 
 use mcm_core::MemoryModel;
 
@@ -43,6 +43,12 @@ pub struct VerdictCache {
     shards: [Mutex<HashMap<Key, bool>>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+    contention: AtomicU64,
+    // Lazily resolved handles into the global metric registry, so the
+    // lookup path never takes the registry lock after first use.
+    obs_hits: OnceLock<Arc<mcm_obs::metrics::Counter>>,
+    obs_misses: OnceLock<Arc<mcm_obs::metrics::Counter>>,
+    obs_contention: OnceLock<Arc<mcm_obs::metrics::Counter>>,
 }
 
 impl VerdictCache {
@@ -66,18 +72,56 @@ impl VerdictCache {
         ((key.0 ^ key.1.rotate_left(32)) as usize) & (SHARDS - 1)
     }
 
+    /// Locks shard `i`, counting the acquisition as contended when
+    /// another worker already holds it (`try_lock` would block). The
+    /// count feeds `shard_contention` in [`VerdictCache::counters`]
+    /// and the global `mcm_cache_shard_contention_total` series — the
+    /// signal that says whether [`SHARDS`] needs to grow.
+    fn lock_shard(&self, i: usize) -> MutexGuard<'_, HashMap<Key, bool>> {
+        match self.shards[i].try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                if mcm_obs::enabled() {
+                    self.obs_contention
+                        .get_or_init(|| {
+                            mcm_obs::metrics::counter("mcm_cache_shard_contention_total", &[])
+                        })
+                        .inc();
+                }
+                self.shards[i].lock().expect("cache shard poisoned")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("cache shard poisoned"),
+        }
+    }
+
+    /// Mirrors a batch of lookup results into the process-wide metric
+    /// series scraped by `GET /metricsz`.
+    fn observe_lookups(&self, hits: u64, misses: u64) {
+        if !mcm_obs::enabled() {
+            return;
+        }
+        if hits > 0 {
+            self.obs_hits
+                .get_or_init(|| mcm_obs::metrics::counter("mcm_cache_hits_total", &[]))
+                .add(hits);
+        }
+        if misses > 0 {
+            self.obs_misses
+                .get_or_init(|| mcm_obs::metrics::counter("mcm_cache_misses_total", &[]))
+                .add(misses);
+        }
+    }
+
     /// Looks a verdict up, recording a hit or miss.
     #[must_use]
     pub fn get(&self, key: Key) -> Option<bool> {
-        let found = self.shards[Self::shard(key)]
-            .lock()
-            .expect("cache shard poisoned")
-            .get(&key)
-            .copied();
+        let found = self.lock_shard(Self::shard(key)).get(&key).copied();
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
+        self.observe_lookups(u64::from(found.is_some()), u64::from(found.is_none()));
         found
     }
 
@@ -99,7 +143,7 @@ impl VerdictCache {
             if indices.is_empty() {
                 continue;
             }
-            let shard = self.shards[s].lock().expect("cache shard poisoned");
+            let shard = self.lock_shard(s);
             for &i in indices {
                 match shard.get(&(model_fps[i], test_fp)) {
                     Some(&allowed) => {
@@ -112,15 +156,13 @@ impl VerdictCache {
         }
         self.hits.fetch_add(hits, Ordering::Relaxed);
         self.misses.fetch_add(misses, Ordering::Relaxed);
+        self.observe_lookups(hits, misses);
         out
     }
 
     /// Records a verdict.
     pub fn insert(&self, key: Key, allowed: bool) {
-        self.shards[Self::shard(key)]
-            .lock()
-            .expect("cache shard poisoned")
-            .insert(key, allowed);
+        self.lock_shard(Self::shard(key)).insert(key, allowed);
     }
 
     /// Merges a batch of verdicts (one worker's sweep-local results),
@@ -134,8 +176,7 @@ impl VerdictCache {
             if entries.is_empty() {
                 continue;
             }
-            let mut shard = self.shards[i].lock().expect("cache shard poisoned");
-            shard.extend(entries);
+            self.lock_shard(i).extend(entries);
         }
     }
 
@@ -166,15 +207,25 @@ impl VerdictCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Shard-lock acquisitions that found the lock already held (a
+    /// measure of worker serialisation on the cache).
+    #[must_use]
+    pub fn shard_contention(&self) -> u64 {
+        self.contention.load(Ordering::Relaxed)
+    }
+
     /// The cache totals as stable `(name, value)` pairs — the structured
     /// view serializable reports and the serve layer's `/statsz` endpoint
-    /// render from, mirroring `SweepStats::counters`.
+    /// render from, mirroring `SweepStats::counters`. The same names,
+    /// prefixed `mcm_cache_` and suffixed `_total`, appear in
+    /// `/metricsz`.
     #[must_use]
-    pub fn counters(&self) -> [(&'static str, u64); 3] {
+    pub fn counters(&self) -> [(&'static str, u64); 4] {
         [
             ("entries", self.len() as u64),
             ("hits", self.hits()),
             ("misses", self.misses()),
+            ("shard_contention", self.shard_contention()),
         ]
     }
 
@@ -185,6 +236,7 @@ impl VerdictCache {
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.contention.store(0, Ordering::Relaxed);
     }
 }
 
@@ -237,7 +289,12 @@ mod tests {
         let _ = cache.get((9, 9));
         assert_eq!(
             cache.counters(),
-            [("entries", 1), ("hits", 1), ("misses", 1)]
+            [
+                ("entries", 1),
+                ("hits", 1),
+                ("misses", 1),
+                ("shard_contention", 0)
+            ]
         );
     }
 

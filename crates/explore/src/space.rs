@@ -231,6 +231,7 @@ fn build_prefilter(
     if !config.prefilter || rows.row_models.len() < 2 {
         return None;
     }
+    let _span = mcm_obs::trace::span("engine.prefilter");
     let refs: Vec<&MemoryModel> = rows.row_models.iter().map(|&m| &models[m]).collect();
     Some(SweepPrefilter::new(&refs))
 }
@@ -293,6 +294,13 @@ where
         rows,
         prefilter,
     } = *side;
+    let _span = mcm_obs::trace::span_with(
+        "engine.grid",
+        &[
+            ("tests", &execs.len().to_string()),
+            ("rows", &rows.row_models.len().to_string()),
+        ],
+    );
     let jobs = resolve_jobs(config);
     let reps = execs.len();
     let row_count = rows.row_models.len();
@@ -408,6 +416,11 @@ where
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
+                        // Outermost span of this worker thread: its drop
+                        // flushes the thread's trace buffer, which scoped
+                        // threads must do themselves (they are joined
+                        // before TLS destructors run).
+                        let _span = mcm_obs::trace::span("engine.grid.worker");
                         let checker = make_checker();
                         let mut local = Vec::new();
                         sweep(&mut local, checker.as_ref());
@@ -511,6 +524,7 @@ impl Exploration {
     where
         F: Fn() -> Box<dyn BatchChecker> + Sync,
     {
+        let _span = mcm_obs::trace::span_with("engine.run", &[("tests", &tests.len().to_string())]);
         let rows = formula_rows(&models);
         let jobs = resolve_jobs(config);
 
@@ -519,6 +533,7 @@ impl Exploration {
         // budget as the sweep — each test canonicalizes independently.
         let (rep_execs, rep_fps, rep_of): (Vec<Execution>, Vec<u64>, Vec<usize>) =
             if config.canonicalize || cache.is_some() {
+                let _canon_span = mcm_obs::trace::span("engine.canon");
                 let canonical = canon::dedup_parallel(&tests, jobs);
                 if config.canonicalize {
                     (
@@ -630,6 +645,7 @@ impl Exploration {
         I: IntoIterator<Item = LitmusTest>,
         F: Fn() -> Box<dyn BatchChecker> + Sync,
     {
+        let _span = mcm_obs::trace::span("engine.stream");
         let rows = formula_rows(&models);
         let prefilter = build_prefilter(&models, &rows, config);
         let jobs = resolve_jobs(config);
@@ -648,13 +664,21 @@ impl Exploration {
         let mut sat = SolverStats::default();
         let mut batched = BatchStats::default();
         loop {
-            let chunk: Vec<LitmusTest> = iter.by_ref().take(chunk_size).collect();
+            // The leader phase: pulling the next chunk out of the
+            // (lazily enumerated) test stream.
+            let chunk: Vec<LitmusTest> = {
+                let _lead_span = mcm_obs::trace::span("engine.lead");
+                iter.by_ref().take(chunk_size).collect()
+            };
             if chunk.is_empty() {
                 break;
             }
+            let _chunk_span =
+                mcm_obs::trace::span_with("engine.chunk", &[("tests", &chunk.len().to_string())]);
             streamed += chunk.len() as u64;
             peak_batch = peak_batch.max(chunk.len());
             let (batch, fps): (Vec<LitmusTest>, Vec<u64>) = if config.canonicalize {
+                let _canon_span = mcm_obs::trace::span("engine.canon");
                 let canonical = canon::dedup_parallel(&chunk, jobs);
                 let mut batch = Vec::with_capacity(canonical.tests.len());
                 let mut fps = Vec::with_capacity(canonical.tests.len());

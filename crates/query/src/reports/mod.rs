@@ -13,6 +13,7 @@ mod figures;
 mod misc;
 mod sweep;
 mod synth;
+mod timings;
 
 pub use analyze::{AnalyzeFinding, AnalyzeModelEntry, AnalyzePair, AnalyzeReport};
 pub use check::{CheckEntry, CheckReport};
@@ -22,3 +23,6 @@ pub use figures::{CountsFigure, Fig1Figure, Fig4Figure, FigureSelection, Figures
 pub use misc::{CatalogReport, ParseReport, SuiteReport};
 pub use sweep::{CacheSummary, StreamSummary, SweepReport, WarmSummary};
 pub use synth::{SynthMatrix, SynthPair, SynthReport};
+pub use timings::{
+    CheckerTiming, LatencySummary, Timings, TimingsCapture, TIMINGS_SCHEMA_VERSION,
+};

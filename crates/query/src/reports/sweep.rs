@@ -22,6 +22,10 @@ pub struct CacheSummary {
     pub hits: u64,
     /// Lookups that fell through to a checker.
     pub misses: u64,
+    /// Shard locks that were contended on insert/merge (a measure of
+    /// worker convoying; same base name as `/metricsz`'s
+    /// `mcm_cache_shard_contention_total`).
+    pub shard_contention: u64,
 }
 
 impl std::fmt::Display for CacheSummary {
@@ -87,6 +91,10 @@ pub struct SweepReport {
     pub warm: Option<WarmSummary>,
     /// Stream bounds, when this was a streamed sweep.
     pub stream: Option<StreamSummary>,
+    /// Per-checker latency percentiles observed during the sweep
+    /// (`None` when obs was disabled). JSON-only: profiling data, not
+    /// part of the human-readable story.
+    pub timings: Option<crate::reports::Timings>,
     /// Wall-clock of the sweep.
     pub elapsed: Duration,
 }
@@ -219,6 +227,7 @@ pub(crate) fn cache_json(cache: &Option<CacheSummary>) -> Json {
             ("entries", Json::from(cache.entries)),
             ("hits", Json::from(cache.hits)),
             ("misses", Json::from(cache.misses)),
+            ("shard_contention", Json::from(cache.shard_contention)),
         ]),
     }
 }
@@ -318,6 +327,10 @@ impl Render for SweepReport {
             ("cache".to_string(), cache_json(&self.cache)),
             ("warm".to_string(), warm),
             ("stream".to_string(), stream),
+            (
+                "timings".to_string(),
+                crate::reports::timings::timings_json(&self.timings),
+            ),
             ("elapsed_ms".to_string(), duration_json(self.elapsed)),
         ]
     }

@@ -75,6 +75,9 @@ pub struct SynthReport {
     pub stats: SynthStats,
     /// Include solver counters in the text rendering.
     pub verbose: bool,
+    /// CEGIS iteration and checker latency percentiles observed during
+    /// the synthesis (`None` when obs was disabled). JSON-only.
+    pub timings: Option<crate::reports::Timings>,
     /// Wall-clock of the synthesis.
     pub elapsed: Duration,
 }
@@ -263,6 +266,10 @@ impl Render for SynthReport {
             ("pair".to_string(), pair),
             ("matrix".to_string(), matrix),
             ("stats".to_string(), Json::Object(stats)),
+            (
+                "timings".to_string(),
+                crate::reports::timings::timings_json(&self.timings),
+            ),
             ("elapsed_ms".to_string(), duration_json(self.elapsed)),
         ]
     }

@@ -1,0 +1,228 @@
+//! The schema-versioned `timings` section: per-checker latency
+//! percentiles for one query, computed as a delta of the global
+//! [`mcm_obs`] registry around the run.
+//!
+//! The registry is process-wide and cumulative, so a query captures a
+//! [`TimingsCapture`] base snapshot before it starts work and
+//! subtracts it afterwards — concurrent queries may bleed into each
+//! other's deltas (they share the registry), which is why the section
+//! is advisory profiling data, not part of the verdict contract.
+
+use mcm_core::json::Json;
+use mcm_obs::metrics::{HistogramSnapshot, Snapshot};
+
+/// Version stamp of the `timings` JSON sub-document. Bump when its
+/// field set changes incompatibly.
+pub const TIMINGS_SCHEMA_VERSION: u64 = 1;
+
+/// Count, total and estimated percentiles of one latency series, µs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Observations recorded during the query.
+    pub count: u64,
+    /// Sum of all observations, µs.
+    pub total_us: u64,
+    /// Estimated median, µs (bucket upper bound, <= 2x overestimate).
+    pub p50_us: u64,
+    /// Estimated 90th percentile, µs.
+    pub p90_us: u64,
+    /// Estimated 99th percentile, µs.
+    pub p99_us: u64,
+}
+
+impl LatencySummary {
+    fn from_histogram(h: &HistogramSnapshot) -> LatencySummary {
+        LatencySummary {
+            count: h.count,
+            total_us: h.sum,
+            p50_us: h.quantile(0.50),
+            p90_us: h.quantile(0.90),
+            p99_us: h.quantile(0.99),
+        }
+    }
+
+    fn json(&self) -> Vec<(String, Json)> {
+        vec![
+            ("count".to_string(), Json::from(self.count)),
+            ("total_us".to_string(), Json::from(self.total_us)),
+            ("p50_us".to_string(), Json::from(self.p50_us)),
+            ("p90_us".to_string(), Json::from(self.p90_us)),
+            ("p99_us".to_string(), Json::from(self.p99_us)),
+        ]
+    }
+}
+
+/// One checker's latency distribution during the query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckerTiming {
+    /// The checker name (`mcm_check_latency_us`'s `checker` label).
+    pub checker: String,
+    /// Its latency summary.
+    pub latency: LatencySummary,
+}
+
+/// The report's `timings` section: what the obs registry observed
+/// while this query ran.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Timings {
+    /// Per-checker check-call latency, sorted by checker name.
+    pub checkers: Vec<CheckerTiming>,
+    /// CEGIS iteration latency (synth queries only).
+    pub iterations: Option<LatencySummary>,
+}
+
+impl Timings {
+    /// Extracts a `Timings` from a registry snapshot **delta** (see
+    /// [`TimingsCapture`]). Zero-count series are dropped: they are
+    /// other queries' stale registrations, not this run's work.
+    #[must_use]
+    pub fn from_delta(delta: &Snapshot) -> Timings {
+        let mut checkers: Vec<CheckerTiming> = delta
+            .histograms("mcm_check_latency_us")
+            .into_iter()
+            .filter(|(_, h)| h.count > 0)
+            .map(|(labels, h)| CheckerTiming {
+                checker: labels
+                    .iter()
+                    .find(|(k, _)| k == "checker")
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_default(),
+                latency: LatencySummary::from_histogram(h),
+            })
+            .collect();
+        checkers.sort_by(|a, b| a.checker.cmp(&b.checker));
+        let iterations = delta
+            .histograms("mcm_synth_iteration_latency_us")
+            .into_iter()
+            .map(|(_, h)| h)
+            .find(|h| h.count > 0)
+            .map(LatencySummary::from_histogram);
+        Timings {
+            checkers,
+            iterations,
+        }
+    }
+
+    /// A fixed, deterministic sample — what golden-file tests pin the
+    /// schema with, since real timings differ every run.
+    #[must_use]
+    pub fn sample() -> Timings {
+        let sample = LatencySummary {
+            count: 2,
+            total_us: 300,
+            p50_us: 127,
+            p90_us: 255,
+            p99_us: 255,
+        };
+        Timings {
+            checkers: vec![CheckerTiming {
+                checker: "explicit".to_string(),
+                latency: sample,
+            }],
+            iterations: Some(sample),
+        }
+    }
+}
+
+/// JSON view of an optional `timings` section (`null` when obs was
+/// disabled for the run).
+pub(crate) fn timings_json(timings: &Option<Timings>) -> Json {
+    let Some(timings) = timings else {
+        return Json::Null;
+    };
+    let checkers = Json::array_of(&timings.checkers, |t| {
+        let mut fields = vec![("checker".to_string(), Json::from(t.checker.as_str()))];
+        fields.extend(t.latency.json());
+        Json::Object(fields)
+    });
+    let iterations = match &timings.iterations {
+        Some(latency) => Json::Object(latency.json()),
+        None => Json::Null,
+    };
+    Json::object([
+        ("schema_version", Json::from(TIMINGS_SCHEMA_VERSION)),
+        ("checkers", checkers),
+        ("iterations", iterations),
+    ])
+}
+
+/// A base snapshot of the global registry, taken when a query starts.
+///
+/// [`TimingsCapture::finish`] subtracts it from a fresh snapshot to
+/// yield only this run's observations. When obs is disabled at start
+/// time the capture is empty and `finish` returns `None`, so reports
+/// emit `"timings": null` instead of a misleading all-zero section.
+#[derive(Debug)]
+pub struct TimingsCapture {
+    base: Option<Snapshot>,
+}
+
+impl TimingsCapture {
+    /// Snapshot the global registry (no-op when obs is disabled).
+    #[must_use]
+    pub fn start() -> TimingsCapture {
+        TimingsCapture {
+            base: mcm_obs::enabled().then(|| mcm_obs::metrics::global().snapshot()),
+        }
+    }
+
+    /// The observations recorded since [`TimingsCapture::start`].
+    #[must_use]
+    pub fn finish(self) -> Option<Timings> {
+        let base = self.base?;
+        let delta = mcm_obs::metrics::global().snapshot().delta_since(&base);
+        Some(Timings::from_delta(&delta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_delta_groups_by_checker_and_drops_idle_series() {
+        let registry = mcm_obs::metrics::Registry::new();
+        let base = registry.snapshot();
+        registry
+            .histogram("mcm_check_latency_us", &[("checker", "explicit")])
+            .record(100);
+        registry
+            .histogram("mcm_check_latency_us", &[("checker", "sat")])
+            .record(2000);
+        // Registered but never recorded into: must not appear.
+        let _ = registry.histogram("mcm_check_latency_us", &[("checker", "idle")]);
+        registry
+            .histogram("mcm_synth_iteration_latency_us", &[])
+            .record(50);
+        let delta = registry.snapshot().delta_since(&base);
+        let timings = Timings::from_delta(&delta);
+        let names: Vec<&str> = timings
+            .checkers
+            .iter()
+            .map(|t| t.checker.as_str())
+            .collect();
+        assert_eq!(names, ["explicit", "sat"]);
+        assert_eq!(timings.checkers[0].latency.count, 1);
+        assert_eq!(timings.checkers[0].latency.total_us, 100);
+        assert!(timings.checkers[0].latency.p50_us >= 100);
+        assert_eq!(timings.iterations.unwrap().count, 1);
+    }
+
+    #[test]
+    fn timings_json_has_versioned_envelope_and_null_when_absent() {
+        assert_eq!(timings_json(&None), Json::Null);
+        let doc = timings_json(&Some(Timings::sample()));
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_u64),
+            Some(TIMINGS_SCHEMA_VERSION)
+        );
+        let checkers = doc.get("checkers").and_then(Json::as_array).unwrap();
+        assert_eq!(checkers.len(), 1);
+        assert_eq!(
+            checkers[0].get("checker").and_then(Json::as_str),
+            Some("explicit")
+        );
+        assert_eq!(checkers[0].get("p99_us").and_then(Json::as_u64), Some(255));
+        assert!(doc.get("iterations").is_some());
+    }
+}

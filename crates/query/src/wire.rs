@@ -851,8 +851,8 @@ mod tests {
             .unwrap();
         let mut served = Json::parse(&body).unwrap();
         let mut expected = Json::parse(&direct.render(Format::Json).unwrap()).unwrap();
-        served.strip_keys(&["elapsed_ms"]);
-        expected.strip_keys(&["elapsed_ms"]);
+        served.strip_keys(&["elapsed_ms", "timings"]);
+        expected.strip_keys(&["elapsed_ms", "timings"]);
         assert_eq!(served, expected);
     }
 

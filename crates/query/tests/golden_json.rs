@@ -74,6 +74,7 @@ fn sweep_report_schema() {
         .run()
         .unwrap();
     report.elapsed = Duration::ZERO;
+    report.timings = Some(mcm_query::Timings::sample());
     assert_golden("sweep", &report);
 }
 
@@ -95,6 +96,7 @@ fn streamed_sweep_report_schema() {
         .run()
         .unwrap();
     report.elapsed = Duration::ZERO;
+    report.timings = Some(mcm_query::Timings::sample());
     assert_golden("sweep_stream", &report);
 }
 
@@ -142,6 +144,7 @@ fn analyze_report_schema() {
 fn synth_report_schema() {
     let mut report = Query::synth("SC", "TSO").verbose(true).run().unwrap();
     report.elapsed = Duration::ZERO;
+    report.timings = Some(mcm_query::Timings::sample());
     assert_golden("synth", &report);
 }
 

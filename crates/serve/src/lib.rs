@@ -305,8 +305,12 @@ fn route(state: &ServeState, request: &Request) -> Response {
                 .snapshot(&state.cache, state.queue.len())
                 .pretty(),
         ),
+        ("GET", "/metricsz") => Response::ok(
+            "text/plain; version=0.0.4",
+            state.stats.render_prometheus(&state.cache, state.queue.len()),
+        ),
         ("POST", "/query") => execute(state, &request.body),
-        (_, "/healthz" | "/statsz") => {
+        (_, "/healthz" | "/statsz" | "/metricsz") => {
             Response::error(405, "this endpoint only answers GET").with_header("Allow", "GET")
         }
         (_, "/query") => {
@@ -316,7 +320,7 @@ fn route(state: &ServeState, request: &Request) -> Response {
         (_, target) => Response::error(
             404,
             &format!(
-                "no such endpoint `{}`; try POST /query, GET /healthz, GET /statsz",
+                "no such endpoint `{}`; try POST /query, GET /healthz, GET /statsz, GET /metricsz",
                 target.chars().take(64).collect::<String>()
             ),
         ),
@@ -331,11 +335,21 @@ fn execute(state: &ServeState, body: &[u8]) -> Response {
         Ok(request) => request,
         Err(error) => return Response::error(400, &error.to_string()),
     };
-    state.stats.record_kind(request.spec.kind());
+    let kind = request.spec.kind();
+    state.stats.record_kind(kind);
     clamp(&mut request.spec, &state.config);
 
     // A panic inside a query must cost one 500, not a worker thread.
-    let ran = catch_unwind(AssertUnwindSafe(|| request.spec.run(Some(&state.cache))));
+    // The in-flight gauge and latency histogram bracket exactly the
+    // execution (not routing or rendering), so `/statsz` gauges read
+    // zero whenever no query is running.
+    let started = mcm_obs::Stopwatch::start();
+    state.stats.query_started();
+    let ran = {
+        let _span = mcm_obs::trace::span_with("serve.query", &[("kind", kind)]);
+        catch_unwind(AssertUnwindSafe(|| request.spec.run(Some(&state.cache))))
+    };
+    state.stats.query_finished(kind, started);
     match ran {
         Err(_) => Response::error(500, "query execution panicked; see server logs"),
         Ok(Err(error)) => {

@@ -1,13 +1,20 @@
-//! Lock-free service counters and the `/statsz` document.
+//! Lock-free service counters, live gauges, and the `/statsz` and
+//! `/metricsz` documents.
 //!
-//! Everything here is an `AtomicU64` bumped with relaxed ordering on
-//! the request path — observability must never contend with the work
-//! it observes. The `/statsz` endpoint renders three sections from
-//! existing structured views: request/queue counters owned by this
-//! module, engine totals accumulated from each sweep's
+//! Everything here is an `AtomicU64`/`AtomicI64` bumped with relaxed
+//! ordering on the request path — observability must never contend
+//! with the work it observes. The `/statsz` endpoint renders its
+//! sections from existing structured views: request counters owned by
+//! this module ([`ServeStats::counters`]), live gauges (queue depth,
+//! in-flight queries), engine totals accumulated from each sweep's
 //! [`SweepStats::counters`], and the shared [`VerdictCache::counters`].
+//! `/metricsz` renders the *same names* — prefixed per layer
+//! (`mcm_serve_`, `mcm_engine_`, `mcm_cache_`) and suffixed `_total`
+//! for counters, Prometheus-style — merged with every series in the
+//! global [`mcm_obs::metrics`] registry, which contributes the
+//! per-query-kind latency histograms recorded around each `/query`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 use mcm_core::json::Json;
 use mcm_explore::{SweepStats, VerdictCache};
@@ -52,6 +59,7 @@ pub struct ServeStats {
     client_errors: AtomicU64,
     server_errors: AtomicU64,
     hangups: AtomicU64,
+    in_flight: AtomicI64,
     kinds: [AtomicU64; KINDS.len()],
     engine: [AtomicU64; ENGINE_COUNTERS.len()],
 }
@@ -95,6 +103,47 @@ impl ServeStats {
         }
     }
 
+    /// A query entered execution: raises the in-flight gauge. Pair
+    /// with [`ServeStats::query_finished`] on every exit path.
+    pub fn query_started(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A query left execution (success, error, or panic): lowers the
+    /// in-flight gauge and records the query's latency into the global
+    /// `mcm_serve_request_latency_us{kind=…}` histogram — the series
+    /// `/metricsz` exposes with p50/p90/p99 lines.
+    pub fn query_finished(&self, kind: &str, started: mcm_obs::Stopwatch) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if let Some(us) = started.elapsed_us() {
+            mcm_obs::metrics::histogram("mcm_serve_request_latency_us", &[("kind", kind)])
+                .record(us);
+        }
+    }
+
+    /// Queries currently executing on worker threads (a live gauge:
+    /// returns to zero when the service drains).
+    #[must_use]
+    pub fn in_flight(&self) -> i64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// The request counters as stable `(name, value)` pairs — the one
+    /// place the names live. `/statsz` renders them verbatim;
+    /// `/metricsz` renders each as `mcm_serve_<name>_total`.
+    #[must_use]
+    pub fn counters(&self) -> [(&'static str, u64); 6] {
+        let load = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
+        [
+            ("accepted", load(&self.accepted)),
+            ("completed", load(&self.completed)),
+            ("rejected", load(&self.rejected)),
+            ("client_errors", load(&self.client_errors)),
+            ("server_errors", load(&self.server_errors)),
+            ("hangups", load(&self.hangups)),
+        ]
+    }
+
     /// Folds one sweep's engine counters into the service totals.
     pub fn absorb_engine(&self, stats: &SweepStats) {
         for (i, (_, value)) in stats.counters().iter().enumerate() {
@@ -114,8 +163,10 @@ impl ServeStats {
         self.rejected.load(Ordering::Relaxed)
     }
 
-    /// The `/statsz` document: requests, per-kind query counts, engine
-    /// totals and the shared cache's counters.
+    /// The `/statsz` document: request counters, live gauges (queue
+    /// depth and in-flight queries — instantaneous levels, zero when
+    /// drained), per-kind query counts, engine totals and the shared
+    /// cache's counters.
     #[must_use]
     pub fn snapshot(&self, cache: &VerdictCache, queue_depth: usize) -> Json {
         let load = |counter: &AtomicU64| Json::Int(counter.load(Ordering::Relaxed) as i64);
@@ -124,14 +175,18 @@ impl ServeStats {
             ("kind", Json::from("serve_stats")),
             (
                 "requests",
+                Json::Object(
+                    self.counters()
+                        .iter()
+                        .map(|(name, value)| ((*name).to_string(), Json::Int(*value as i64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
                 Json::object([
-                    ("accepted", load(&self.accepted)),
-                    ("completed", load(&self.completed)),
-                    ("rejected_503", load(&self.rejected)),
-                    ("client_errors", load(&self.client_errors)),
-                    ("server_errors", load(&self.server_errors)),
-                    ("hangups", load(&self.hangups)),
-                    ("queued_now", Json::Int(queue_depth as i64)),
+                    ("queue_depth", Json::Int(queue_depth as i64)),
+                    ("in_flight", Json::Int(self.in_flight())),
                 ]),
             ),
             (
@@ -165,6 +220,50 @@ impl ServeStats {
                 ),
             ),
         ])
+    }
+
+    /// The `/metricsz` document: Prometheus exposition text. Serve,
+    /// engine and cache counters use the same base names as `/statsz`,
+    /// layer-prefixed and `_total`-suffixed; the global `mcm_obs`
+    /// registry contributes everything instrumented below the wire
+    /// (per-kind request latency, per-checker check latency, cache
+    /// hit/miss totals, CEGIS iteration latency).
+    #[must_use]
+    pub fn render_prometheus(&self, cache: &VerdictCache, queue_depth: usize) -> String {
+        use std::fmt::Write;
+        let mut out = mcm_obs::metrics::global().render_prometheus();
+        for (name, value) in self.counters() {
+            let _ = writeln!(out, "# TYPE mcm_serve_{name}_total counter");
+            let _ = writeln!(out, "mcm_serve_{name}_total {value}");
+        }
+        let _ = writeln!(out, "# TYPE mcm_serve_queries_total counter");
+        for (name, counter) in KINDS.iter().zip(&self.kinds) {
+            let _ = writeln!(
+                out,
+                "mcm_serve_queries_total{{kind=\"{name}\"}} {}",
+                counter.load(Ordering::Relaxed)
+            );
+        }
+        for (gauge, value) in [
+            ("queue_depth", queue_depth as i64),
+            ("in_flight", self.in_flight()),
+        ] {
+            let _ = writeln!(out, "# TYPE mcm_serve_{gauge} gauge");
+            let _ = writeln!(out, "mcm_serve_{gauge} {value}");
+        }
+        for (name, counter) in ENGINE_COUNTERS.iter().zip(&self.engine) {
+            let _ = writeln!(out, "# TYPE mcm_engine_{name}_total counter");
+            let _ = writeln!(
+                out,
+                "mcm_engine_{name}_total {}",
+                counter.load(Ordering::Relaxed)
+            );
+        }
+        // Entries is a level, not a flow; hits/misses/contention flows
+        // are already global registry series (`mcm_cache_*_total`).
+        let _ = writeln!(out, "# TYPE mcm_cache_entries gauge");
+        let _ = writeln!(out, "mcm_cache_entries {}", cache.len());
+        out
     }
 }
 
@@ -208,11 +307,13 @@ mod tests {
         let doc = stats.snapshot(&cache, 3);
         let requests = doc.get("requests").unwrap();
         assert_eq!(requests.get("accepted").and_then(Json::as_i64), Some(2));
-        assert_eq!(requests.get("rejected_503").and_then(Json::as_i64), Some(1));
+        assert_eq!(requests.get("rejected").and_then(Json::as_i64), Some(1));
         assert_eq!(requests.get("completed").and_then(Json::as_i64), Some(3));
         assert_eq!(requests.get("client_errors").and_then(Json::as_i64), Some(1));
         assert_eq!(requests.get("server_errors").and_then(Json::as_i64), Some(1));
-        assert_eq!(requests.get("queued_now").and_then(Json::as_i64), Some(3));
+        let gauges = doc.get("gauges").unwrap();
+        assert_eq!(gauges.get("queue_depth").and_then(Json::as_i64), Some(3));
+        assert_eq!(gauges.get("in_flight").and_then(Json::as_i64), Some(0));
         let queries = doc.get("queries").unwrap();
         assert_eq!(queries.get("sweep").and_then(Json::as_i64), Some(2));
         assert_eq!(queries.get("catalog").and_then(Json::as_i64), Some(1));
@@ -221,5 +322,50 @@ mod tests {
         assert_eq!(engine.get("checker_calls").and_then(Json::as_i64), Some(8));
         let cache_doc = doc.get("cache").unwrap();
         assert_eq!(cache_doc.get("entries").and_then(Json::as_i64), Some(1));
+    }
+
+    #[test]
+    fn in_flight_gauge_rises_and_falls() {
+        let stats = ServeStats::new();
+        assert_eq!(stats.in_flight(), 0);
+        stats.query_started();
+        stats.query_started();
+        assert_eq!(stats.in_flight(), 2);
+        stats.query_finished("sweep", mcm_obs::Stopwatch::start());
+        stats.query_finished("sweep", mcm_obs::Stopwatch::start());
+        assert_eq!(stats.in_flight(), 0);
+    }
+
+    #[test]
+    fn statsz_and_metricsz_use_identical_base_names() {
+        let stats = ServeStats::new();
+        let cache = VerdictCache::new();
+        let text = stats.render_prometheus(&cache, 0);
+        // Every /statsz key appears in /metricsz under its layer prefix.
+        for (name, _) in stats.counters() {
+            assert!(
+                text.contains(&format!("mcm_serve_{name}_total ")),
+                "missing serve counter {name} in /metricsz"
+            );
+        }
+        for name in ENGINE_COUNTERS {
+            assert!(
+                text.contains(&format!("mcm_engine_{name}_total ")),
+                "missing engine counter {name} in /metricsz"
+            );
+        }
+        for kind in KINDS {
+            assert!(
+                text.contains(&format!("mcm_serve_queries_total{{kind=\"{kind}\"}}")),
+                "missing per-kind counter {kind} in /metricsz"
+            );
+        }
+        for gauge in ["queue_depth", "in_flight"] {
+            assert!(
+                text.contains(&format!("mcm_serve_{gauge} ")),
+                "missing gauge {gauge} in /metricsz"
+            );
+        }
+        assert!(text.contains("mcm_cache_entries "));
     }
 }

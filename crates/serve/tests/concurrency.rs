@@ -17,8 +17,8 @@ use mcm_query::wire::WireRequest;
 use mcm_serve::{client, Server, ServerConfig, ShutdownHandle};
 
 /// Keys whose values legitimately differ between a cold direct run and
-/// a warm shared-cache run.
-const VOLATILE: [&str; 4] = ["elapsed_ms", "stats", "cache", "warm"];
+/// a warm shared-cache run (`timings` are wall-clock distributions).
+const VOLATILE: [&str; 5] = ["elapsed_ms", "stats", "cache", "warm", "timings"];
 
 fn boot(workers: usize) -> (SocketAddr, ShutdownHandle, std::thread::JoinHandle<()>) {
     let server = Server::bind(ServerConfig {
@@ -189,6 +189,59 @@ fn second_identical_sweep_is_served_with_zero_checker_calls() {
         Some(0),
         "second sweep stats: {}",
         stats.pretty()
+    );
+    handle.shutdown();
+    runner.join().expect("clean shutdown");
+}
+
+#[test]
+fn live_gauges_return_to_zero_after_drain() {
+    let (addr, handle, runner) = boot(4);
+    let gauges = |addr| {
+        let doc = statsz(addr);
+        let gauges = doc.get("gauges").expect("statsz has a gauges section");
+        (
+            gauges.get("queue_depth").and_then(Json::as_i64).unwrap(),
+            gauges.get("in_flight").and_then(Json::as_i64).unwrap(),
+        )
+    };
+    assert_eq!(gauges(addr), (0, 0), "idle server gauges must read zero");
+
+    // Hammer the server with enough concurrent sweeps that some must
+    // queue and several execute at once; sample the gauges live.
+    let mut peak_in_flight = 0;
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    let response = client::post_query(
+                        addr,
+                        r#"{"query": "sweep", "models": ["SC", "TSO", "PSO", "RMO"],
+                            "tests": "catalog", "cache": false}"#,
+                    )
+                    .expect("sweep");
+                    assert_eq!(response.status, 200);
+                }
+            });
+        }
+        for _ in 0..30 {
+            let (depth, in_flight) = gauges(addr);
+            assert!(depth >= 0 && in_flight >= 0, "gauges never go negative");
+            peak_in_flight = peak_in_flight.max(in_flight);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    });
+
+    // All clients joined: the service has drained, so both live gauges
+    // must be back at exactly zero (a cumulative counter would not be).
+    assert_eq!(
+        gauges(addr),
+        (0, 0),
+        "drained server gauges must return to zero"
+    );
+    assert!(
+        peak_in_flight >= 1,
+        "sampling during the hammer should catch at least one in-flight query"
     );
     handle.shutdown();
     runner.join().expect("clean shutdown");

@@ -36,7 +36,7 @@ fn direct(request: &str) -> String {
 
 fn normalized(body: &str) -> Json {
     let mut doc = Json::parse(body).expect("body is valid JSON");
-    doc.strip_keys(&["elapsed_ms"]);
+    doc.strip_keys(&["elapsed_ms", "timings"]);
     doc
 }
 

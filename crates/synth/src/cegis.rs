@@ -215,6 +215,13 @@ impl Synthesizer {
         if i == j {
             return none;
         }
+        let _span = mcm_obs::trace::span_with(
+            "cegis.pair",
+            &[
+                ("left", self.models[i].name()),
+                ("right", self.models[j].name()),
+            ],
+        );
         let max_total = max_total.min(self.bounds.max_total());
         let Some((best_total, best)) = self.search_up_to(i, j, max_total) else {
             return none; // every shape ≤ max_total exhausted: equivalent at bound
@@ -233,6 +240,7 @@ impl Synthesizer {
     /// The full pairwise minimal-length matrix, sharing enumerations
     /// across pairs.
     pub fn matrix(&mut self, max_total: usize) -> MatrixSynthesis {
+        let _span = mcm_obs::trace::span("cegis.matrix");
         let n = self.models.len();
         let mut lengths = vec![vec![None; n]; n];
         let mut witnesses = HashMap::new();
@@ -345,13 +353,22 @@ impl Synthesizer {
             self.models[allower].clone(),
             self.models[forbidder].clone(),
         ];
+        // One CEGIS iteration = one symbolic SAT query plus the oracle
+        // sweep over the refuted structure's outcome space; its latency
+        // distribution feeds the synth report's `timings` section.
+        let iteration_hist = mcm_obs::enabled()
+            .then(|| mcm_obs::metrics::histogram("mcm_synth_iteration_latency_us", &[]));
         loop {
+            let iteration = mcm_obs::Stopwatch::start();
             self.counters.sat_queries += 1;
             let state = self.states[slot].as_mut().expect("initialized above");
             let Some(skeleton) = state.enc.solve_shape(shape) else {
                 self.counters.shapes_exhausted += 1;
                 let entry = state.shapes.get_mut(shape).expect("inserted above");
                 entry.complete = true;
+                if let Some(hist) = &iteration_hist {
+                    iteration.record(hist);
+                }
                 return None;
             };
             self.counters.structures += 1;
@@ -392,6 +409,9 @@ impl Synthesizer {
                 // every outcome of the structure.
                 self.counters.encoding_mismatches += 1;
                 debug_assert!(false, "encoding admitted a structure the oracle forbids");
+            }
+            if let Some(hist) = &iteration_hist {
+                iteration.record(hist);
             }
             if let Some(test) = witness {
                 self.counters.witnesses += 1;

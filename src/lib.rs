@@ -32,6 +32,10 @@
 //!   (`mcm serve`).
 //! * [`operational`] — interleaving-SC and store-buffer-TSO reference
 //!   machines that cross-validate the axiomatic semantics (extension).
+//! * [`obs`] — zero-dependency observability: the global metrics
+//!   registry (counters, gauges, log-scale latency histograms), span
+//!   tracing with a Chrome `trace_event` sink (`--trace-out`), and the
+//!   Prometheus text exposition behind `GET /metricsz` (extension).
 //!
 //! ## Quickstart
 //!
@@ -56,6 +60,7 @@ pub use mcm_core as core;
 pub use mcm_explore as explore;
 pub use mcm_gen as gen;
 pub use mcm_models as models;
+pub use mcm_obs as obs;
 pub use mcm_operational as operational;
 pub use mcm_query as query;
 pub use mcm_sat as sat;
