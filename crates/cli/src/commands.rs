@@ -10,7 +10,7 @@ use std::fs;
 
 use mcm_query::reports::FigureSelection;
 use mcm_query::{
-    CheckerKind, EngineConfig, Format, ModelSpec, Query, QueryError, Render, StreamBounds,
+    CheckerKind, EngineConfig, Format, ModelSpec, Query, QueryError, Render, Shard, StreamBounds,
     SynthBounds, TestSource,
 };
 use mcm_serve::{Server, ServerConfig};
@@ -397,23 +397,40 @@ fn explore_stream(args: &[String]) -> Result<(), CliError> {
                 .ok_or_else(|| usage(format!("--limit needs a positive integer, got `{n}`")))?,
         ),
     };
+    let shard = match option_value(args, "--shard") {
+        None => None,
+        Some(s) => Some(
+            s.parse::<Shard>()
+                .map_err(|e| usage(format!("--shard: {e}")))?,
+        ),
+    };
     let (models, _) = models_from(args)?;
     // Progress note on stderr: the sweep can run for seconds and stdout
     // must stay a clean document in non-text formats.
     eprintln!(
-        "sweeping streamed leaders (<= {} accesses/thread, {} locs{}{}) ...",
+        "sweeping streamed leaders (<= {} accesses/thread, {} locs{}{}{}) ...",
         bounds.max_accesses_per_thread,
         bounds.max_locs,
         if bounds.include_fences { ", fences" } else { "" },
         if bounds.include_deps { ", deps" } else { "" },
+        shard.map_or(String::new(), |s| format!(", shard {s}")),
     );
-    let report = Query::sweep()
+    let mut query = Query::sweep()
         .models(models)
-        .tests(TestSource::Stream { bounds, limit })
+        .tests(TestSource::Stream { bounds, limit, shard })
         .checker(checker_kind_from(args)?)
         .engine(config)
-        .cache(use_cache)
-        .run()?;
+        .cache(use_cache);
+    if let Some(path) = option_value(args, "--store") {
+        query = query.store(path);
+    }
+    if let Some(path) = option_value(args, "--checkpoint") {
+        query = query.checkpoint(path);
+    }
+    if let Some(path) = option_value(args, "--resume") {
+        query = query.resume(path);
+    }
+    let report = query.run()?;
     emit(&report, args)?;
     write_side_outputs(&report, args)
 }
@@ -434,6 +451,10 @@ const EXPLORE_SPEC: ArgSpec = ArgSpec {
         "--max-accesses",
         "--max-locs",
         "--limit",
+        "--shard",
+        "--store",
+        "--checkpoint",
+        "--resume",
         "--models",
         "--checker",
     ],
@@ -442,7 +463,8 @@ const EXPLORE_SPEC: ArgSpec = ArgSpec {
 /// `mcm explore [--models figure4|90|named|LIST] [--checker C] [--no-deps]
 /// [--canonicalize] [--cache] [--jobs N] [--csv FILE] [--dot FILE]
 /// [--stream [--max-accesses N] [--max-locs N] [--fences] [--deps]
-/// [--limit N]]`.
+/// [--limit N] [--shard I/N] [--store FILE] [--checkpoint FILE]
+/// [--resume FILE]]`.
 pub fn explore(args: &[String]) -> Result<(), CliError> {
     EXPLORE_SPEC.validate(args)?;
     if flag(args, "--stream") {
@@ -450,7 +472,17 @@ pub fn explore(args: &[String]) -> Result<(), CliError> {
     }
     // Bound arguments configure the streamed enumeration only; accepting
     // them without --stream would silently ignore them.
-    for stream_only in ["--max-accesses", "--max-locs", "--limit", "--fences", "--deps"] {
+    for stream_only in [
+        "--max-accesses",
+        "--max-locs",
+        "--limit",
+        "--fences",
+        "--deps",
+        "--shard",
+        "--store",
+        "--checkpoint",
+        "--resume",
+    ] {
         if args.iter().any(|a| a == stream_only) {
             return Err(usage(format!("{stream_only} requires --stream")));
         }
@@ -629,6 +661,7 @@ const SERVE_SPEC: ArgSpec = ArgSpec {
         "--max-body-bytes",
         "--max-stream-tests",
         "--read-timeout-ms",
+        "--store-dir",
     ],
 };
 
@@ -645,7 +678,7 @@ fn serve_usize(args: &[String], name: &str, default: usize) -> Result<usize, Cli
 
 /// `mcm serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 /// [--max-jobs N] [--max-body-bytes N] [--max-stream-tests N]
-/// [--read-timeout-ms N]`.
+/// [--read-timeout-ms N] [--store-dir DIR]`.
 ///
 /// Runs until SIGTERM/SIGINT (or a fatal bind error), serving
 /// `POST /query` wire-format documents plus `GET /healthz` and
@@ -668,6 +701,7 @@ pub fn serve(args: &[String]) -> Result<(), CliError> {
         read_timeout: std::time::Duration::from_millis(
             serve_usize(args, "--read-timeout-ms", 10_000)? as u64,
         ),
+        store_dir: option_value(args, "--store-dir").map(Into::into),
         ..defaults
     };
     let addr = config.addr.clone();

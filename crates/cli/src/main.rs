@@ -40,6 +40,11 @@ COMMANDS:
                               never materializing the raw space:
                               [--max-accesses 1..4] [--max-locs N]
                               [--fences] [--deps] [--limit N]
+                              [--shard I/N (sweep stripe I of N)]
+                              [--store FILE (durable verdict log)]
+                              [--checkpoint FILE (save resumable state
+                              after every chunk)] [--resume FILE (pick a
+                              killed sweep back up, bit-identically)]
                               (mcm explore --models 90 --stream is the
                               full 90-model dependency sweep)
     distinguish [MODEL...]    minimum distinguishing test set for the
@@ -80,6 +85,9 @@ COMMANDS:
                               [--workers N] [--queue-depth N]
                               [--max-jobs N] [--max-body-bytes N]
                               [--max-stream-tests N] [--read-timeout-ms N]
+                              [--store-dir DIR (verdict log surviving
+                              restarts: a rebooted server answers seen
+                              sweeps with zero checker calls)]
     help                      this message
 
 OUTPUT:

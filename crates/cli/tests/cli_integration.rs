@@ -239,7 +239,15 @@ fn options_without_values_are_rejected() {
 
 #[test]
 fn stream_only_bounds_require_stream() {
-    for option in ["--limit", "--max-accesses", "--max-locs"] {
+    for option in [
+        "--limit",
+        "--max-accesses",
+        "--max-locs",
+        "--shard",
+        "--store",
+        "--checkpoint",
+        "--resume",
+    ] {
         let (ok, _, stderr) = mcm(&["explore", option, "2"]);
         assert!(!ok, "{option} without --stream must fail");
         assert!(stderr.contains("requires --stream"), "{option}: {stderr}");
@@ -438,7 +446,7 @@ fn parsed_json(args: &[&str]) -> mcm_core::json::Json {
         .unwrap_or_else(|e| panic!("{args:?} produced invalid json: {e}\n{stdout}"));
     assert_eq!(
         doc.get("schema_version").and_then(mcm_core::json::Json::as_u64),
-        Some(1),
+        Some(mcm_query::SCHEMA_VERSION),
         "{args:?}: missing schema_version"
     );
     doc
@@ -570,4 +578,120 @@ fn trace_out_without_a_file_is_a_usage_error() {
     assert!(!ok);
     assert!(stderr.contains("--trace-out"), "{stderr}");
     assert_eq!(mcm_code(&["explore", "--models", "SC,TSO", "--trace-out"]), 2);
+}
+
+#[test]
+fn explore_stream_shards_partition_the_sweep() {
+    use mcm_core::json::Json;
+    let streamed = |doc: &Json| {
+        doc.get("stats")
+            .and_then(|s| s.get("tests_streamed"))
+            .and_then(Json::as_u64)
+            .expect("stats.tests_streamed")
+    };
+    let base = [
+        "explore", "--stream", "--max-accesses", "2", "--max-locs", "2", "--models", "SC,TSO",
+        "--format", "json",
+    ];
+    let whole = parsed_json(&base);
+    let mut sharded_total = 0;
+    for shard in ["0/2", "1/2"] {
+        let mut args = base.to_vec();
+        args.extend(["--shard", shard]);
+        let doc = parsed_json(&args);
+        assert_eq!(
+            doc.get("stream").and_then(|s| s.get("shard")).and_then(Json::as_str),
+            Some(shard)
+        );
+        sharded_total += streamed(&doc);
+    }
+    assert_eq!(
+        sharded_total,
+        streamed(&whole),
+        "two complementary shards must cover the stream exactly"
+    );
+
+    let (ok, _, stderr) = mcm(&["explore", "--stream", "--shard", "2/2"]);
+    assert!(!ok);
+    assert!(stderr.contains("--shard"), "{stderr}");
+}
+
+#[test]
+fn explore_stream_store_survives_across_runs() {
+    let dir = std::env::temp_dir().join("mcm-cli-store-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join(format!("verdicts-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&log);
+    let log = log.to_str().unwrap();
+    let base = [
+        "explore", "--stream", "--max-accesses", "2", "--max-locs", "2", "--models", "SC,TSO",
+        "--store", log,
+    ];
+    let (ok, stdout, _) = mcm(&base);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("store: "), "{stdout}");
+    // The second process answers every pair from the disk tier.
+    let (ok, stdout, _) = mcm(&base);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("0 ram + "), "{stdout}");
+    assert!(!stdout.contains(" + 0 disk"), "{stdout}");
+    std::fs::remove_file(log).ok();
+}
+
+#[test]
+fn explore_stream_resumes_from_a_checkpoint_bit_identically() {
+    use mcm_core::json::Json;
+    let dir = std::env::temp_dir().join("mcm-cli-ckpt-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join(format!("sweep-{}.ckpt", std::process::id()));
+    let _ = std::fs::remove_file(&ckpt);
+    let ckpt = ckpt.to_str().unwrap();
+    let base = [
+        "explore", "--stream", "--max-accesses", "2", "--max-locs", "2", "--models", "SC,TSO",
+        "--format", "json",
+    ];
+    let with = |extra: &[&str]| {
+        let mut args = base.to_vec();
+        args.extend_from_slice(extra);
+        parsed_json(&args)
+    };
+    let cold = with(&["--checkpoint", ckpt]);
+    assert!(std::path::Path::new(ckpt).exists(), "checkpoint file written");
+    let resumed = with(&["--resume", ckpt]);
+    assert!(
+        resumed
+            .get("checkpoint")
+            .and_then(|c| c.get("resumed_at"))
+            .and_then(Json::as_u64)
+            .is_some(),
+        "the resumed run reports its cursor"
+    );
+    let strip = |mut doc: Json| {
+        doc.strip_keys(&["elapsed_ms", "timings", "stats", "cache", "store", "checkpoint"]);
+        doc
+    };
+    assert_eq!(
+        strip(cold),
+        strip(resumed),
+        "resume from the final checkpoint replays to the same lattice"
+    );
+
+    // A checkpoint from different bounds is rejected, not misapplied.
+    let mismatch = [
+        "explore", "--stream", "--max-accesses", "2", "--max-locs", "3", "--models", "SC,TSO",
+        "--resume", ckpt,
+    ];
+    let (ok, _, stderr) = mcm(&mismatch);
+    assert!(!ok);
+    assert!(stderr.contains("different sweep"), "{stderr}");
+    std::fs::remove_file(ckpt).ok();
+}
+
+#[test]
+fn serve_store_dir_is_a_recognised_option() {
+    // A bad value fails at bind time (the parent of the log must be
+    // creatable), proving the flag reaches the server config.
+    let (ok, _, stderr) = mcm(&["serve", "--store-dir"]);
+    assert!(!ok);
+    assert!(stderr.contains("--store-dir"), "{stderr}");
 }

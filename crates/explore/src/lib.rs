@@ -45,7 +45,9 @@ pub mod report;
 pub mod space;
 pub mod verdict;
 
-pub use cache::VerdictCache;
+pub use cache::{DurableSink, RowLookup, VerdictCache};
 pub use lattice::{Lattice, LatticeEdge, ModelClass};
-pub use space::{EngineConfig, Exploration, SweepStats};
+pub use space::{
+    EngineConfig, Exploration, ResumeError, StreamCheckpoint, StreamControl, SweepStats,
+};
 pub use verdict::{Relation, VerdictVector};

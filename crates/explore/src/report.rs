@@ -257,6 +257,7 @@ mod tests {
             total_pairs: 200,
             unique_pairs: 100,
             cache_hits: 40,
+            cache_hits_disk: 0,
             checker_calls: 60,
             canonical_tests: 50,
             distinct_models: 2,

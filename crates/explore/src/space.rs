@@ -95,8 +95,13 @@ pub struct SweepStats {
     /// Work items after formula dedup and canonicalization:
     /// `distinct formulas × orbit representatives`.
     pub unique_pairs: u64,
-    /// Verdicts answered by the [`VerdictCache`] instead of a checker.
+    /// Verdicts answered by the [`VerdictCache`] instead of a checker,
+    /// both tiers.
     pub cache_hits: u64,
+    /// The subset of [`SweepStats::cache_hits`] answered by entries
+    /// hydrated from a durable store (disk tier) rather than computed
+    /// earlier in this process.
+    pub cache_hits_disk: u64,
     /// Actual checker invocations (`unique_pairs - cache_hits`).
     pub checker_calls: u64,
     /// Orbit representatives actually checked.
@@ -143,11 +148,12 @@ impl SweepStats {
     /// [`SweepStats::sat`] and [`SweepStats::batch`] groups have
     /// `counters()` views of their own).
     #[must_use]
-    pub fn counters(&self) -> [(&'static str, u64); 11] {
+    pub fn counters(&self) -> [(&'static str, u64); 12] {
         [
             ("total_pairs", self.total_pairs),
             ("unique_pairs", self.unique_pairs),
             ("cache_hits", self.cache_hits),
+            ("cache_hits_disk", self.cache_hits_disk),
             ("checker_calls", self.checker_calls),
             ("canonical_tests", self.canonical_tests as u64),
             ("distinct_models", self.distinct_models as u64),
@@ -158,6 +164,61 @@ impl SweepStats {
             ("prefilter_saved_calls", self.prefilter_saved_calls),
         ]
     }
+}
+
+/// Resumable state of a streaming sweep, captured at a chunk boundary.
+///
+/// Everything [`Exploration::run_engine_streaming_with`] needs to pick a
+/// sweep back up where a previous process left off: how far into the
+/// (deterministic) test stream it got, the verdict rows grown so far, and
+/// the accumulated counters. The kept tests themselves are *not* stored —
+/// on resume the engine replays the consumed prefix of the stream through
+/// the (cheap) dedup layer only, re-deriving them without a single
+/// checker call. `mcm-store`'s `checkpoint` module serializes this to
+/// disk.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamCheckpoint {
+    /// Tests consumed from the input iterator so far.
+    pub tests_streamed: u64,
+    /// Tests kept after dedup — the length of every verdict row.
+    pub tests_kept: u64,
+    /// Distinct-formula row fingerprints, in row order. Resume validates
+    /// these against the new run's model list: a checkpoint taken over
+    /// different models is rejected, not silently misapplied.
+    pub model_fps: Vec<u64>,
+    /// Per-row verdict vectors over the kept tests (row order matches
+    /// [`StreamCheckpoint::model_fps`]).
+    pub row_verdicts: Vec<VerdictVector>,
+    /// Engine counters accumulated up to the checkpoint.
+    pub stats: SweepStats,
+}
+
+/// Why a [`StreamCheckpoint`] could not be applied to a resumed sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResumeError(pub String);
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot resume sweep: {}", self.0)
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+/// Per-chunk control of a streaming sweep: checkpoint capture and resume.
+///
+/// The default value changes nothing — no checkpoints are taken and the
+/// sweep starts cold, exactly like [`Exploration::run_engine_streaming`].
+#[derive(Default)]
+pub struct StreamControl<'a> {
+    /// Called after every processed chunk with the current resumable
+    /// state. Returning `false` stops the sweep early — the engine
+    /// returns the partial exploration built so far; tests and kill/
+    /// resume demos use this to bound work deterministically.
+    #[allow(clippy::type_complexity)]
+    pub on_checkpoint: Option<Box<dyn FnMut(&StreamCheckpoint) -> bool + 'a>>,
+    /// Resume from this state instead of starting cold.
+    pub resume: Option<StreamCheckpoint>,
 }
 
 /// The result of checking every model against every test.
@@ -261,6 +322,7 @@ struct GridOutcome {
     /// `bits[row * execs.len() + rep]`: is the outcome allowed?
     bits: Vec<bool>,
     cache_hits: u64,
+    cache_hits_disk: u64,
     checker_calls: u64,
     prefilter_groups: u64,
     prefilter_saved_calls: u64,
@@ -320,12 +382,14 @@ where
     let cursor = AtomicUsize::new(0);
     let results: Vec<AtomicU8> = (0..row_count * reps).map(|_| AtomicU8::new(0)).collect();
     let cache_hits = AtomicU64::new(0);
+    let cache_hits_disk = AtomicU64::new(0);
     let checker_calls = AtomicU64::new(0);
     let prefilter_groups = AtomicU64::new(0);
     let prefilter_saved = AtomicU64::new(0);
 
     let sweep = |local_batch: &mut Vec<((u64, u64), bool)>, checker: &dyn BatchChecker| {
         let mut hits = 0u64;
+        let mut disk_hits = 0u64;
         let mut calls = 0u64;
         let mut groups_formed = 0u64;
         let mut saved = 0u64;
@@ -341,12 +405,12 @@ where
                 missing_rows.clear();
                 match cache {
                     Some(cache) => {
-                        for (row, memoized) in
-                            cache.get_row(&rows.model_fps, fps[rep]).into_iter().enumerate()
-                        {
+                        let lookup = cache.get_row_tiered(&rows.model_fps, fps[rep]);
+                        hits += lookup.hits_ram + lookup.hits_disk;
+                        disk_hits += lookup.hits_disk;
+                        for (row, memoized) in lookup.verdicts.into_iter().enumerate() {
                             match memoized {
                                 Some(allowed) => {
-                                    hits += 1;
                                     results[row * reps + rep]
                                         .store(if allowed { 2 } else { 1 }, Ordering::Relaxed);
                                 }
@@ -391,6 +455,7 @@ where
             }
         }
         cache_hits.fetch_add(hits, Ordering::Relaxed);
+        cache_hits_disk.fetch_add(disk_hits, Ordering::Relaxed);
         checker_calls.fetch_add(calls, Ordering::Relaxed);
         prefilter_groups.fetch_add(groups_formed, Ordering::Relaxed);
         prefilter_saved.fetch_add(saved, Ordering::Relaxed);
@@ -451,6 +516,7 @@ where
     GridOutcome {
         bits,
         cache_hits: cache_hits.load(Ordering::Relaxed),
+        cache_hits_disk: cache_hits_disk.load(Ordering::Relaxed),
         checker_calls: checker_calls.load(Ordering::Relaxed),
         prefilter_groups: prefilter_groups.load(Ordering::Relaxed),
         prefilter_saved_calls: prefilter_saved.load(Ordering::Relaxed),
@@ -595,6 +661,7 @@ impl Exploration {
             total_pairs: (models.len() * tests.len()) as u64,
             unique_pairs: (rows.row_models.len() * reps) as u64,
             cache_hits: grid.cache_hits,
+            cache_hits_disk: grid.cache_hits_disk,
             checker_calls: grid.checker_calls,
             canonical_tests: reps,
             distinct_models: rows.row_models.len(),
@@ -645,6 +712,42 @@ impl Exploration {
         I: IntoIterator<Item = LitmusTest>,
         F: Fn() -> Box<dyn BatchChecker> + Sync,
     {
+        Exploration::run_engine_streaming_with(
+            models,
+            tests,
+            make_checker,
+            config,
+            cache,
+            StreamControl::default(),
+        )
+        .expect("a cold streaming sweep cannot fail to resume")
+    }
+
+    /// [`Exploration::run_engine_streaming`] with per-chunk
+    /// [`StreamControl`]: a checkpoint hook observing a
+    /// [`StreamCheckpoint`] after every chunk (and able to stop the sweep
+    /// early), and an optional resume state from an earlier run.
+    ///
+    /// On resume the engine replays the already-consumed prefix of the
+    /// stream through the dedup layer only — no checker is ever called
+    /// for replayed tests — then restores the verdict rows and counters
+    /// from the checkpoint and continues. Because the stream and the
+    /// dedup layer are deterministic, an interrupted-and-resumed sweep
+    /// produces bit-identical verdicts to an uninterrupted one (the
+    /// resume-correctness tests assert exactly this). Errors when the
+    /// checkpoint does not match the current models, stream or config.
+    pub fn run_engine_streaming_with<I, F>(
+        models: Vec<MemoryModel>,
+        tests: I,
+        make_checker: F,
+        config: &EngineConfig,
+        cache: Option<&VerdictCache>,
+        mut control: StreamControl<'_>,
+    ) -> Result<(Self, SweepStats), ResumeError>
+    where
+        I: IntoIterator<Item = LitmusTest>,
+        F: Fn() -> Box<dyn BatchChecker> + Sync,
+    {
         let _span = mcm_obs::trace::span("engine.stream");
         let rows = formula_rows(&models);
         let prefilter = build_prefilter(&models, &rows, config);
@@ -655,29 +758,20 @@ impl Exploration {
         let mut row_verdicts: Vec<VerdictVector> =
             (0..rows.row_models.len()).map(|_| VerdictVector::new(0)).collect();
         let mut seen: HashSet<u64> = HashSet::new();
-        let mut streamed = 0u64;
-        let mut peak_batch = 0usize;
-        let mut cache_hits = 0u64;
-        let mut checker_calls = 0u64;
-        let mut prefilter_groups = 0u64;
-        let mut prefilter_saved_calls = 0u64;
-        let mut sat = SolverStats::default();
-        let mut batched = BatchStats::default();
-        loop {
-            // The leader phase: pulling the next chunk out of the
-            // (lazily enumerated) test stream.
-            let chunk: Vec<LitmusTest> = {
-                let _lead_span = mcm_obs::trace::span("engine.lead");
-                iter.by_ref().take(chunk_size).collect()
-            };
-            if chunk.is_empty() {
-                break;
-            }
-            let _chunk_span =
-                mcm_obs::trace::span_with("engine.chunk", &[("tests", &chunk.len().to_string())]);
-            streamed += chunk.len() as u64;
-            peak_batch = peak_batch.max(chunk.len());
-            let (batch, fps): (Vec<LitmusTest>, Vec<u64>) = if config.canonicalize {
+        let mut stats = SweepStats {
+            distinct_models: rows.row_models.len(),
+            semantic_merged_models: rows.semantic_merged,
+            ..SweepStats::default()
+        };
+
+        // The shared dedup layer: collapses a pulled chunk to the tests
+        // that will actually be checked, plus their cache fingerprints.
+        // Used identically by the live loop and the resume replay, so a
+        // replayed prefix keeps exactly the tests the original run kept.
+        let dedup = |chunk: Vec<LitmusTest>,
+                     seen: &mut HashSet<u64>|
+         -> (Vec<LitmusTest>, Vec<u64>) {
+            if config.canonicalize {
                 let _canon_span = mcm_obs::trace::span("engine.canon");
                 let canonical = canon::dedup_parallel(&chunk, jobs);
                 let mut batch = Vec::with_capacity(canonical.tests.len());
@@ -695,64 +789,123 @@ impl Exploration {
             } else {
                 let fps = vec![0u64; chunk.len()];
                 (chunk, fps)
-            };
-            if batch.is_empty() {
-                continue;
             }
-            let execs: Vec<Execution> = batch.iter().map(LitmusTest::execution).collect();
-            let grid = sweep_grid(
-                &ModelSide {
-                    models: &models,
-                    rows: &rows,
-                    prefilter: prefilter.as_ref(),
-                },
-                &execs,
-                &fps,
-                &make_checker,
-                config,
-                cache,
-            );
-            cache_hits += grid.cache_hits;
-            checker_calls += grid.checker_calls;
-            prefilter_groups += grid.prefilter_groups;
-            prefilter_saved_calls += grid.prefilter_saved_calls;
-            sat.absorb(grid.sat);
-            batched.absorb(grid.batch);
-            for (r, vector) in row_verdicts.iter_mut().enumerate() {
-                for t in 0..batch.len() {
-                    vector.push(grid.bits[r * batch.len() + t]);
+        };
+
+        if let Some(state) = control.resume.take() {
+            if state.model_fps != rows.model_fps {
+                return Err(ResumeError(
+                    "checkpoint was taken over a different model list".to_string(),
+                ));
+            }
+            if state.row_verdicts.len() != rows.model_fps.len()
+                || state
+                    .row_verdicts
+                    .iter()
+                    .any(|v| v.len() as u64 != state.tests_kept)
+            {
+                return Err(ResumeError(
+                    "checkpoint verdict rows are inconsistent".to_string(),
+                ));
+            }
+            // Replay the consumed prefix: pull the same chunks and re-run
+            // only the dedup layer to rebuild the kept tests and the
+            // cross-chunk fingerprint set — no checker work.
+            let _replay_span = mcm_obs::trace::span("engine.replay");
+            let mut replayed = 0u64;
+            while replayed < state.tests_streamed {
+                let want = chunk_size.min((state.tests_streamed - replayed) as usize);
+                let chunk: Vec<LitmusTest> = iter.by_ref().take(want).collect();
+                if chunk.is_empty() {
+                    return Err(ResumeError(
+                        "stream is shorter than the checkpoint cursor".to_string(),
+                    ));
+                }
+                replayed += chunk.len() as u64;
+                let (batch, _) = dedup(chunk, &mut seen);
+                kept.extend(batch);
+            }
+            if kept.len() as u64 != state.tests_kept {
+                return Err(ResumeError(
+                    "replayed stream prefix kept a different test count".to_string(),
+                ));
+            }
+            row_verdicts = state.row_verdicts;
+            stats = state.stats;
+        }
+
+        loop {
+            // The leader phase: pulling the next chunk out of the
+            // (lazily enumerated) test stream.
+            let chunk: Vec<LitmusTest> = {
+                let _lead_span = mcm_obs::trace::span("engine.lead");
+                iter.by_ref().take(chunk_size).collect()
+            };
+            if chunk.is_empty() {
+                break;
+            }
+            let _chunk_span =
+                mcm_obs::trace::span_with("engine.chunk", &[("tests", &chunk.len().to_string())]);
+            stats.tests_streamed += chunk.len() as u64;
+            stats.peak_batch = stats.peak_batch.max(chunk.len());
+            let (batch, fps) = dedup(chunk, &mut seen);
+            if !batch.is_empty() {
+                let execs: Vec<Execution> = batch.iter().map(LitmusTest::execution).collect();
+                let grid = sweep_grid(
+                    &ModelSide {
+                        models: &models,
+                        rows: &rows,
+                        prefilter: prefilter.as_ref(),
+                    },
+                    &execs,
+                    &fps,
+                    &make_checker,
+                    config,
+                    cache,
+                );
+                stats.cache_hits += grid.cache_hits;
+                stats.cache_hits_disk += grid.cache_hits_disk;
+                stats.checker_calls += grid.checker_calls;
+                stats.prefilter_groups += grid.prefilter_groups;
+                stats.prefilter_saved_calls += grid.prefilter_saved_calls;
+                stats.sat.absorb(grid.sat);
+                stats.batch.absorb(grid.batch);
+                for (r, vector) in row_verdicts.iter_mut().enumerate() {
+                    for t in 0..batch.len() {
+                        vector.push(grid.bits[r * batch.len() + t]);
+                    }
+                }
+                kept.extend(batch);
+            }
+            stats.total_pairs = models.len() as u64 * stats.tests_streamed;
+            stats.unique_pairs = (rows.row_models.len() * kept.len()) as u64;
+            stats.canonical_tests = kept.len();
+            if let Some(hook) = control.on_checkpoint.as_mut() {
+                let state = StreamCheckpoint {
+                    tests_streamed: stats.tests_streamed,
+                    tests_kept: kept.len() as u64,
+                    model_fps: rows.model_fps.clone(),
+                    row_verdicts: row_verdicts.clone(),
+                    stats,
+                };
+                if !hook(&state) {
+                    break;
                 }
             }
-            kept.extend(batch);
         }
         let verdicts: Vec<VerdictVector> = rows
             .row_of
             .iter()
             .map(|&row| row_verdicts[row].clone())
             .collect();
-        let stats = SweepStats {
-            total_pairs: models.len() as u64 * streamed,
-            unique_pairs: (rows.row_models.len() * kept.len()) as u64,
-            cache_hits,
-            checker_calls,
-            canonical_tests: kept.len(),
-            distinct_models: rows.row_models.len(),
-            tests_streamed: streamed,
-            peak_batch,
-            semantic_merged_models: rows.semantic_merged,
-            prefilter_groups,
-            prefilter_saved_calls,
-            sat,
-            batch: batched,
-        };
-        (
+        Ok((
             Exploration {
                 models,
                 tests: kept,
                 verdicts,
             },
             stats,
-        )
+        ))
     }
 
     /// Number of models.

@@ -87,6 +87,34 @@ impl VerdictVector {
             .all(|(a, b)| a & !b == 0)
     }
 
+    /// The packed 64-bit words backing the vector (bit `i` of word
+    /// `i / 64` is test `i`), exposed so checkpoint serializers can
+    /// persist the vector without re-walking every bit.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuilds a vector from its packed words and length (the inverse of
+    /// [`VerdictVector::words`]). Returns `None` when the word count does
+    /// not match the length or padding bits beyond `len` are set —
+    /// corrupt checkpoints are rejected instead of resurfacing as wrong
+    /// verdicts.
+    #[must_use]
+    pub fn from_words(words: Vec<u64>, len: usize) -> Option<Self> {
+        if words.len() != len.div_ceil(64) {
+            return None;
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                if last >> (len % 64) != 0 {
+                    return None;
+                }
+            }
+        }
+        Some(VerdictVector { bits: words, len })
+    }
+
     /// Indices where the two vectors disagree.
     #[must_use]
     pub fn diff_indices(&self, other: &VerdictVector) -> Vec<usize> {
@@ -196,6 +224,20 @@ mod tests {
         assert_eq!(v.count_allowed(), 4);
         v.set(64, false);
         assert!(!v.allowed(64));
+    }
+
+    #[test]
+    fn words_roundtrip_and_reject_corruption() {
+        let mut v = VerdictVector::new(0);
+        for i in 0..130 {
+            v.push(i % 5 == 0);
+        }
+        let rebuilt = VerdictVector::from_words(v.words().to_vec(), v.len()).unwrap();
+        assert_eq!(rebuilt, v);
+        // Wrong word count and dirty padding bits are both rejected.
+        assert!(VerdictVector::from_words(vec![0; 3], 70).is_none());
+        assert!(VerdictVector::from_words(vec![u64::MAX], 3).is_none());
+        assert!(VerdictVector::from_words(Vec::new(), 0).is_some());
     }
 
     #[test]

@@ -47,6 +47,6 @@ pub mod suite;
 pub mod template;
 
 pub use canon::{canonicalize, fingerprint, CanonicalSuite};
-pub use stream::{LeaderStream, StreamBounds};
+pub use stream::{LeaderStream, Shard, StreamBounds};
 pub use segment::{AccessKind, AddrRel, Connector, Segment, SegmentType};
 pub use suite::{template_suite, template_suite_extended, TestSuite};

@@ -103,6 +103,66 @@ impl StreamBounds {
     }
 }
 
+/// A disjoint 1-of-N slice of a leader stream, for splitting one sweep
+/// across N processes (`--shard i/n`): shard `i` keeps exactly the
+/// leaders whose **global leader index** is `≡ i (mod n)`. The stripes
+/// are disjoint, cover the stream, and balance load even when leader
+/// density varies along the enumeration; test names stay keyed to the
+/// global index, so the union of all shards is byte-identical to the
+/// unsharded stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Shard {
+    index: u32,
+    count: u32,
+}
+
+impl Shard {
+    /// A validated shard assignment: `index < count`, `count >= 1`.
+    /// `Shard::new(0, 1)` is the whole stream.
+    #[must_use]
+    pub fn new(index: u32, count: u32) -> Option<Shard> {
+        (count >= 1 && index < count).then_some(Shard { index, count })
+    }
+
+    /// Which stripe this process sweeps (0-based).
+    #[must_use]
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Total number of stripes.
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether the leader with this global index belongs to the shard.
+    #[must_use]
+    pub fn keeps(&self, leader_index: u64) -> bool {
+        leader_index % u64::from(self.count) == u64::from(self.index)
+    }
+}
+
+impl std::fmt::Display for Shard {
+    /// The `i/n` notation the CLI and wire format use.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl std::str::FromStr for Shard {
+    type Err = String;
+
+    /// Parses the `i/n` notation; rejects `i >= n` and `n == 0`.
+    fn from_str(s: &str) -> Result<Shard, String> {
+        let err = || format!("shard must be i/n with i < n, got {s:?}");
+        let (index, count) = s.split_once('/').ok_or_else(err)?;
+        let index: u32 = index.trim().parse().map_err(|_| err())?;
+        let count: u32 = count.trim().parse().map_err(|_| err())?;
+        Shard::new(index, count).ok_or_else(err)
+    }
+}
+
 /// One access slot of a program shape. `fence_after` inserts a full fence
 /// between this access and the next; `dep` (writes only) routes the value
 /// through `r - r + k` where `r` is the latest preceding read.
@@ -406,12 +466,17 @@ pub struct LeaderStream {
     /// Odometer over `shapes` (one digit per thread); `None` = exhausted.
     combo: Option<Vec<usize>>,
     current: Option<ShapeState>,
+    /// Leaders yielded *by this stream* (shard-filtered).
     emitted: u64,
+    /// Leaders encountered in the full stream, including those skipped by
+    /// the shard filter — the global leader index used for test names.
+    leaders_seen: u64,
     raw_visited: u64,
+    shard: Option<Shard>,
 }
 
 impl LeaderStream {
-    fn new(bounds: &StreamBounds) -> Self {
+    fn new(bounds: &StreamBounds, shard: Option<Shard>) -> Self {
         let shapes = thread_shapes(bounds);
         let combo = (bounds.threads > 0 && !shapes.is_empty())
             .then(|| vec![0usize; bounds.threads]);
@@ -420,7 +485,9 @@ impl LeaderStream {
             combo,
             current: None,
             emitted: 0,
+            leaders_seen: 0,
             raw_visited: 0,
+            shard,
         }
     }
 
@@ -431,10 +498,24 @@ impl LeaderStream {
         self.raw_visited
     }
 
-    /// Leaders yielded so far.
+    /// Leaders yielded so far (by this shard, when one is set).
     #[must_use]
     pub fn leaders_emitted(&self) -> u64 {
         self.emitted
+    }
+
+    /// Leaders of the full stream encountered so far, including those the
+    /// shard filter skipped (equals [`LeaderStream::leaders_emitted`] on
+    /// an unsharded stream).
+    #[must_use]
+    pub fn leaders_seen(&self) -> u64 {
+        self.leaders_seen
+    }
+
+    /// The shard assignment, when this stream sweeps a slice.
+    #[must_use]
+    pub fn shard(&self) -> Option<Shard> {
+        self.shard
     }
 
     /// The current shape combination, or `None` when exhausted.
@@ -464,7 +545,7 @@ impl Iterator for LeaderStream {
         loop {
             if let Some(state) = &mut self.current {
                 while state.choice.is_some() {
-                    let name = format!("stream-{}", self.emitted);
+                    let name = format!("stream-{}", self.leaders_seen);
                     let test = state
                         .next_candidate(name)
                         .expect("choice was present");
@@ -474,8 +555,12 @@ impl Iterator for LeaderStream {
                         ShapeMode::CheckEach => canon::is_leader(&test),
                     };
                     if keep {
-                        self.emitted += 1;
-                        return Some(test);
+                        let global = self.leaders_seen;
+                        self.leaders_seen += 1;
+                        if self.shard.is_none_or(|s| s.keeps(global)) {
+                            self.emitted += 1;
+                            return Some(test);
+                        }
                     }
                 }
                 self.current = None;
@@ -508,7 +593,16 @@ impl Iterator for LeaderStream {
 /// Streams the orbit leaders of `bounds` in a deterministic order.
 #[must_use]
 pub fn leaders(bounds: &StreamBounds) -> LeaderStream {
-    LeaderStream::new(bounds)
+    LeaderStream::new(bounds, None)
+}
+
+/// Streams only the leaders of `bounds` belonging to `shard` — one of N
+/// disjoint stripes of the same deterministic enumeration. Running every
+/// shard `0/n .. (n-1)/n` yields exactly the tests (and names) of
+/// [`leaders`], partitioned.
+#[must_use]
+pub fn leaders_sharded(bounds: &StreamBounds, shard: Shard) -> LeaderStream {
+    LeaderStream::new(bounds, Some(shard))
 }
 
 /// Counts the orbit leaders of `bounds` without materialising the
@@ -740,5 +834,63 @@ mod tests {
             .map(|t| t.name().to_string())
             .collect();
         assert_eq!(names, vec!["stream-0", "stream-1", "stream-2"]);
+    }
+
+    #[test]
+    fn shards_partition_the_leader_stream() {
+        let bounds = small_bounds();
+        let full: Vec<(String, u64)> = leaders(&bounds)
+            .map(|t| (t.name().to_string(), canon::fingerprint(&t)))
+            .collect();
+        for n in [1u32, 2, 3] {
+            let mut union: Vec<(String, u64)> = Vec::new();
+            for i in 0..n {
+                let shard = Shard::new(i, n).unwrap();
+                let slice: Vec<(String, u64)> = leaders_sharded(&bounds, shard)
+                    .map(|t| (t.name().to_string(), canon::fingerprint(&t)))
+                    .collect();
+                // Each shard keeps exactly the indices ≡ i (mod n), with
+                // names still keyed to the global leader index.
+                assert_eq!(
+                    slice,
+                    full.iter()
+                        .enumerate()
+                        .filter(|(idx, _)| shard.keeps(*idx as u64))
+                        .map(|(_, t)| t.clone())
+                        .collect::<Vec<_>>(),
+                    "shard {shard} differs from the filtered full stream"
+                );
+                union.extend(slice);
+            }
+            union.sort();
+            let mut expected = full.clone();
+            expected.sort();
+            assert_eq!(union, expected, "{n}-way shards must partition the stream");
+        }
+    }
+
+    #[test]
+    fn sharded_stream_counts_both_cursors() {
+        let bounds = small_bounds();
+        let total = leaders(&bounds).count() as u64;
+        let mut stream = leaders_sharded(&bounds, Shard::new(1, 2).unwrap());
+        let kept = stream.by_ref().count() as u64;
+        assert_eq!(stream.leaders_seen(), total);
+        assert_eq!(stream.leaders_emitted(), kept);
+        assert_eq!(kept, total / 2);
+        assert_eq!(stream.shard(), Shard::new(1, 2));
+    }
+
+    #[test]
+    fn shard_notation_parses_and_rejects_nonsense() {
+        let shard: Shard = "1/4".parse().unwrap();
+        assert_eq!((shard.index(), shard.count()), (1, 4));
+        assert_eq!(shard.to_string(), "1/4");
+        assert_eq!(" 0 / 1 ".trim().parse::<Shard>().unwrap(), Shard::new(0, 1).unwrap());
+        for bad in ["", "2", "2/2", "3/2", "1/0", "a/b", "1/2/3", "-1/2"] {
+            assert!(bad.parse::<Shard>().is_err(), "{bad:?} must not parse");
+        }
+        assert!(Shard::new(0, 0).is_none());
+        assert!(Shard::new(2, 2).is_none());
     }
 }

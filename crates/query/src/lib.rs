@@ -70,10 +70,11 @@ pub use query::{
 pub use render::{Format, Render, SCHEMA_VERSION};
 pub use reports::{
     AnalyzeFinding, AnalyzeModelEntry, AnalyzePair, AnalyzeReport, CacheSummary, CatalogReport,
-    CheckEntry, CheckReport, CompareReport, CompareWitness, CountsFigure, DistinguishReport,
-    Fig1Figure, Fig4Figure, FigureSelection, FiguresReport, ParseReport, StreamSummary,
-    CheckerTiming, LatencySummary, SuiteReport, SweepReport, SynthMatrix, SynthPair, SynthReport,
-    Timings, TimingsCapture, WarmSummary, TIMINGS_SCHEMA_VERSION,
+    CheckEntry, CheckReport, CheckpointSummary, CompareReport, CompareWitness, CountsFigure,
+    DistinguishReport, Fig1Figure, Fig4Figure, FigureSelection, FiguresReport, ParseReport,
+    StoreSummary, StreamSummary, CheckerTiming, LatencySummary, SuiteReport, SweepReport,
+    SynthMatrix, SynthPair, SynthReport, Timings, TimingsCapture, WarmSummary,
+    TIMINGS_SCHEMA_VERSION,
 };
 pub use resolve::{model_set, models_use_dependencies, ModelSpec};
 pub use source::TestSource;
@@ -83,5 +84,5 @@ pub use source::TestSource;
 pub use mcm_axiomatic::CheckerKind;
 pub use mcm_core::json::Json;
 pub use mcm_explore::EngineConfig;
-pub use mcm_gen::StreamBounds;
+pub use mcm_gen::{Shard, StreamBounds};
 pub use mcm_synth::SynthBounds;

@@ -1,21 +1,27 @@
 //! The [`Query`] constructors and per-kind builders.
 
+use std::cell::Cell;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
 use mcm_axiomatic::{explain, Checker, CheckerKind, ExplicitChecker};
 use mcm_explore::dot::{render_dot, DotOptions};
-use mcm_explore::{distinguish, paper, EngineConfig, Exploration, Lattice, VerdictCache};
+use mcm_explore::{
+    distinguish, paper, EngineConfig, Exploration, Lattice, StreamControl, VerdictCache,
+};
 use mcm_gen::{count, naive, template_suite};
 use mcm_models::catalog;
+use mcm_store::{CheckpointFile, DiskCache, SweepMeta};
 use mcm_synth::SynthBounds;
 
 use crate::error::QueryError;
 use crate::reports::{
     AnalyzeFinding, AnalyzeModelEntry, AnalyzePair, AnalyzeReport, CacheSummary, CatalogReport,
-    CheckEntry, CheckReport, CompareReport, CompareWitness, CountsFigure, DistinguishReport,
-    Fig1Figure, Fig4Figure, FigureSelection, FiguresReport, ParseReport, StreamSummary,
-    SuiteReport, SweepReport, SynthMatrix, SynthPair, SynthReport, TimingsCapture, WarmSummary,
+    CheckEntry, CheckReport, CheckpointSummary, CompareReport, CompareWitness, CountsFigure,
+    DistinguishReport, Fig1Figure, Fig4Figure, FigureSelection, FiguresReport, ParseReport,
+    StoreSummary, StreamSummary, SuiteReport, SweepReport, SynthMatrix, SynthPair, SynthReport,
+    TimingsCapture, WarmSummary,
 };
 use crate::resolve::{self, ModelSpec};
 use crate::source::TestSource;
@@ -49,6 +55,9 @@ impl Query {
             config: EngineConfig::default(),
             cache: false,
             shared: None,
+            store: None,
+            checkpoint: None,
+            resume: None,
             warm_figure4_demo: false,
         }
     }
@@ -170,6 +179,9 @@ pub struct SweepQuery {
     config: EngineConfig,
     cache: bool,
     shared: Option<Arc<VerdictCache>>,
+    store: Option<PathBuf>,
+    checkpoint: Option<PathBuf>,
+    resume: Option<PathBuf>,
     warm_figure4_demo: bool,
 }
 
@@ -222,6 +234,36 @@ impl SweepQuery {
         self
     }
 
+    /// Back the verdict cache with the append-only log at `path`
+    /// ([`mcm_store::DiskCache`]): known verdicts hydrate from disk
+    /// before the sweep, fresh ones are written through batch by batch.
+    /// Takes precedence over [`SweepQuery::cache`] and
+    /// [`SweepQuery::cache_with`] as the sweep's cache.
+    #[must_use]
+    pub fn store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store = Some(path.into());
+        self
+    }
+
+    /// For streamed sweeps: save a resumable checkpoint to `path` after
+    /// every processed chunk (atomic rename-over, so a kill mid-save
+    /// keeps the previous one). Ignored for materialized sources.
+    #[must_use]
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// For streamed sweeps: resume from the checkpoint at `path` instead
+    /// of starting cold. A missing file is a cold start (first run of a
+    /// `--checkpoint F --resume F` loop); a checkpoint taken over a
+    /// different sweep (models, bounds, shard, chunking) is rejected.
+    #[must_use]
+    pub fn resume(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume = Some(path.into());
+        self
+    }
+
     /// After a cached full-space template sweep, re-sweep the Figure 4
     /// subspace to demonstrate cross-sweep memoization (ignored unless
     /// both the cache and the with-deps template suite are in play).
@@ -240,21 +282,96 @@ impl SweepQuery {
     /// sources.
     pub fn run(self) -> Result<SweepReport, QueryError> {
         let models = self.models.resolve()?;
-        let owned = (self.shared.is_none() && self.cache).then(VerdictCache::new);
-        let cache: Option<&VerdictCache> = self.shared.as_deref().or(owned.as_ref());
+        // A disk-backed store supplies the cache when requested; it
+        // outranks the shared and owned caches so its write-through sink
+        // sees every fresh verdict of the sweep.
+        let disk = match &self.store {
+            Some(path) => Some(DiskCache::open(path).map_err(|e| QueryError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?),
+            None => None,
+        };
+        let owned =
+            (disk.is_none() && self.shared.is_none() && self.cache).then(VerdictCache::new);
+        let cache: Option<&VerdictCache> = disk
+            .as_ref()
+            .map(|d| d.cache().as_ref())
+            .or(self.shared.as_deref())
+            .or(owned.as_ref());
         let checker = self.checker;
-        if let TestSource::Stream { bounds, limit } = &self.source {
+        if let TestSource::Stream {
+            bounds,
+            limit,
+            shard,
+        } = &self.source
+        {
             let raw_space = mcm_gen::stream::try_count_raw(bounds, 20_000_000);
+            let meta = SweepMeta {
+                bounds: *bounds,
+                limit: limit.map(|l| l as u64),
+                shard: *shard,
+                canonicalize: self.config.canonicalize,
+                stream_chunk: self.config.stream_chunk as u64,
+            };
+            let resume_state = match &self.resume {
+                None => None,
+                Some(path) => {
+                    let loaded = CheckpointFile::load(path).map_err(|e| QueryError::Io {
+                        path: path.display().to_string(),
+                        message: e.to_string(),
+                    })?;
+                    match loaded {
+                        // Cold start: the checkpoint was never written
+                        // (first run of a `--checkpoint F --resume F` loop).
+                        None => None,
+                        Some(ckpt) if ckpt.meta != meta => {
+                            return Err(QueryError::InvalidSpec(format!(
+                                "checkpoint {} was taken over a different sweep \
+                                 (bounds, limit, shard or engine chunking differ)",
+                                path.display()
+                            )));
+                        }
+                        Some(ckpt) => Some(ckpt.state),
+                    }
+                }
+            };
+            let resumed_at = resume_state.as_ref().map(|s| s.tests_streamed);
+            let saves = Cell::new(0u64);
+            let save_errors = Cell::new(0u64);
+            let mut control = StreamControl {
+                on_checkpoint: None,
+                resume: resume_state,
+            };
+            if let Some(path) = &self.checkpoint {
+                control.on_checkpoint = Some(Box::new(|state| {
+                    let file = CheckpointFile {
+                        meta,
+                        state: state.clone(),
+                    };
+                    match file.save(path) {
+                        Ok(()) => saves.set(saves.get() + 1),
+                        Err(_) => save_errors.set(save_errors.get() + 1),
+                    }
+                    true
+                }));
+            }
             let timings = TimingsCapture::start();
             let start = Instant::now();
-            let stream = mcm_gen::stream::leaders(bounds).take(limit.unwrap_or(usize::MAX));
-            let (exploration, stats) = Exploration::run_engine_streaming(
+            let stream = match shard {
+                Some(shard) => mcm_gen::stream::leaders_sharded(bounds, *shard),
+                None => mcm_gen::stream::leaders(bounds),
+            }
+            .take(limit.unwrap_or(usize::MAX));
+            let (exploration, stats) = Exploration::run_engine_streaming_with(
                 models,
                 stream,
                 || checker.build_batch(),
                 &self.config,
                 cache,
-            );
+                control,
+            )
+            .map_err(|e| QueryError::InvalidSpec(e.to_string()))?;
             let elapsed = start.elapsed();
             let timings = timings.finish();
             let lattice = Lattice::build(&exploration);
@@ -268,10 +385,24 @@ impl SweepQuery {
                 nine_test_indices: Vec::new(),
                 nine_tests_sufficient: None,
                 cache: cache.map(cache_summary),
+                store: disk.as_ref().map(store_summary),
+                // Reported for a saving run AND a resume-only run — the
+                // latter still needs its cursor surfaced.
+                checkpoint: self
+                    .checkpoint
+                    .as_ref()
+                    .or(self.resume.as_ref())
+                    .map(|path| CheckpointSummary {
+                        path: path.display().to_string(),
+                        saves: saves.get(),
+                        save_errors: save_errors.get(),
+                        resumed_at,
+                    }),
                 warm: None,
                 stream: Some(StreamSummary {
                     bounds: *bounds,
                     limit: *limit,
+                    shard: *shard,
                     raw_space,
                 }),
                 timings,
@@ -321,6 +452,8 @@ impl SweepQuery {
             nine_test_indices: space.nine_test_indices,
             nine_tests_sufficient: Some(space.nine_tests_sufficient),
             cache: cache.map(cache_summary),
+            store: disk.as_ref().map(store_summary),
+            checkpoint: None,
             warm,
             stream: None,
             timings,
@@ -771,8 +904,23 @@ fn cache_summary(cache: &VerdictCache) -> CacheSummary {
     CacheSummary {
         entries: cache.len(),
         hits: cache.hits(),
+        hits_ram: cache.hits_ram(),
+        hits_disk: cache.hits_disk(),
         misses: cache.misses(),
         shard_contention: cache.shard_contention(),
+    }
+}
+
+fn store_summary(disk: &DiskCache) -> StoreSummary {
+    let stats = disk.stats();
+    StoreSummary {
+        path: disk.path().display().to_string(),
+        hydrated: stats.hydrated,
+        appended: stats.appended,
+        flushes: stats.flushes,
+        write_errors: stats.write_errors,
+        bytes: stats.bytes,
+        recovered_tail: stats.recovered_tail,
     }
 }
 

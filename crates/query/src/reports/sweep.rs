@@ -18,8 +18,14 @@ use crate::render::{duration_json, duration_text, Render};
 pub struct CacheSummary {
     /// Entries in the cache when the query finished.
     pub entries: usize,
-    /// Lookups answered from the cache.
+    /// Lookups answered from the cache, both tiers
+    /// (`hits_ram + hits_disk`).
     pub hits: u64,
+    /// Hits on entries computed earlier in this process (RAM tier).
+    pub hits_ram: u64,
+    /// Hits on entries hydrated from a durable store (disk tier) —
+    /// verdicts a previous process paid for.
+    pub hits_disk: u64,
     /// Lookups that fell through to a checker.
     pub misses: u64,
     /// Shard locks that were contended on insert/merge (a measure of
@@ -33,10 +39,54 @@ impl std::fmt::Display for CacheSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "cache: {} entries, {} hits, {} misses",
-            self.entries, self.hits, self.misses,
+            "cache: {} entries, {} hits ({} ram + {} disk), {} misses",
+            self.entries, self.hits, self.hits_ram, self.hits_disk, self.misses,
         )
     }
+}
+
+/// What the disk-backed verdict store did during a query
+/// (`--store` / `mcm serve --store-dir`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreSummary {
+    /// The verdict-log path.
+    pub path: String,
+    /// Records replayed from the log when the cache opened.
+    pub hydrated: u64,
+    /// Fresh records appended during the query.
+    pub appended: u64,
+    /// Frames flushed (one per batch of fresh verdicts).
+    pub flushes: u64,
+    /// Append failures (counted, never fatal).
+    pub write_errors: u64,
+    /// Log size in bytes after the query.
+    pub bytes: u64,
+    /// Whether opening recovered from a torn/corrupt tail.
+    pub recovered_tail: bool,
+}
+
+impl std::fmt::Display for StoreSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "store: {} ({} hydrated, {} appended, {} bytes)",
+            self.path, self.hydrated, self.appended, self.bytes,
+        )
+    }
+}
+
+/// Checkpointing activity of a streamed sweep (`--checkpoint` /
+/// `--resume`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointSummary {
+    /// The checkpoint-file path.
+    pub path: String,
+    /// Checkpoints saved (one per processed chunk).
+    pub saves: u64,
+    /// Save failures (counted, never fatal — the sweep continues).
+    pub save_errors: u64,
+    /// The stream cursor this run resumed from, when it did.
+    pub resumed_at: Option<u64>,
 }
 
 /// The warm re-sweep demonstration: after a cached full-space sweep, the
@@ -58,6 +108,8 @@ pub struct StreamSummary {
     pub bounds: StreamBounds,
     /// The leader-count cap, when one was requested.
     pub limit: Option<usize>,
+    /// The stripe this sweep covered (`--shard i/n`), when sharded.
+    pub shard: Option<mcm_gen::Shard>,
     /// Size of the raw (pre-canonicalization) space, when small enough
     /// to count by shape.
     pub raw_space: Option<u64>,
@@ -87,6 +139,11 @@ pub struct SweepReport {
     pub nine_tests_sufficient: Option<bool>,
     /// Cache totals, when the query ran with a verdict cache.
     pub cache: Option<CacheSummary>,
+    /// Disk-store activity, when the cache was backed by a verdict log.
+    pub store: Option<StoreSummary>,
+    /// Checkpointing activity, when a streamed sweep ran with
+    /// `--checkpoint` (and possibly `--resume`).
+    pub checkpoint: Option<CheckpointSummary>,
     /// The warm re-sweep demonstration, when requested and applicable.
     pub warm: Option<WarmSummary>,
     /// Stream bounds, when this was a streamed sweep.
@@ -104,6 +161,20 @@ impl SweepReport {
         if let Some(cache) = &self.cache {
             let _ = writeln!(out, "{cache}");
         }
+        if let Some(store) = &self.store {
+            let _ = writeln!(out, "{store}");
+        }
+        if let Some(ckpt) = &self.checkpoint {
+            let resumed = match ckpt.resumed_at {
+                Some(cursor) => format!(", resumed at leader {cursor}"),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "checkpoint: {} ({} saves{resumed})",
+                ckpt.path, ckpt.saves,
+            );
+        }
     }
 
     fn streamed_text(&self, stream: &StreamSummary) -> String {
@@ -113,9 +184,13 @@ impl SweepReport {
             Some(count) => format!("{count} tests"),
             None => "too many tests to even count by shape".to_string(),
         };
+        let shard = match &stream.shard {
+            Some(shard) => format!(", shard {shard}"),
+            None => String::new(),
+        };
         let _ = writeln!(
             out,
-            "streaming leaders: <= {} accesses/thread x {} threads, {} locs{}{} \
+            "streaming leaders: <= {} accesses/thread x {} threads, {} locs{}{}{shard} \
              (raw space: {raw}, never materialized) against {} models ...",
             bounds.max_accesses_per_thread,
             bounds.threads,
@@ -226,8 +301,37 @@ pub(crate) fn cache_json(cache: &Option<CacheSummary>) -> Json {
         Some(cache) => Json::object([
             ("entries", Json::from(cache.entries)),
             ("hits", Json::from(cache.hits)),
+            ("hits_ram", Json::from(cache.hits_ram)),
+            ("hits_disk", Json::from(cache.hits_disk)),
             ("misses", Json::from(cache.misses)),
             ("shard_contention", Json::from(cache.shard_contention)),
+        ]),
+    }
+}
+
+pub(crate) fn store_json(store: &Option<StoreSummary>) -> Json {
+    match store {
+        None => Json::Null,
+        Some(store) => Json::object([
+            ("path", Json::from(store.path.as_str())),
+            ("hydrated", Json::from(store.hydrated)),
+            ("appended", Json::from(store.appended)),
+            ("flushes", Json::from(store.flushes)),
+            ("write_errors", Json::from(store.write_errors)),
+            ("bytes", Json::from(store.bytes)),
+            ("recovered_tail", Json::Bool(store.recovered_tail)),
+        ]),
+    }
+}
+
+fn checkpoint_json(checkpoint: &Option<CheckpointSummary>) -> Json {
+    match checkpoint {
+        None => Json::Null,
+        Some(ckpt) => Json::object([
+            ("path", Json::from(ckpt.path.as_str())),
+            ("saves", Json::from(ckpt.saves)),
+            ("save_errors", Json::from(ckpt.save_errors)),
+            ("resumed_at", Json::from(ckpt.resumed_at)),
         ]),
     }
 }
@@ -303,6 +407,13 @@ impl Render for SweepReport {
                 ("include_fences", Json::Bool(stream.bounds.include_fences)),
                 ("include_deps", Json::Bool(stream.bounds.include_deps)),
                 ("limit", Json::from(stream.limit.map(|l| l as u64))),
+                (
+                    "shard",
+                    match &stream.shard {
+                        Some(shard) => Json::from(shard.to_string().as_str()),
+                        None => Json::Null,
+                    },
+                ),
                 ("raw_space", Json::from(stream.raw_space)),
             ]),
         };
@@ -325,6 +436,8 @@ impl Render for SweepReport {
                 Json::from(self.nine_tests_sufficient),
             ),
             ("cache".to_string(), cache_json(&self.cache)),
+            ("store".to_string(), store_json(&self.store)),
+            ("checkpoint".to_string(), checkpoint_json(&self.checkpoint)),
             ("warm".to_string(), warm),
             ("stream".to_string(), stream),
             (

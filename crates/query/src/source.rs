@@ -4,7 +4,7 @@ use std::path::PathBuf;
 
 use mcm_core::parse::parse_litmus_file;
 use mcm_core::LitmusTest;
-use mcm_gen::{template_suite, StreamBounds};
+use mcm_gen::{template_suite, Shard, StreamBounds};
 use mcm_models::catalog;
 
 use crate::error::QueryError;
@@ -29,6 +29,11 @@ pub enum TestSource {
         bounds: StreamBounds,
         /// Stop after this many leaders (`None` = exhaust the space).
         limit: Option<usize>,
+        /// Sweep only stripe `i` of `n` (`--shard i/n`); `None` sweeps
+        /// the whole stream. Shards of the same bounds partition the
+        /// enumeration, so N processes can split a space and their
+        /// verdict logs be merged afterwards.
+        shard: Option<Shard>,
     },
     /// The built-in catalog: Test A, L1–L9 and the classic tests.
     Catalog,
@@ -132,6 +137,7 @@ mod tests {
         let stream = TestSource::Stream {
             bounds: StreamBounds::default(),
             limit: None,
+            shard: None,
         }
         .load()
         .unwrap_err();

@@ -27,7 +27,8 @@
 //! `synth_matrix`, `check`, `suite`, `catalog`, `figures`. Test sources: `"catalog"`,
 //! `"template_suite"`, `{"template_suite": {"with_deps": bool}}`,
 //! `{"stream": {"max_accesses": N, "max_locs": N, "fences": bool,
-//! "deps": bool, "limit": N}}`, `{"inline": "<litmus text>"}`. The wire
+//! "deps": bool, "limit": N, "shard": "i/n"}}`,
+//! `{"inline": "<litmus text>"}`. The wire
 //! format is deliberately **hermetic**: there is no file-backed source,
 //! so a server executing wire requests never touches the filesystem.
 //!
@@ -49,7 +50,7 @@ use std::sync::Arc;
 use mcm_axiomatic::CheckerKind;
 use mcm_core::json::Json;
 use mcm_explore::{EngineConfig, SweepStats, VerdictCache};
-use mcm_gen::StreamBounds;
+use mcm_gen::{Shard, StreamBounds};
 use mcm_synth::SynthBounds;
 
 use crate::error::QueryError;
@@ -603,7 +604,7 @@ fn parse_stream(body: &Json) -> Result<TestSource, QueryError> {
     check_named_fields(
         inner,
         "tests.stream",
-        &["max_accesses", "max_locs", "fences", "deps", "limit"],
+        &["max_accesses", "max_locs", "fences", "deps", "limit", "shard"],
     )?;
     let mut bounds = StreamBounds::default();
     if let Some(n) = opt_int(inner, "max_accesses")? {
@@ -629,7 +630,15 @@ fn parse_stream(body: &Json) -> Result<TestSource, QueryError> {
                 .ok_or_else(|| invalid(format!("stream limit needs a positive integer, got {n}")))?,
         ),
     };
-    Ok(TestSource::Stream { bounds, limit })
+    let shard = match get(inner, "shard") {
+        None => None,
+        Some(v) => Some(
+            as_str(v, "tests.stream.shard")?
+                .parse::<Shard>()
+                .map_err(|e| invalid(format!("stream shard: {e}")))?,
+        ),
+    };
+    Ok(TestSource::Stream { bounds, limit, shard })
 }
 
 fn parse_checker(pairs: &[(String, Json)]) -> Result<CheckerKind, QueryError> {
@@ -875,13 +884,13 @@ mod tests {
         let request = WireRequest::parse(
             r#"{"query": "sweep",
                 "tests": {"stream": {"max_accesses": 2, "max_locs": 2, "fences": true,
-                                     "limit": 50}}}"#,
+                                     "limit": 50, "shard": "1/4"}}}"#,
         )
         .unwrap();
         let QuerySpec::Sweep(spec) = &request.spec else {
             panic!("expected a sweep spec");
         };
-        let TestSource::Stream { bounds, limit } = &spec.source else {
+        let TestSource::Stream { bounds, limit, shard } = &spec.source else {
             panic!("expected a stream source");
         };
         assert_eq!(bounds.max_accesses_per_thread, 2);
@@ -889,6 +898,7 @@ mod tests {
         assert!(bounds.include_fences);
         assert!(!bounds.include_deps);
         assert_eq!(*limit, Some(50));
+        assert_eq!(shard.map(|s| (s.index(), s.count())), Some((1, 4)));
     }
 
     #[test]
@@ -902,6 +912,9 @@ mod tests {
             r#"{"query": "sweep", "models": 7}"#,
             r#"{"query": "sweep", "tests": {"file": "/etc/passwd"}}"#,
             r#"{"query": "sweep", "tests": {"stream": {"max_accesses": 99}}}"#,
+            r#"{"query": "sweep", "tests": {"stream": {"shard": "3/2"}}}"#,
+            r#"{"query": "sweep", "tests": {"stream": {"shard": 2}}}"#,
+            r#"{"query": "sweep", "tests": {"stream": {"shard": "banana"}}}"#,
             r#"{"query": "sweep", "engine": {"jobs": 0}}"#,
             r#"{"query": "sweep", "engine": {"jobs": "many"}}"#,
             r#"{"query": "sweep", "checker": "oracle"}"#,

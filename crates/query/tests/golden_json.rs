@@ -91,6 +91,7 @@ fn streamed_sweep_report_schema() {
                 include_deps: false,
             },
             limit: Some(40),
+            shard: None,
         })
         .engine(one_job())
         .run()

@@ -120,6 +120,7 @@ proptest! {
                     include_deps: false,
                 },
                 limit: Some(limit),
+                shard: None,
             })
             .engine(EngineConfig { jobs: Some(1), ..EngineConfig::default() })
             .run()

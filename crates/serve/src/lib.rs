@@ -58,6 +58,7 @@
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -65,6 +66,7 @@ use std::time::Duration;
 use mcm_explore::{EngineConfig, VerdictCache};
 use mcm_query::wire::{QuerySpec, WireRequest};
 use mcm_query::{Format, TestSource};
+use mcm_store::DiskCache;
 
 pub mod client;
 mod http;
@@ -96,6 +98,13 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Seconds advertised in `Retry-After` on a `503`.
     pub retry_after_secs: u32,
+    /// Directory holding the durable verdict log (`mcm serve
+    /// --store-dir`). When set, the shared cache is hydrated from
+    /// `<dir>/verdicts.log` at bind time and every fresh verdict is
+    /// appended back, so a restarted server answers previously-seen
+    /// sweeps without a single checker call. `None` keeps the cache
+    /// purely in-memory.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -109,6 +118,7 @@ impl Default for ServerConfig {
             max_stream_tests: 20_000,
             read_timeout: Duration::from_secs(10),
             retry_after_secs: 1,
+            store_dir: None,
         }
     }
 }
@@ -117,6 +127,10 @@ impl Default for ServerConfig {
 struct ServeState {
     config: ServerConfig,
     cache: Arc<VerdictCache>,
+    /// Keeps the verdict log's write half alive for the server's whole
+    /// life when `store_dir` is set; the shared `cache` above is the
+    /// store's hydrated cache in that case.
+    store: Option<DiskCache>,
     stats: ServeStats,
     queue: Bounded<TcpStream>,
 }
@@ -163,13 +177,24 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind failure, and — with
+    /// [`ServerConfig::store_dir`] — a verdict log that cannot be
+    /// opened (a store the server cannot persist to is a startup
+    /// error, not a silent downgrade).
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let queue = Bounded::new(config.queue_depth);
+        let store = match &config.store_dir {
+            None => None,
+            Some(dir) => Some(DiskCache::open(&dir.join("verdicts.log"))?),
+        };
+        let cache = store
+            .as_ref()
+            .map_or_else(|| Arc::new(VerdictCache::new()), |s| Arc::clone(s.cache()));
         let state = Arc::new(ServeState {
-            cache: Arc::new(VerdictCache::new()),
+            cache,
+            store,
             stats: ServeStats::new(),
             queue,
             config,
@@ -234,6 +259,11 @@ impl Server {
             drop(listener);
             state.queue.close();
         });
+        // Drained: make sure every appended verdict reaches the disk
+        // before the process can exit.
+        if let Some(store) = &state.store {
+            let _ = store.sync();
+        }
         Ok(())
     }
 }
@@ -298,17 +328,25 @@ fn route(state: &ServeState, request: &Request) -> Response {
             ])
             .pretty(),
         ),
-        ("GET", "/statsz") => Response::ok(
-            "application/json",
-            state
-                .stats
-                .snapshot(&state.cache, state.queue.len())
-                .pretty(),
-        ),
-        ("GET", "/metricsz") => Response::ok(
-            "text/plain; version=0.0.4",
-            state.stats.render_prometheus(&state.cache, state.queue.len()),
-        ),
+        ("GET", "/statsz") => {
+            let store = state.store.as_ref().map(DiskCache::stats);
+            Response::ok(
+                "application/json",
+                state
+                    .stats
+                    .snapshot(&state.cache, state.queue.len(), store.as_ref())
+                    .pretty(),
+            )
+        }
+        ("GET", "/metricsz") => {
+            let store = state.store.as_ref().map(DiskCache::stats);
+            Response::ok(
+                "text/plain; version=0.0.4",
+                state
+                    .stats
+                    .render_prometheus(&state.cache, state.queue.len(), store.as_ref()),
+            )
+        }
         ("POST", "/query") => execute(state, &request.body),
         (_, "/healthz" | "/statsz" | "/metricsz") => {
             Response::error(405, "this endpoint only answers GET").with_header("Allow", "GET")

@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 use mcm_core::json::Json;
 use mcm_explore::{SweepStats, VerdictCache};
+use mcm_store::StoreStats;
 
 /// Query kinds tracked per-kind, in wire-format order.
 pub const KINDS: [&str; 10] = [
@@ -35,10 +36,11 @@ pub const KINDS: [&str; 10] = [
 
 /// Engine counter names, index-aligned with [`SweepStats::counters`]
 /// (checked by a test, so drift fails loudly).
-const ENGINE_COUNTERS: [&str; 11] = [
+const ENGINE_COUNTERS: [&str; 12] = [
     "total_pairs",
     "unique_pairs",
     "cache_hits",
+    "cache_hits_disk",
     "checker_calls",
     "canonical_tests",
     "distinct_models",
@@ -165,13 +167,19 @@ impl ServeStats {
 
     /// The `/statsz` document: request counters, live gauges (queue
     /// depth and in-flight queries — instantaneous levels, zero when
-    /// drained), per-kind query counts, engine totals and the shared
-    /// cache's counters.
+    /// drained), per-kind query counts, engine totals, the shared
+    /// cache's counters, and — when the server runs with `--store-dir`
+    /// — the verdict store's counters (`Json::Null` otherwise).
     #[must_use]
-    pub fn snapshot(&self, cache: &VerdictCache, queue_depth: usize) -> Json {
+    pub fn snapshot(
+        &self,
+        cache: &VerdictCache,
+        queue_depth: usize,
+        store: Option<&StoreStats>,
+    ) -> Json {
         let load = |counter: &AtomicU64| Json::Int(counter.load(Ordering::Relaxed) as i64);
         Json::object([
-            ("schema_version", Json::Int(1)),
+            ("schema_version", Json::Int(2)),
             ("kind", Json::from("serve_stats")),
             (
                 "requests",
@@ -219,6 +227,19 @@ impl ServeStats {
                         .collect(),
                 ),
             ),
+            (
+                "store",
+                match store {
+                    None => Json::Null,
+                    Some(store) => Json::Object(
+                        store
+                            .counters()
+                            .iter()
+                            .map(|(name, value)| ((*name).to_string(), Json::Int(*value as i64)))
+                            .collect(),
+                    ),
+                },
+            ),
         ])
     }
 
@@ -229,7 +250,12 @@ impl ServeStats {
     /// (per-kind request latency, per-checker check latency, cache
     /// hit/miss totals, CEGIS iteration latency).
     #[must_use]
-    pub fn render_prometheus(&self, cache: &VerdictCache, queue_depth: usize) -> String {
+    pub fn render_prometheus(
+        &self,
+        cache: &VerdictCache,
+        queue_depth: usize,
+        store: Option<&StoreStats>,
+    ) -> String {
         use std::fmt::Write;
         let mut out = mcm_obs::metrics::global().render_prometheus();
         for (name, value) in self.counters() {
@@ -263,6 +289,18 @@ impl ServeStats {
         // are already global registry series (`mcm_cache_*_total`).
         let _ = writeln!(out, "# TYPE mcm_cache_entries gauge");
         let _ = writeln!(out, "mcm_cache_entries {}", cache.len());
+        if let Some(store) = store {
+            for (name, value) in store.counters() {
+                // hydrated/bytes/recovered_tail are levels, the rest flows.
+                if matches!(name, "hydrated" | "bytes" | "recovered_tail") {
+                    let _ = writeln!(out, "# TYPE mcm_store_{name} gauge");
+                    let _ = writeln!(out, "mcm_store_{name} {value}");
+                } else {
+                    let _ = writeln!(out, "# TYPE mcm_store_{name}_total counter");
+                    let _ = writeln!(out, "mcm_store_{name}_total {value}");
+                }
+            }
+        }
         out
     }
 }
@@ -304,7 +342,15 @@ mod tests {
         stats.absorb_engine(&sweep);
         stats.absorb_engine(&sweep);
 
-        let doc = stats.snapshot(&cache, 3);
+        let store = StoreStats {
+            hydrated: 5,
+            appended: 7,
+            flushes: 2,
+            write_errors: 0,
+            bytes: 131,
+            recovered_tail: true,
+        };
+        let doc = stats.snapshot(&cache, 3, Some(&store));
         let requests = doc.get("requests").unwrap();
         assert_eq!(requests.get("accepted").and_then(Json::as_i64), Some(2));
         assert_eq!(requests.get("rejected").and_then(Json::as_i64), Some(1));
@@ -322,6 +368,14 @@ mod tests {
         assert_eq!(engine.get("checker_calls").and_then(Json::as_i64), Some(8));
         let cache_doc = doc.get("cache").unwrap();
         assert_eq!(cache_doc.get("entries").and_then(Json::as_i64), Some(1));
+        let store_doc = doc.get("store").unwrap();
+        assert_eq!(store_doc.get("hydrated").and_then(Json::as_i64), Some(5));
+        assert_eq!(store_doc.get("appended").and_then(Json::as_i64), Some(7));
+        assert_eq!(store_doc.get("recovered_tail").and_then(Json::as_i64), Some(1));
+
+        // Without a store the section is explicitly null, not absent.
+        let bare = stats.snapshot(&cache, 3, None);
+        assert_eq!(bare.get("store"), Some(&Json::Null));
     }
 
     #[test]
@@ -340,7 +394,15 @@ mod tests {
     fn statsz_and_metricsz_use_identical_base_names() {
         let stats = ServeStats::new();
         let cache = VerdictCache::new();
-        let text = stats.render_prometheus(&cache, 0);
+        let store = StoreStats {
+            hydrated: 1,
+            appended: 2,
+            flushes: 3,
+            write_errors: 0,
+            bytes: 46,
+            recovered_tail: false,
+        };
+        let text = stats.render_prometheus(&cache, 0, Some(&store));
         // Every /statsz key appears in /metricsz under its layer prefix.
         for (name, _) in stats.counters() {
             assert!(
@@ -367,5 +429,17 @@ mod tests {
             );
         }
         assert!(text.contains("mcm_cache_entries "));
+        for gauge in ["hydrated", "bytes", "recovered_tail"] {
+            assert!(
+                text.contains(&format!("mcm_store_{gauge} ")),
+                "missing store gauge {gauge} in /metricsz"
+            );
+        }
+        for counter in ["appended", "flushes", "write_errors"] {
+            assert!(
+                text.contains(&format!("mcm_store_{counter}_total ")),
+                "missing store counter {counter} in /metricsz"
+            );
+        }
     }
 }

@@ -151,8 +151,8 @@ fn responses_validate_against_the_report_schema() {
         let response = client::post_query(addr, request).expect("request reaches server");
         let doc = Json::parse(&response.body).expect("valid JSON");
         assert_eq!(
-            doc.get("schema_version").and_then(Json::as_i64),
-            Some(1),
+            doc.get("schema_version").and_then(Json::as_u64),
+            Some(mcm_query::SCHEMA_VERSION),
             "{request}"
         );
         assert!(doc.get("kind").and_then(Json::as_str).is_some(), "{request}");

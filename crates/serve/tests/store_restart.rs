@@ -1,0 +1,111 @@
+//! The `--store-dir` acceptance scenario: a restarted server answers a
+//! previously-seen sweep from the durable verdict log with **zero**
+//! checker calls.
+//!
+//! Two server processes are simulated by two [`Server`] instances bound
+//! in sequence over the same store directory. The first runs a sweep
+//! cold (every verdict computed, then appended to the log); after its
+//! graceful shutdown the second hydrates the log at bind time, serves
+//! the same sweep entirely from disk-tier cache hits, and its `/statsz`
+//! engine section proves no checker ran.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+
+use mcm_core::json::Json;
+use mcm_serve::{client, Server, ServerConfig};
+
+fn temp_store_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir()
+        .join("mcm-serve-store-tests")
+        .join(format!("{tag}-{}", std::process::id()))
+}
+
+fn boot(store_dir: &Path) -> (SocketAddr, mcm_serve::ShutdownHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServerConfig {
+        workers: 2,
+        store_dir: Some(store_dir.to_path_buf()),
+        ..ServerConfig::default()
+    })
+    .expect("bind with a store dir");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    let runner = std::thread::spawn(move || server.run().expect("server runs"));
+    (addr, handle, runner)
+}
+
+fn engine_counter(addr: SocketAddr, name: &str) -> i64 {
+    let stats = client::get(addr, "/statsz").expect("statsz answers");
+    let doc = Json::parse(&stats.body).expect("statsz is JSON");
+    doc.get("engine")
+        .and_then(|engine| engine.get(name))
+        .and_then(Json::as_i64)
+        .unwrap_or_else(|| panic!("engine.{name} missing from /statsz"))
+}
+
+const SWEEP: &str = r#"{"query": "sweep", "models": ["SC", "TSO", "PSO"],
+    "tests": "catalog", "engine": {"jobs": 1}}"#;
+
+#[test]
+fn restarted_server_answers_a_seen_sweep_without_checker_calls() {
+    let dir = temp_store_dir("restart");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // First process: the sweep runs cold and lands in the log.
+    let (addr, handle, runner) = boot(&dir);
+    let first = client::post_query(addr, SWEEP).expect("first sweep answers");
+    assert_eq!(first.status, 200, "body: {}", first.body);
+    let cold_calls = engine_counter(addr, "checker_calls");
+    assert!(cold_calls > 0, "the first process computes verdicts");
+    assert_eq!(engine_counter(addr, "cache_hits_disk"), 0);
+    handle.shutdown();
+    runner.join().unwrap();
+
+    // Second process: bound over the same store, the sweep is answered
+    // from the hydrated log — the acceptance criterion is literal: the
+    // engine counter proves zero checker calls.
+    let (addr, handle, runner) = boot(&dir);
+    let warm = client::post_query(addr, SWEEP).expect("warm sweep answers");
+    assert_eq!(warm.status, 200, "body: {}", warm.body);
+    assert_eq!(
+        engine_counter(addr, "checker_calls"),
+        0,
+        "a restarted --store-dir server must not re-check seen sweeps"
+    );
+    // The warm run looks up every (model, test) pair; semantic merging
+    // meant the cold run checked fewer than it cached, so disk hits are
+    // at least the cold checker calls — and every hit is disk-tier.
+    assert!(
+        engine_counter(addr, "cache_hits_disk") >= cold_calls,
+        "every cold verdict comes back as a disk-tier hit"
+    );
+    assert_eq!(
+        engine_counter(addr, "cache_hits"),
+        engine_counter(addr, "cache_hits_disk"),
+        "a freshly-restarted process has no RAM-tier history to hit"
+    );
+
+    // Both processes report identical verdicts (modulo wall-clock).
+    let mut a = Json::parse(&first.body).unwrap();
+    let mut b = Json::parse(&warm.body).unwrap();
+    // `stats` legitimately differ (cold computes, warm hits disk); the
+    // lattice itself must not.
+    for doc in [&mut a, &mut b] {
+        doc.strip_keys(&["elapsed_ms", "timings", "cache", "store", "stats"]);
+    }
+    assert_eq!(a, b, "cold and warm sweeps must agree verdict-for-verdict");
+
+    // /statsz exposes the store section only when a store is mounted.
+    let stats = client::get(addr, "/statsz").unwrap();
+    let doc = Json::parse(&stats.body).unwrap();
+    let store = doc.get("store").expect("store section present");
+    assert!(
+        store.get("hydrated").and_then(Json::as_i64).unwrap_or(0) > 0,
+        "the second process hydrates from the log: {stats:?}",
+        stats = store
+    );
+
+    handle.shutdown();
+    runner.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,105 @@
+//! Little-endian byte (de)serialization shared by the log and checkpoint
+//! formats, plus the FNV-1a checksum both use.
+
+/// 64-bit FNV-1a over `bytes` — the frame checksum. Not cryptographic;
+/// it detects torn writes and bit rot, which is all the formats need,
+/// without pulling in a CRC dependency.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub(crate) fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+/// A cursor over a byte slice whose reads all fail softly: `None` means
+/// the input ran out or held an invalid value, so parsers surface one
+/// "corrupt" path instead of panicking on malformed files.
+pub(crate) struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    pub(crate) fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+
+    #[test]
+    fn reader_roundtrips_and_fails_softly() {
+        let mut out = Vec::new();
+        put_u32(&mut out, 7);
+        put_u64(&mut out, u64::MAX);
+        put_u8(&mut out, 3);
+        put_bool(&mut out, true);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u32(), Some(7));
+        assert_eq!(r.u64(), Some(u64::MAX));
+        assert_eq!(r.u8(), Some(3));
+        assert_eq!(r.bool(), Some(true));
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.u8(), None, "reads past the end fail, not panic");
+        let mut bad = Reader::new(&[2]);
+        assert_eq!(bad.bool(), None, "non-0/1 booleans are corrupt");
+    }
+}

@@ -1,0 +1,193 @@
+//! Properties of the verdict-log format:
+//!
+//! * any sequence of appended batches reads back exactly, across a
+//!   writer reopen;
+//! * a log truncated at *every* byte offset opens without panicking,
+//!   yielding a prefix of the written records — and whenever the cut
+//!   lands mid-frame, a recoverable tail error, never a wrong verdict;
+//! * compaction preserves the live record set exactly (last write wins)
+//!   and is idempotent.
+
+use mcm_store::log::{read_log, LogWriter, Record, HEADER_LEN};
+use mcm_store::{compact, CheckpointFile};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_FILE: AtomicU64 = AtomicU64::new(0);
+
+fn temp_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mcm-store-prop-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "{tag}-{}-{}.log",
+        std::process::id(),
+        NEXT_FILE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn record_strategy() -> impl Strategy<Value = Record> {
+    (0u64..50, 0u64..50, proptest::bool::ANY).prop_map(|(model_fp, test_fp, allowed)| Record {
+        model_fp,
+        test_fp,
+        allowed,
+    })
+}
+
+fn batches_strategy() -> impl Strategy<Value = Vec<Vec<Record>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(record_strategy(), 0..12),
+        0..6,
+    )
+}
+
+fn write_batches(path: &PathBuf, batches: &[Vec<Record>]) {
+    let _ = std::fs::remove_file(path);
+    let (_, mut writer) = LogWriter::append(path).unwrap();
+    for batch in batches {
+        writer.append_batch(batch).unwrap();
+    }
+}
+
+/// Last write wins per `(model_fp, test_fp)` key.
+fn live_map(records: &[Record]) -> std::collections::BTreeMap<(u64, u64), bool> {
+    records
+        .iter()
+        .map(|r| ((r.model_fp, r.test_fp), r.allowed))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn arbitrary_batches_roundtrip_across_reopen(batches in batches_strategy()) {
+        let path = temp_path("roundtrip");
+        write_batches(&path, &batches);
+        let flat: Vec<Record> = batches.iter().flatten().copied().collect();
+        let back = read_log(&path).unwrap();
+        prop_assert!(back.tail.is_none());
+        prop_assert_eq!(&back.records, &flat);
+        // Reopening for append sees the same records and appending more
+        // extends, never rewrites.
+        let (contents, mut writer) = LogWriter::append(&path).unwrap();
+        prop_assert_eq!(&contents.records, &flat);
+        let extra = Record { model_fp: 999, test_fp: 999, allowed: true };
+        writer.append_batch(&[extra]).unwrap();
+        drop(writer);
+        let again = read_log(&path).unwrap();
+        let mut expected = flat.clone();
+        expected.push(extra);
+        prop_assert_eq!(again.records, expected);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncation_at_every_offset_yields_a_clean_prefix(batches in batches_strategy()) {
+        let path = temp_path("truncate");
+        write_batches(&path, &batches);
+        let full = std::fs::read(&path).unwrap();
+        let flat: Vec<Record> = batches.iter().flatten().copied().collect();
+        for cut in 0..=full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            // Must never panic and never invent or corrupt a verdict.
+            let back = read_log(&path).unwrap();
+            prop_assert!(
+                back.records.len() <= flat.len(),
+                "cut at {cut} produced extra records"
+            );
+            prop_assert_eq!(
+                &back.records[..],
+                &flat[..back.records.len()],
+                "cut at {} is not a prefix", cut
+            );
+            prop_assert!(back.valid_bytes <= cut as u64);
+            if cut < full.len() && (cut as u64) < HEADER_LEN {
+                // Inside the header: zero records, and (unless empty)
+                // a reported truncation.
+                prop_assert_eq!(back.records.len(), 0);
+                prop_assert_eq!(back.tail.is_some(), cut > 0);
+            } else if back.valid_bytes < cut as u64 {
+                // Cut landed mid-frame: the ignored tail must be reported.
+                prop_assert!(back.tail.is_some(), "silent tail drop at cut {}", cut);
+            } else {
+                // Cut landed on a frame boundary: clean open.
+                prop_assert!(back.tail.is_none());
+            }
+            // The log stays writable after recovery.
+            let (_, mut writer) = LogWriter::append(&path).unwrap();
+            writer.append_batch(&[Record { model_fp: 1, test_fp: 1, allowed: false }]).unwrap();
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_the_live_set(batches in batches_strategy()) {
+        let path = temp_path("compact");
+        write_batches(&path, &batches);
+        let flat: Vec<Record> = batches.iter().flatten().copied().collect();
+        let before = live_map(&flat);
+        let stats = compact(&path).unwrap();
+        let back = read_log(&path).unwrap();
+        prop_assert!(back.tail.is_none());
+        prop_assert_eq!(live_map(&back.records), before);
+        prop_assert_eq!(back.records.len() as u64, stats.records_out);
+        // No duplicate keys remain.
+        let keys: std::collections::BTreeSet<_> = back.records.iter().map(Record::key).collect();
+        prop_assert_eq!(keys.len(), back.records.len());
+        // Idempotent: compacting a compacted log is byte-identical.
+        let bytes_once = std::fs::read(&path).unwrap();
+        compact(&path).unwrap();
+        prop_assert_eq!(std::fs::read(&path).unwrap(), bytes_once);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncation_never_yields_a_wrong_checkpoint(
+        kept in 0u64..130,
+        fps in proptest::collection::vec(0u64..1000, 1..4),
+    ) {
+        use mcm_explore::{StreamCheckpoint, SweepStats, VerdictVector};
+        use mcm_gen::StreamBounds;
+        use mcm_store::SweepMeta;
+        let rows = fps.len();
+        let ckpt = CheckpointFile {
+            meta: SweepMeta {
+                bounds: StreamBounds::default(),
+                limit: None,
+                shard: None,
+                canonicalize: false,
+                stream_chunk: 64,
+            },
+            state: StreamCheckpoint {
+                tests_streamed: kept + 7,
+                tests_kept: kept,
+                model_fps: fps,
+                row_verdicts: (0..rows)
+                    .map(|i| {
+                        let mut row = VerdictVector::new(0);
+                        for j in 0..kept {
+                            row.push((i as u64 + j).is_multiple_of(2));
+                        }
+                        row
+                    })
+                    .collect(),
+                stats: SweepStats::default(),
+            },
+        };
+        let path = temp_path("ckpt").with_extension("ckpt");
+        ckpt.save(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        prop_assert_eq!(CheckpointFile::load(&path).unwrap().unwrap(), ckpt);
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            // All-or-nothing: a truncated checkpoint is an error, never
+            // a silently shorter sweep state.
+            prop_assert!(
+                CheckpointFile::load(&path).is_err(),
+                "truncation at {} accepted", cut
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -30,6 +30,10 @@
 //! * [`serve`] — the query API as a long-lived HTTP service: shared warm
 //!   verdict cache, bounded-queue backpressure, graceful shutdown
 //!   (`mcm serve`).
+//! * [`store`] — disk persistence: the append-only verdict log under the
+//!   RAM cache (`--store`, `mcm serve --store-dir`), checkpoint/resume
+//!   for streaming sweeps (`--checkpoint` / `--resume`), and shard-log
+//!   merging (extension).
 //! * [`operational`] — interleaving-SC and store-buffer-TSO reference
 //!   machines that cross-validate the axiomatic semantics (extension).
 //! * [`obs`] — zero-dependency observability: the global metrics
@@ -65,6 +69,7 @@ pub use mcm_operational as operational;
 pub use mcm_query as query;
 pub use mcm_sat as sat;
 pub use mcm_serve as serve;
+pub use mcm_store as store;
 pub use mcm_synth as synth;
 
 /// Crate version, re-exported for tooling.
